@@ -1,0 +1,129 @@
+"""A1 — §4.2 ablation: materialization strategies.
+
+Full vs selective (often-used only) vs derived (algebraic relationship):
+the storage / query-latency trade-off behind the paper's "if the
+classifiers/domains ratio is high, a comprehensive materialized study
+schema may be too large to manage".
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.classifiers import vendor_classifiers_for
+from repro.analysis.schema import build_endoscopy_schema
+from repro.warehouse import (
+    DerivationRule,
+    DerivedStrategy,
+    FullStrategy,
+    MaterializationJob,
+    SelectiveStrategy,
+    Warehouse,
+)
+
+
+def _job(world) -> MaterializationJob:
+    source = world.source("cori_warehouse_feed")
+    vendor = vendor_classifiers_for(source)
+    return MaterializationJob(
+        schema=build_endoscopy_schema(),
+        entity="Procedure",
+        sources=[source],
+        entity_classifiers={source.name: vendor.entity_classifier},
+        classifiers=[
+            vendor.habits_cancer,
+            vendor.habits_chemistry,
+            vendor.ex_smoker_1y,
+            vendor.ex_smoker_10y,
+            vendor.ex_smoker_ever,
+        ],
+    )
+
+
+def _strategies(job, warehouse_factory):
+    # The derived strategy stores habits_cancer and computes the chemistry
+    # variant as an algebraic recode of it — the paper's "classifier A and
+    # classifier B share a simple algebraic relationship" case.
+    return {
+        "full": FullStrategy(job, warehouse_factory()),
+        "selective(2 hot)": SelectiveStrategy(
+            job, warehouse_factory(), ["cori_habits_cancer", "cori_ex_smoker_ever"]
+        ),
+        "derived(recode)": DerivedStrategy(
+            job,
+            warehouse_factory(),
+            [
+                DerivationRule.of(
+                    "cori_habits_chemistry",
+                    "cori_habits_cancer",
+                    "IIF(base = 'Moderate', 'Heavy', IIF(base = 'Light', 'Moderate', base))",
+                )
+            ],
+        ),
+    }
+
+
+@pytest.mark.parametrize("strategy_name", ["full", "selective(2 hot)", "derived(recode)"])
+def test_build_cost(benchmark, world, strategy_name):
+    job = _job(world)
+
+    def build():
+        strategy = _strategies(job, Warehouse)[strategy_name]
+        strategy.build()
+        return strategy
+
+    strategy = benchmark(build)
+    assert strategy.storage_cells() > 0
+
+
+def test_ablation_report(benchmark, world):
+    job = _job(world)
+    hot = ["cori_habits_cancer", "cori_ex_smoker_ever"]
+    cold = [c.name for c in job.classifiers]
+
+    def measure():
+        rows = []
+        for name, strategy in _strategies(job, Warehouse).items():
+            started = time.perf_counter()
+            strategy.build()
+            build_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            strategy.fetch(hot)
+            hot_seconds = time.perf_counter() - started
+
+            started = time.perf_counter()
+            strategy.fetch(cold)
+            cold_seconds = time.perf_counter() - started
+
+            rows.append(
+                {
+                    "strategy": name,
+                    "storage_cells": strategy.storage_cells(),
+                    "build_ms": round(build_seconds * 1000, 2),
+                    "hot_query_ms": round(hot_seconds * 1000, 2),
+                    "all_columns_query_ms": round(cold_seconds * 1000, 2),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    by_name = {row["strategy"]: row for row in rows}
+    # The expected shape: full stores the most; selective stores less but
+    # pays on cold queries; derived sits between on storage.
+    assert by_name["full"]["storage_cells"] > by_name["selective(2 hot)"]["storage_cells"]
+    assert by_name["full"]["storage_cells"] > by_name["derived(recode)"]["storage_cells"]
+    assert (
+        by_name["selective(2 hot)"]["all_columns_query_ms"]
+        > by_name["full"]["all_columns_query_ms"]
+    )
+    emit_report(
+        "A1 / §4.2 ablation — materialization strategies",
+        rows,
+        notes="full: max storage, cheapest queries; selective: recomputes "
+        "cold classifiers from sources; derived: computes related "
+        "classifiers algebraically from a stored base",
+    )

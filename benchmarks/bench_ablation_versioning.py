@@ -1,0 +1,129 @@
+"""A2 — §6 future work: classifier propagation across tool versions.
+
+A new CORI version ships with (a) no relevant changes, (b) an extended
+option list, and (c) a renamed control.  The experiment propagates the
+full CORI classifier corpus across each upgrade and reports how many
+classifiers survive automatically, how many are flagged for review, and
+how many break (with rename suggestions).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_report
+from repro.analysis.classifiers import vendor_classifiers_for
+from repro.clinical import build_cori_tool
+from repro.guava import derive_gtree
+from repro.multiclass import propagate_classifiers
+from repro.ui import DropDown, Form, NumericBox, ReportingTool
+
+
+def _upgraded_tool(kind: str) -> ReportingTool:
+    """CORI v2 variants: identical / extended options / renamed control."""
+    tool = build_cori_tool(version="2.0")
+    if kind == "identical":
+        return tool
+    form = tool.form("procedure")
+    new_controls = []
+    for control in form.controls:
+        new_controls.append(control)
+    if kind == "extended_options":
+        history = form.control("alcohol")
+        # Replace the alcohol drop-down with one more option.
+        _replace_control(
+            form,
+            "alcohol",
+            DropDown(
+                "alcohol",
+                history.question,
+                choices=["None", "Light", "Heavy", "Binge"],
+                free_text=True,
+            ),
+        )
+    elif kind == "renamed_control":
+        packs = form.control("packs_per_day")
+        _replace_control(
+            form,
+            "packs_per_day",
+            NumericBox(
+                "smoking_frequency",
+                packs.question,  # same wording => rename suggestion works
+                integer=False,
+                minimum=0,
+                maximum=20,
+                enabled_when="smoking IS NOT NULL AND smoking != 'Never'",
+            ),
+        )
+    return ReportingTool("cori", "2.0", forms=[Form(form.name, form.title, form.controls)] + tool.forms[1:])
+
+
+def _replace_control(form: Form, name: str, replacement) -> None:
+    for container in form.iter_controls():
+        for index, child in enumerate(container.children):
+            if child.name == name:
+                container.children[index] = replacement
+                return
+    for index, child in enumerate(form.controls):
+        if child.name == name:
+            form.controls[index] = replacement
+            return
+
+
+def _classifiers(world):
+    vendor = vendor_classifiers_for(world.source("cori_warehouse_feed"))
+    return vendor.base + [
+        vendor.habits_cancer,
+        vendor.habits_chemistry,
+        vendor.ex_smoker_1y,
+        vendor.ex_smoker_10y,
+        vendor.ex_smoker_ever,
+    ]
+
+
+def test_a2_propagation_cost(benchmark, world):
+    old = world.source("cori_warehouse_feed").gtree("procedure")
+    new = derive_gtree(_upgraded_tool("identical"), "procedure")
+    classifiers = _classifiers(world)
+    report = benchmark(lambda: propagate_classifiers(old, new, classifiers))
+    assert len(report.propagated) == len(classifiers)
+
+
+def test_a2_report(benchmark, world):
+    old = world.source("cori_warehouse_feed").gtree("procedure")
+    classifiers = _classifiers(world)
+
+    def run_all():
+        rows = []
+        for kind in ("identical", "extended_options", "renamed_control"):
+            new = derive_gtree(_upgraded_tool(kind), "procedure")
+            report = propagate_classifiers(old, new, classifiers)
+            suggestions = [
+                change.suggestion
+                for _, changes in report.broken
+                for change in changes
+                if change.suggestion
+            ]
+            rows.append(
+                {
+                    "upgrade": kind,
+                    "classifiers": report.total,
+                    "propagated": len(report.propagated),
+                    "flagged": len(report.flagged),
+                    "broken": len(report.broken),
+                    "rename_suggestions": sorted(set(suggestions)) or "-",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    by_kind = {row["upgrade"]: row for row in rows}
+    assert by_kind["identical"]["propagated"] == len(classifiers)
+    assert by_kind["extended_options"]["flagged"] >= 1
+    assert by_kind["renamed_control"]["broken"] >= 1
+    assert "smoking_frequency" in by_kind["renamed_control"]["rename_suggestions"]
+    emit_report(
+        "A2 / §6 — classifier propagation across CORI tool versions",
+        rows,
+        notes="classifiers whose input nodes are unchanged propagate; option "
+        "changes flag for review; renames break with a suggestion from "
+        "matching question wording",
+    )

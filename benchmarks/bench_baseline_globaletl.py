@@ -1,0 +1,42 @@
+"""A3 — §1 baseline: classic single global ETL vs per-study classifiers.
+
+"An ETL workflow, once defined, encapsulates only one set of decisions
+about how to integrate various source databases."  The experiment freezes
+one ex-smoker classification at warehouse-load time (the classic design)
+and scores every study definition against ground truth; MultiClass
+re-classifies per study and never inherits the frozen choice's errors.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_report
+from repro.analysis import global_etl_ex_smokers
+
+
+def test_a3_cost(benchmark, world):
+    comparisons = benchmark(lambda: global_etl_ex_smokers(world))
+    assert len(comparisons) == 3
+
+
+def test_a3_report(benchmark, world):
+    comparisons = benchmark.pedantic(
+        lambda: global_etl_ex_smokers(world, global_definition="ever"),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [c.as_row() for c in comparisons]
+    by_definition = {c.definition: c for c in comparisons}
+
+    # Shape: the frozen global label is only right for the study whose
+    # definition happens to match it; MultiClass is right for all.
+    assert by_definition["ever"].global_etl_errors == 0
+    assert by_definition["1y"].global_etl_errors > 0
+    assert by_definition["10y"].global_etl_errors > 0
+    assert all(c.multiclass_errors == 0 for c in comparisons)
+
+    emit_report(
+        "A3 / §1 baseline — one frozen global ETL vs per-study classifiers",
+        rows,
+        notes="global warehouse label frozen as 'quit ever'; studies needing "
+        "stricter definitions silently inherit mislabels, MultiClass does not",
+    )

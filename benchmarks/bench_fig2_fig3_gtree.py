@@ -1,0 +1,99 @@
+"""F2 + F3 — Figures 2 and 3: the example dialog, its g-tree, and node context.
+
+F2 derives the g-tree from the Figure 2 form and checks its structure:
+a node for every control including group boxes, and the frequency node
+re-parented under smoking because of the enablement dependency.  F3 emits
+the three Figure 3 node-context boxes (alcohol, smoking, frequency).
+Benchmarks time g-tree derivation — the operation Hypothesis 1 wants an
+IDE to run on every build — and XML round-tripping.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_report
+from repro.guava import derive_gtree, gtree_from_xml, gtree_to_xml
+from tests.conftest import build_fig2_form
+from repro.ui import ReportingTool
+
+
+def _tool() -> ReportingTool:
+    return ReportingTool("cori_like", "1.0", forms=[build_fig2_form()])
+
+
+def test_fig2_gtree_derivation(benchmark):
+    tool = _tool()
+    tree = benchmark(lambda: derive_gtree(tool, "procedure"))
+
+    assert tree.node_count() == 10  # form + 9 controls, incl. 2 group boxes
+    assert tree.parent_of("frequency").name == "smoking"  # enablement edge
+    assert tree.parent_of("hypoxia").name == "complications"
+
+    rows = []
+    for node in tree.iter_nodes():
+        parent = tree.parent_of(node.name)
+        rows.append(
+            {
+                "node": node.name,
+                "control": node.control_type,
+                "parent": parent.name if parent else "-",
+                "stores_data": node.stores_data,
+                "edge": (
+                    "enablement"
+                    if node.enablement is not None
+                    else ("containment" if parent else "root")
+                ),
+            }
+        )
+    emit_report(
+        "F2 / Figure 2 — g-tree of the example dialog",
+        rows,
+        notes="frequency hangs under smoking via the enablement edge, exactly "
+        "as the paper's figure shows",
+    )
+
+
+def test_fig3_node_context(benchmark):
+    tool = _tool()
+    tree = derive_gtree(tool, "procedure")
+
+    def context_boxes():
+        return {
+            name: tree.node(name).context_summary()
+            for name in ("alcohol", "smoking", "frequency")
+        }
+
+    boxes = benchmark.pedantic(context_boxes, rounds=1, iterations=1)
+    # Figure 3a: alcohol drop-down with free text.
+    assert "free text" in boxes["alcohol"].lower()
+    # Figure 3b: smoking radio starts unselected.
+    assert "unselected" in boxes["smoking"].lower()
+    # Figure 3c: frequency enabled only once smoking is answered.
+    assert "smoking" in boxes["frequency"].lower()
+
+    rows = [
+        {
+            "figure": f"3{letter}",
+            "node": name,
+            "context": boxes[name].replace("\n", " | "),
+        }
+        for letter, name in (("a", "alcohol"), ("b", "smoking"), ("c", "frequency"))
+    ]
+    emit_report(
+        "F3 / Figure 3 — node context boxes",
+        rows,
+        notes="question wording, options, unselected state, free-text, and "
+        "enablement all captured per node",
+    )
+
+
+def test_gtree_xml_roundtrip(benchmark, world):
+    """Serialization cost for every g-tree in the clinical world."""
+    trees = [
+        tree for source in world.sources for tree in source.gtrees.values()
+    ]
+
+    def roundtrip_all():
+        return [gtree_from_xml(gtree_to_xml(tree)) for tree in trees]
+
+    restored = benchmark(roundtrip_all)
+    assert all(a.root == b.root for a, b in zip(restored, trees))

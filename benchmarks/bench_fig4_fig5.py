@@ -1,0 +1,166 @@
+"""F4 + F5 — Figures 4 and 5: the study schema and the example classifiers.
+
+F4 reproduces the study schema (Procedure atop a has-a tree with Finding
+and New Medication, multi-domain attributes).  F5 executes the figure's
+four classifiers — Habits (Cancer), Habits (Chemistry), Tumor Size, and
+the Relevant Procedures entity classifier — and shows the two Habits
+classifiers disagreeing exactly on the packs-per-day interval [1, 5).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis import build_endoscopy_schema
+from repro.multiclass import Classifier, EntityClassifier, Rule
+from repro.multiclass.domain import Domain
+
+HABITS = Domain.categorical("habits", ["None", "Light", "Moderate", "Heavy"])
+
+
+def habits_cancer() -> Classifier:
+    return Classifier(
+        name="Habits (Cancer)",
+        target_entity="Procedure",
+        target_attribute="Smoking",
+        target_domain="habits",
+        rules=[
+            Rule.of("'None'", "PacksPerDay = 0"),
+            Rule.of("'Light'", "0 < PacksPerDay AND PacksPerDay < 2"),
+            Rule.of("'Moderate'", "2 <= PacksPerDay AND PacksPerDay < 5"),
+            Rule.of("'Heavy'", "PacksPerDay >= 5"),
+        ],
+        description="Classifies packs per day according to conversations "
+        "with cancer study on 5/3/02",
+    )
+
+
+def habits_chemistry() -> Classifier:
+    return Classifier(
+        name="Habits (Chemistry)",
+        target_entity="Procedure",
+        target_attribute="Smoking",
+        target_domain="habits",
+        rules=[
+            Rule.of("'None'", "PacksPerDay = 0"),
+            Rule.of("'Light'", "0 < PacksPerDay AND PacksPerDay < 1"),
+            Rule.of("'Moderate'", "1 <= PacksPerDay AND PacksPerDay < 2"),
+            Rule.of("'Heavy'", "PacksPerDay >= 2"),
+        ],
+        description="Classifies packs per day according to flier from "
+        "chemical studies",
+    )
+
+
+def tumor_size() -> Classifier:
+    return Classifier(
+        name="Tumor Size",
+        target_entity="Finding",
+        target_attribute="TumorVolume",
+        target_domain="cubic_mm",
+        rules=[
+            Rule.of(
+                "TumorX * TumorY * TumorZ * 0.52",
+                "TumorX > 0 AND TumorY > 0 AND TumorZ > 0",
+            )
+        ],
+        description="Estimates tumor volume based on dimensions in 3-space. "
+        "Assumes 52% occupancy from sphere-to-cube ratio.",
+    )
+
+
+def relevant_procedures() -> EntityClassifier:
+    return EntityClassifier(
+        name="Relevant Procedures",
+        target_entity="Procedure",
+        form="Procedure",
+        condition="SurgeryPerformed = TRUE",
+        description="Only consider procedures where surgery was performed",
+    )
+
+
+def test_fig4_study_schema(benchmark):
+    schema = benchmark(build_endoscopy_schema)
+    assert schema.primary.name == "Procedure"
+    assert schema.parent_of("Finding").name == "Procedure"
+    assert schema.parent_of("NewMedication").name == "Procedure"
+    smoking = schema.entity("Procedure").attribute("Smoking")
+    assert len(smoking.domains) == 3
+
+    rows = []
+    for entity in schema.entities():
+        for attribute in entity.attributes.values():
+            rows.append(
+                {
+                    "entity": entity.name,
+                    "attribute": attribute.name,
+                    "domains": " | ".join(attribute.domains),
+                }
+            )
+    emit_report(
+        "F4 / Figure 4 — study schema (has-a tree, multi-domain attributes)",
+        rows,
+        notes=f"{schema.attribute_count()} attributes, "
+        f"{schema.domain_count()} domains across "
+        f"{len(schema.entities())} entities",
+    )
+
+
+def test_fig5_classifiers(benchmark):
+    cancer, chemistry = habits_cancer(), habits_chemistry()
+    volume = tumor_size()
+    relevant = relevant_procedures()
+    packs_grid = [0, 0.5, 1, 1.5, 2, 3, 5, 7]
+
+    def run_all():
+        rows = []
+        for packs in packs_grid:
+            env = {"PacksPerDay": packs}
+            rows.append(
+                {
+                    "packs_per_day": packs,
+                    "habits_cancer": cancer.classify(env, HABITS),
+                    "habits_chemistry": chemistry.classify(env, HABITS),
+                }
+            )
+        return rows
+
+    rows = benchmark(run_all)
+    for row in rows:
+        agree = row["habits_cancer"] == row["habits_chemistry"]
+        row["agree"] = agree
+        # The disagreement region is exactly [1, 5).
+        assert agree == (not (1 <= row["packs_per_day"] < 5))
+    emit_report(
+        "F5 / Figure 5a — two classifiers, same domain, different cutoffs",
+        rows,
+        notes="disagreement confined to packs/day in [1, 5) — both remain "
+        "valid, per-study choices",
+    )
+
+    assert volume.classify({"TumorX": 2, "TumorY": 3, "TumorZ": 4}) == pytest.approx(
+        12.48
+    )
+    assert relevant.admits({"SurgeryPerformed": True})
+    assert not relevant.admits({"SurgeryPerformed": False})
+    emit_report(
+        "F5 / Figure 5b,c — arithmetic classifier and entity classifier",
+        [
+            {
+                "classifier": "Tumor Size",
+                "input": "TumorX=2, TumorY=3, TumorZ=4",
+                "output": 12.48,
+            },
+            {
+                "classifier": "Relevant Procedures",
+                "input": "SurgeryPerformed=TRUE",
+                "output": "admitted",
+            },
+            {
+                "classifier": "Relevant Procedures",
+                "input": "SurgeryPerformed=FALSE",
+                "output": "rejected",
+            },
+        ],
+    )

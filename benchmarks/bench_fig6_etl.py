@@ -1,0 +1,95 @@
+"""F6 — Figure 6: translating GUAVA + MultiClass artifacts into ETL.
+
+Compiles Study 1 into the three-stage pipeline, checks the stage layout
+matches the figure (Source -> ETL -> temp DB -> ETL -> temp DB -> ETL ->
+Study), verifies compiled output equals direct evaluation, and emits the
+generated SQL + Datalog + XQuery artifacts' sizes.  Benchmarks separate
+compile cost from execution cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_report
+from repro.analysis import build_study1
+from repro.etl import compile_study
+from repro.guava.query import GTreeQuery
+from repro.guava.translate import translate_query
+from repro.multiclass import study_to_datalog, study_to_xquery
+from repro.relational import Database, to_sql
+
+
+def test_fig6_compile_cost(benchmark, world):
+    study = build_study1(world)
+    workflow = benchmark(lambda: compile_study(study, Database("wh")))
+    assert workflow.stages() == ["extract", "classify", "study"]
+
+
+def test_fig6_execute_cost(benchmark, world):
+    study = build_study1(world)
+    warehouse = Database("wh")
+    workflow = compile_study(study, warehouse)
+    outputs, _ = benchmark(workflow.run)
+    assert len(outputs["Procedure__load"]) == world.procedure_count
+
+
+def test_fig6_report(benchmark, world):
+    study = build_study1(world)
+
+    def build_artifacts():
+        warehouse = Database("wh")
+        workflow = compile_study(study, warehouse)
+        outputs, report = workflow.run()
+        direct = study.run().rows("Procedure")
+        sqls = []
+        for binding in study.bindings:
+            ec = binding.entity_classifiers["Procedure"]
+            plan = translate_query(
+                GTreeQuery(binding.source.gtree(ec.form)).where(ec.condition),
+                binding.source.chain,
+            )
+            sqls.append((binding.source.name, to_sql(plan)))
+        return workflow, report, outputs, direct, sqls
+
+    workflow, report, outputs, direct, sqls = benchmark.pedantic(
+        build_artifacts, rounds=1, iterations=1
+    )
+    key = lambda r: (r["source"], r["record_id"])
+    assert sorted(outputs["Procedure__load"], key=key) == sorted(direct, key=key)
+
+    stage_rows = []
+    for stage in workflow.stages():
+        steps = [s for s in report.steps if s.stage == stage]
+        stage_rows.append(
+            {
+                "stage": stage,
+                "steps": len(steps),
+                "rows_out_total": sum(s.rows_out for s in steps),
+                "figure6_role": {
+                    "extract": "Source -> ETL -> Temporary DB (GUAVA translation)",
+                    "classify": "Temporary DB -> ETL -> Temporary DB (classifiers)",
+                    "study": "Temporary DB -> ETL -> Study (union/filter/load)",
+                }[stage],
+            }
+        )
+    emit_report(
+        "F6 / Figure 6 — study compiled to the three-stage ETL pipeline",
+        stage_rows,
+        notes="compiled ETL output equals direct study evaluation "
+        "(Hypothesis 3 equivalence)",
+    )
+
+    datalog = study_to_datalog(study)
+    xquery = study_to_xquery(study)
+    emit_report(
+        "F6 — generated query artifacts per contributor",
+        [
+            {"artifact": f"SQL ({name})", "lines": sql.count("\n") + 1}
+            for name, sql in sqls
+        ]
+        + [
+            {"artifact": "Datalog (whole study)", "lines": datalog.count("\n") + 1},
+            {"artifact": "XQuery (whole study)", "lines": xquery.count("\n") + 1},
+        ],
+        notes="the paper hand-translated classifiers to XQuery and Datalog; "
+        "here both are generated",
+    )

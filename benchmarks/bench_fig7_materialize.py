@@ -1,0 +1,126 @@
+"""F7 — Figure 7: the fully-materialized study schema.
+
+Reproduces the figure's table shape (one column per classifier) and runs
+the parameter sweep the paper's §4.2 worry implies: storage grows linearly
+with the classifiers/domains ratio, so "a comprehensive materialized study
+schema may be too large to manage" once analysts accumulate many
+classifiers per domain.  Benchmarks compare build cost of full
+materialization against query-time cost of the selective alternative.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.classifiers import vendor_classifiers_for
+from repro.analysis.schema import build_endoscopy_schema
+from repro.multiclass import Classifier, Rule
+from repro.warehouse import (
+    FullStrategy,
+    MaterializationJob,
+    SelectiveStrategy,
+    Warehouse,
+)
+
+
+def _variant_classifiers(count: int) -> list[Classifier]:
+    """``count`` habits classifiers with shifted cutoffs — the accumulation
+    of per-study definitions the sweep models."""
+    variants = []
+    for index in range(count):
+        low = 0.5 + index * 0.25
+        high = low + 2.0
+        variants.append(
+            Classifier(
+                name=f"habits_variant_{index}",
+                target_entity="Procedure",
+                target_attribute="Smoking",
+                target_domain="habits4",
+                rules=[
+                    Rule.of("'None'", "smoking = 'Never' OR packs_per_day = 0"),
+                    Rule.of("'Light'", f"packs_per_day > 0 AND packs_per_day < {low}"),
+                    Rule.of(
+                        "'Moderate'",
+                        f"packs_per_day >= {low} AND packs_per_day < {high}",
+                    ),
+                    Rule.of("'Heavy'", f"packs_per_day >= {high}"),
+                ],
+                description=f"study-specific cutoffs #{index}",
+            )
+        )
+    return variants
+
+
+def _job(world, classifier_count: int) -> MaterializationJob:
+    source = world.source("cori_warehouse_feed")
+    vendor = vendor_classifiers_for(source)
+    return MaterializationJob(
+        schema=build_endoscopy_schema(),
+        entity="Procedure",
+        sources=[source],
+        entity_classifiers={source.name: vendor.entity_classifier},
+        classifiers=_variant_classifiers(classifier_count),
+    )
+
+
+@pytest.mark.parametrize("classifier_count", [1, 2, 4, 8, 16])
+def test_fig7_sweep_storage(benchmark, world, classifier_count):
+    """Build cost and footprint as classifiers accumulate per domain."""
+    job = _job(world, classifier_count)
+
+    def build():
+        warehouse = Warehouse()
+        strategy = FullStrategy(job, warehouse)
+        strategy.build()
+        return strategy
+
+    strategy = benchmark(build)
+    assert strategy.storage_cells() > 0
+
+
+def test_fig7_report(benchmark, world):
+    def sweep():
+        rows = []
+        for count in (1, 2, 4, 8, 16):
+            job = _job(world, count)
+            warehouse = Warehouse()
+            strategy = FullStrategy(job, warehouse)
+            strategy.build()
+            table = warehouse.table(job.table_name())
+            rows.append(
+                {
+                    "classifiers_per_domain": count,
+                    "table_columns": len(table.schema.columns),
+                    "table_rows": len(table),
+                    "storage_cells": strategy.storage_cells(),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Storage must grow linearly with the classifier count (the paper's
+    # "too large to manage" trajectory).
+    cells = [row["storage_cells"] for row in rows]
+    assert all(b > a for a, b in zip(cells, cells[1:]))
+    base_rows = rows[0]["table_rows"]
+    expected_16 = base_rows * (16 + 2)
+    assert rows[-1]["storage_cells"] == expected_16
+    emit_report(
+        "F7 / Figure 7 — fully-materialized study schema sweep",
+        rows,
+        notes="one stored column per classifier: storage grows linearly in "
+        "the classifiers/domains ratio, motivating the §4.2 alternatives",
+    )
+
+
+def test_fig7_selective_query_cost(benchmark, world):
+    """The trade-off: selective materialization pays at query time."""
+    job = _job(world, 8)
+    warehouse = Warehouse()
+    strategy = SelectiveStrategy(job, warehouse, ["habits_variant_0"])
+    strategy.build()
+    cold = [c.name for c in job.classifiers]
+
+    rows = benchmark(lambda: strategy.fetch(cold))
+    assert rows and all(name in rows[0] for name in cold)

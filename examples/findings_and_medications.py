@@ -1,0 +1,90 @@
+"""Traversing the has-a tree: Findings and Medications joined to Procedures.
+
+Figure 4's study schema puts Procedure at the top with Finding and New
+Medication beneath it.  This example runs a study over all three
+entities, loads them into the warehouse, and answers questions across
+the has-a edges with plain select-project-join queries.
+
+Run:  python examples/findings_and_medications.py
+"""
+
+from repro.analysis import (
+    build_endoscopy_schema,
+    cori_finding_classifiers,
+    cori_medication_classifiers,
+)
+from repro.analysis.classifiers import vendor_classifiers_for
+from repro.clinical import build_world
+from repro.etl import compile_study
+from repro.multiclass import Study
+from repro.warehouse import StudyTableQuery, Warehouse
+
+world = build_world(300, seed=7)
+cori = world.source("cori_warehouse_feed")
+vendor = vendor_classifiers_for(cori)
+
+schema = build_endoscopy_schema()
+study = Study("per_procedure_detail", schema,
+              description="procedures with their findings and medications")
+study.add_element("Procedure", "Smoking", "status3")
+study.add_element("Procedure", "Indication", "indication")
+study.add_element("Finding", "FindingType", "finding_type")
+study.add_element("Finding", "SizeMm", "mm")
+study.add_element("NewMedication", "Drug", "name")
+study.add_element("NewMedication", "DosageMg", "mg")
+
+finding_ec, finding_classifiers = cori_finding_classifiers()
+medication_ec, medication_classifiers = cori_medication_classifiers()
+wanted = [
+    c for c in vendor.base
+    if (c.target_attribute, c.target_domain)
+    in {("Smoking", "status3"), ("Indication", "indication")}
+]
+study.bind(
+    cori,
+    [vendor.entity_classifier, finding_ec, medication_ec],
+    wanted + finding_classifiers + medication_classifiers,
+)
+
+warehouse = Warehouse()
+workflow = compile_study(study, warehouse.db)
+outputs, report = workflow.run()
+print("Loaded study tables:")
+for entity in ("Procedure", "Finding", "NewMedication"):
+    table = f"study_per_procedure_detail_{entity}".lower()
+    print(f"  {table}: {len(warehouse.table(table))} rows")
+
+print("\nLarge findings (>= 40mm) with the procedure's smoking status:")
+rows = (
+    StudyTableQuery(warehouse, "study_per_procedure_detail_finding")
+    .join_entity(
+        "study_per_procedure_detail_procedure",
+        prefix="proc",
+        on=(("parent_record_id", "record_id"), ("source", "source")),
+    )
+    .where("SizeMm_mm >= 40")
+    .select("FindingType_finding_type", "SizeMm_mm", "proc_Smoking_status3")
+    .run()
+)
+for row in rows[:8]:
+    print(" ", row)
+
+print("\nMedications prescribed at reflux-indication procedures:")
+rows = (
+    StudyTableQuery(warehouse, "study_per_procedure_detail_newmedication")
+    .join_entity(
+        "study_per_procedure_detail_procedure",
+        prefix="proc",
+        on=(("parent_record_id", "record_id"), ("source", "source")),
+    )
+    .where(
+        "proc_Indication_indication = 'Asthma-specific ENT/Pulmonary Reflux symptoms'"
+    )
+    .select("Drug_name", "DosageMg_mg")
+    .run()
+)
+drug_counts: dict[str, int] = {}
+for row in rows:
+    drug_counts[row["Drug_name"]] = drug_counts.get(row["Drug_name"], 0) + 1
+for drug, count in sorted(drug_counts.items(), key=lambda kv: -kv[1]):
+    print(f"  {drug:20} {count}")

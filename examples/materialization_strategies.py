@@ -1,0 +1,92 @@
+"""Materializing the study schema three ways (paper §4.2 / Figure 7).
+
+Full materialization stores every classifier as a column (Figure 7);
+selective stores only often-used classifiers and recomputes the rest from
+the sources; derived stores a base classifier and computes related ones
+through a simple algebraic relationship.
+
+Run:  python examples/materialization_strategies.py
+"""
+
+import time
+
+from repro.analysis import build_endoscopy_schema
+from repro.analysis.classifiers import vendor_classifiers_for
+from repro.clinical import build_world
+from repro.warehouse import (
+    DerivationRule,
+    DerivedStrategy,
+    FullStrategy,
+    MaterializationJob,
+    SelectiveStrategy,
+    StudyTableQuery,
+    Warehouse,
+)
+
+world = build_world(300, seed=7)
+cori = world.source("cori_warehouse_feed")
+vendor = vendor_classifiers_for(cori)
+
+job = MaterializationJob(
+    schema=build_endoscopy_schema(),
+    entity="Procedure",
+    sources=[cori],
+    entity_classifiers={cori.name: vendor.entity_classifier},
+    classifiers=[
+        vendor.habits_cancer,
+        vendor.habits_chemistry,
+        vendor.ex_smoker_1y,
+        vendor.ex_smoker_10y,
+        vendor.ex_smoker_ever,
+    ],
+)
+all_columns = [c.name for c in job.classifiers]
+
+strategies = {
+    "full (Figure 7)": FullStrategy(job, Warehouse()),
+    "selective (2 hot columns)": SelectiveStrategy(
+        job, Warehouse(), ["cori_habits_cancer", "cori_ex_smoker_ever"]
+    ),
+    "derived (chemistry from cancer)": DerivedStrategy(
+        job,
+        Warehouse(),
+        [
+            DerivationRule.of(
+                "cori_habits_chemistry",
+                "cori_habits_cancer",
+                "IIF(base = 'Moderate', 'Heavy', IIF(base = 'Light', 'Moderate', base))",
+            )
+        ],
+    ),
+}
+
+print(f"{'strategy':32} {'cells':>7} {'build ms':>9} {'query-all ms':>13}")
+for name, strategy in strategies.items():
+    started = time.perf_counter()
+    strategy.build()
+    build_ms = (time.perf_counter() - started) * 1000
+    started = time.perf_counter()
+    rows = strategy.fetch(all_columns)
+    query_ms = (time.perf_counter() - started) * 1000
+    print(
+        f"{name:32} {strategy.storage_cells():>7} {build_ms:>9.2f} {query_ms:>13.2f}"
+    )
+
+print("\nFigure 7 shape — the fully-materialized table, first rows:")
+full = strategies["full (Figure 7)"]
+warehouse = full.warehouse
+table_rows = (
+    StudyTableQuery(warehouse, job.table_name())
+    .select("record_id", "cori_habits_cancer", "cori_habits_chemistry",
+            "cori_ex_smoker_ever")
+    .run()[:5]
+)
+for row in table_rows:
+    print(" ", row)
+
+print(
+    "\n\"If the classifiers/domains ratio is high, then a comprehensive\n"
+    "materialized study schema may be too large to manage\" — compare the\n"
+    "cells column above, and see benchmarks/bench_fig7_materialize.py for\n"
+    "the full sweep."
+)

@@ -1,0 +1,149 @@
+"""GUAVA + MultiClass outside the clinic (paper §6).
+
+"Finally, we are interested in exploring whether GUAVA or MultiClass is
+able to provide benefits in other domains, such as traffic data and
+financial applications."  Nothing in the architecture is
+clinical-specific: any domain where data is born in a form-driven tool
+and analyzed under shifting definitions fits.  Here: two traffic-incident
+reporting tools with the same semantic trap — one agency's `injury`
+checkbox means *anyone transported to hospital*, the other's means *any
+reported pain* — and a severity definition that differs per study.
+
+Run:  python examples/traffic_domain.py
+"""
+
+from repro.guava import GuavaSource
+from repro.multiclass import (
+    Classifier,
+    Domain,
+    Entity,
+    EntityClassifier,
+    Rule,
+    Study,
+    StudySchema,
+)
+from repro.patterns import GenericPattern, LookupPattern, PatternChain
+from repro.ui import CheckBox, DropDown, Form, NumericBox, ReportingTool
+
+# --- two agencies' incident tools ------------------------------------------------
+city_form = Form(
+    "incident",
+    "City PD Incident Report",
+    controls=[
+        DropDown("road_type", "Road type",
+                 choices=["Residential", "Arterial", "Highway"], required=True),
+        NumericBox("vehicles", "Vehicles involved", minimum=1, required=True),
+        CheckBox("injury", "Injury crash (anyone transported to hospital)"),
+        NumericBox("est_speed", "Estimated speed (mph)", minimum=0),
+    ],
+)
+county_form = Form(
+    "crash_record",
+    "County Sheriff Crash Record",
+    controls=[
+        DropDown("roadway", "Roadway class",
+                 choices=["Residential", "Arterial", "Highway"], required=True),
+        NumericBox("unit_count", "Units involved", minimum=1, required=True),
+        CheckBox("injury", "Injury reported (any complaint of pain)"),
+        CheckBox("hospitalized", "Anyone hospitalized",
+                 enabled_when="injury = TRUE"),
+        NumericBox("speed_est", "Speed estimate (mph)", minimum=0),
+    ],
+)
+
+city = GuavaSource(
+    "city_pd",
+    ReportingTool("citypd", "4.1", forms=[city_form]),
+    PatternChain(
+        ReportingTool("citypd", "4.1", forms=[city_form]).naive_schemas(),
+        [GenericPattern(["incident"])],
+    ),
+)
+county = GuavaSource(
+    "county_sheriff",
+    ReportingTool("sheriff", "2.0", forms=[county_form]),
+    PatternChain(
+        ReportingTool("sheriff", "2.0", forms=[county_form]).naive_schemas(),
+        [LookupPattern({("crash_record", "roadway"): "roadway_codes"})],
+    ),
+)
+
+city_session = city.session()
+for values in [
+    {"road_type": "Highway", "vehicles": 2, "injury": True, "est_speed": 65},
+    {"road_type": "Residential", "vehicles": 1, "injury": False, "est_speed": 25},
+    {"road_type": "Arterial", "vehicles": 3, "injury": True, "est_speed": 40},
+]:
+    city_session.enter("incident", values)
+county_session = county.session()
+for values in [
+    {"roadway": "Highway", "unit_count": 2, "injury": True,
+     "hospitalized": True, "speed_est": 70},
+    {"roadway": "Arterial", "unit_count": 2, "injury": True,
+     "hospitalized": False, "speed_est": 35},
+    {"roadway": "Residential", "unit_count": 1, "injury": False, "speed_est": 20},
+]:
+    county_session.enter("crash_record", values)
+
+print("The same column-name trap as the clinic:")
+print("  City PD g-tree:  ", city.gtree("incident").node("injury").question)
+print("  Sheriff g-tree:  ", county.gtree("crash_record").node("injury").question)
+
+# --- one study schema, per-study severity definitions ------------------------------
+incident = Entity("Incident")
+incident.add_attribute(
+    "RoadType", Domain.categorical("road3", ["Residential", "Arterial", "Highway"])
+)
+incident.add_attribute("HospitalInjury", Domain.boolean("flag"))
+incident.add_attribute("SpeedMph", Domain.real("mph", minimum=0))
+schema = StudySchema("traffic", incident)
+
+city_classifiers = [
+    Classifier(name="city_road", target_entity="Incident", target_attribute="RoadType",
+               target_domain="road3",
+               rules=[Rule.of("road_type", "road_type IS NOT NULL")]),
+    # City PD's injury box already means hospital transport.
+    Classifier(name="city_hospital", target_entity="Incident",
+               target_attribute="HospitalInjury", target_domain="flag",
+               rules=[Rule.of("injury", "injury IS NOT NULL")]),
+    Classifier(name="city_speed", target_entity="Incident",
+               target_attribute="SpeedMph", target_domain="mph",
+               rules=[Rule.of("est_speed", "est_speed IS NOT NULL")]),
+]
+county_classifiers = [
+    Classifier(name="county_road", target_entity="Incident", target_attribute="RoadType",
+               target_domain="road3",
+               rules=[Rule.of("roadway", "roadway IS NOT NULL")]),
+    # The Sheriff's injury box is any pain: hospital transport lives in
+    # the dependent checkbox the g-tree exposes.
+    Classifier(name="county_hospital", target_entity="Incident",
+               target_attribute="HospitalInjury", target_domain="flag",
+               rules=[
+                   Rule.of("hospitalized", "injury = TRUE"),
+                   Rule.of("FALSE", "injury = FALSE"),
+               ]),
+    Classifier(name="county_speed", target_entity="Incident",
+               target_attribute="SpeedMph", target_domain="mph",
+               rules=[Rule.of("speed_est", "speed_est IS NOT NULL")]),
+]
+
+study = Study("hospitalizing_crashes", schema,
+              description="hospital-transport crashes by road type")
+study.add_element("Incident", "RoadType", "road3")
+study.add_element("Incident", "HospitalInjury", "flag")
+study.add_element("Incident", "SpeedMph", "mph")
+study.where("Incident", "HospitalInjury_flag = TRUE")
+study.bind(city, [EntityClassifier(name="city_all", target_entity="Incident",
+                                   form="incident")], city_classifiers)
+study.bind(county, [EntityClassifier(name="county_all", target_entity="Incident",
+                                     form="crash_record")], county_classifiers)
+
+result = study.run()
+print("\nHospital-transport crashes across both agencies:")
+for row in result.rows("Incident"):
+    print(" ", row)
+print(
+    "\nA context-blind union of the two `injury` columns would have\n"
+    "counted the Sheriff's pain-only crash as a hospitalization; the\n"
+    "per-source classifiers, written against the g-trees, do not."
+)

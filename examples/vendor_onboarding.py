@@ -1,0 +1,149 @@
+"""Onboarding a new vendor and surviving a tool upgrade.
+
+Scenario (paper §2): "several commercial reporting tool vendors have
+expressed an interest in contributing data to CORI's clinical data
+warehouse.  Each new vendor necessitates a new ETL workflow, potentially
+for each study."  With GUAVA + MultiClass, onboarding is: describe the
+GUI, declare the storage patterns, write classifiers against the g-tree —
+and existing studies pick the new source up.  When the vendor ships v2,
+classifier propagation reports what survives.
+
+Run:  python examples/vendor_onboarding.py
+"""
+
+from repro.analysis import build_endoscopy_schema
+from repro.analysis.classifiers import standard_bindings
+from repro.clinical import build_world
+from repro.guava import GuavaSource, derive_gtree
+from repro.multiclass import (
+    Classifier,
+    EntityClassifier,
+    Rule,
+    Study,
+    propagate_classifiers,
+)
+from repro.patterns import LookupPattern, PatternChain, VersionedPattern
+from repro.ui import CheckBox, DropDown, Form, NumericBox, ReportingTool
+
+# --- the established world -----------------------------------------------------
+world = build_world(200, seed=7)
+schema = build_endoscopy_schema()
+study = Study("hypoxia_watch", schema, description="ongoing hypoxia surveillance")
+study.add_element("Procedure", "AnyHypoxia", "flag")
+study.add_element("Procedure", "Smoking", "status3")
+standard_bindings(study, world.sources)
+print(f"Existing study over {len(study.bindings)} contributors:",
+      study.run().count("Procedure"), "procedures\n")
+
+# --- the new vendor: 'ScopeWriter' ----------------------------------------------
+print("Onboarding vendor 'ScopeWriter'...")
+scopewriter_form = Form(
+    "exam_record",
+    "ScopeWriter Exam Record",
+    controls=[
+        NumericBox("patient_no", "Patient number", required=True),
+        DropDown(
+            "exam_type",
+            "Exam",
+            choices=["Upper GI endoscopy", "Colonoscopy"],
+            required=True,
+        ),
+        CheckBox("o2_desat", "Oxygen desaturation during exam"),
+        DropDown(
+            "tobacco",
+            "Tobacco use (currently / formerly / never)",
+            choices=["currently", "formerly", "never"],
+        ),
+        NumericBox(
+            "daily_packs",
+            "Daily packs (if currently using)",
+            integer=False,
+            enabled_when="tobacco = 'currently'",
+        ),
+    ],
+)
+scopewriter = ReportingTool("scopewriter", "1.0", forms=[scopewriter_form])
+chain = PatternChain(
+    scopewriter.naive_schemas(),
+    [
+        LookupPattern({("exam_record", "tobacco"): "tobacco_codes"}),
+        VersionedPattern("1.0"),
+    ],
+)
+source = GuavaSource("scopewriter_clinic", scopewriter, chain)
+
+# Simulate a few reports from this clinic.
+session = source.session()
+session.enter("exam_record", {"patient_no": 901, "exam_type": "Upper GI endoscopy",
+                              "o2_desat": True, "tobacco": "currently", "daily_packs": 1.5})
+session.enter("exam_record", {"patient_no": 902, "exam_type": "Colonoscopy",
+                              "o2_desat": False, "tobacco": "never"})
+session.enter("exam_record", {"patient_no": 903, "exam_type": "Colonoscopy",
+                              "o2_desat": True, "tobacco": "formerly"})
+
+print("Its g-tree (what the analyst reads instead of the schema):")
+print(source.gtree("exam_record").render())
+
+# The analyst writes classifiers against the g-tree, with full context.
+hypoxia = Classifier(
+    name="scopewriter_hypoxia",
+    target_entity="Procedure",
+    target_attribute="AnyHypoxia",
+    target_domain="flag",
+    rules=[Rule.of("o2_desat", "o2_desat IS NOT NULL")],
+    description="ScopeWriter records desaturation as one checkbox",
+)
+status = Classifier(
+    name="scopewriter_status3",
+    target_entity="Procedure",
+    target_attribute="Smoking",
+    target_domain="status3",
+    rules=[
+        Rule.of("'Current'", "tobacco = 'currently'"),
+        Rule.of("'Previous'", "tobacco = 'formerly'"),
+        Rule.of("'None'", "tobacco = 'never'"),
+    ],
+)
+study.bind(
+    source,
+    [EntityClassifier(name="scopewriter_exams", target_entity="Procedure",
+                      form="exam_record")],
+    [hypoxia, status],
+)
+result = study.run()
+print(f"\nStudy now integrates {len(study.bindings)} contributors:",
+      result.count("Procedure"), "procedures")
+print("ScopeWriter rows:",
+      [r for r in result.rows("Procedure") if r["source"] == "scopewriter_clinic"])
+
+# --- the vendor ships version 2 -----------------------------------------------
+print("\nScopeWriter ships v2.0: 'tobacco' gains a 'vaping only' option and")
+print("'daily_packs' is renamed to 'packs_count'...")
+v2_form = Form(
+    "exam_record",
+    "ScopeWriter Exam Record",
+    controls=[
+        NumericBox("patient_no", "Patient number", required=True),
+        DropDown("exam_type", "Exam",
+                 choices=["Upper GI endoscopy", "Colonoscopy"], required=True),
+        CheckBox("o2_desat", "Oxygen desaturation during exam"),
+        DropDown("tobacco", "Tobacco use (currently / formerly / never)",
+                 choices=["currently", "formerly", "never", "vaping only"]),
+        NumericBox("packs_count", "Daily packs (if currently using)",
+                   integer=False, enabled_when="tobacco = 'currently'"),
+    ],
+)
+v2 = ReportingTool("scopewriter", "2.0", forms=[v2_form])
+report = propagate_classifiers(
+    source.gtree("exam_record"),
+    derive_gtree(v2, "exam_record"),
+    [hypoxia, status],
+)
+print("\nPropagation report:", report.summary())
+for classifier, changes in report.flagged:
+    for change in changes:
+        print(f"  FLAGGED {classifier.name}: {change.kind} — {change.detail}")
+for classifier, changes in report.broken:
+    for change in changes:
+        suggestion = f" (suggest: {change.suggestion})" if change.suggestion else ""
+        print(f"  BROKEN  {classifier.name}: {change.detail}{suggestion}")

@@ -1,0 +1,48 @@
+"""Context-Sensitive Clinical Data Integration — GUAVA + MultiClass.
+
+A full reproduction of Terwilliger, Delcambre & Logan (EDBT 2006 Ph.D.
+Workshop).  Layering, bottom to top:
+
+* :mod:`repro.expr`       — the shared expression language
+* :mod:`repro.relational` — in-memory relational engine (substrate)
+* :mod:`repro.ui`         — declarative reporting-tool GUIs (substrate)
+* :mod:`repro.patterns`   — the 11 database design patterns
+* :mod:`repro.guava`      — g-trees and GUI-as-view query translation
+* :mod:`repro.multiclass` — study schemas, domains, classifiers, studies
+* :mod:`repro.etl`        — ETL components and the study compiler
+* :mod:`repro.warehouse`  — study-schema materialization strategies
+* :mod:`repro.clinical`   — the synthetic CORI world (substrate)
+* :mod:`repro.analysis`   — the paper's studies, metrics, and baselines
+"""
+
+__version__ = "1.0.0"
+
+from repro.guava import GuavaSource
+from repro.multiclass import (
+    Classifier,
+    Domain,
+    Entity,
+    EntityClassifier,
+    Rule,
+    Study,
+    StudySchema,
+)
+from repro.patterns import PatternChain
+from repro.relational import Database
+from repro.ui import Form, ReportingTool
+
+__all__ = [
+    "Classifier",
+    "Database",
+    "Domain",
+    "Entity",
+    "EntityClassifier",
+    "Form",
+    "GuavaSource",
+    "PatternChain",
+    "ReportingTool",
+    "Rule",
+    "Study",
+    "StudySchema",
+    "__version__",
+]

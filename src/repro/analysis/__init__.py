@@ -1,0 +1,65 @@
+"""Experiment harness: the paper's studies, metrics, and baselines."""
+
+from repro.analysis.metrics import (
+    PrecisionRecall,
+    domain_translation_report,
+    precision_recall,
+)
+from repro.analysis.schema import build_endoscopy_schema
+from repro.analysis.classifiers import (
+    cori_classifiers,
+    cori_entity_classifier,
+    endopro_classifiers,
+    endopro_entity_classifier,
+    medscribe_classifiers,
+    medscribe_entity_classifier,
+    standard_bindings,
+)
+from repro.analysis.studies import (
+    build_cohort_study,
+    build_study1,
+    build_study2,
+    run_study1,
+    run_study2,
+    study1_truth_funnel,
+    study2_truth,
+)
+from repro.analysis.baseline import (
+    compare_smoking_extraction,
+    context_blind_smoking,
+    global_etl_ex_smokers,
+    guava_smoking,
+)
+from repro.analysis.classifiers import (
+    cori_finding_classifiers,
+    cori_medication_classifiers,
+    vendor_classifiers_for,
+)
+
+__all__ = [
+    "PrecisionRecall",
+    "build_cohort_study",
+    "build_study1",
+    "build_study2",
+    "compare_smoking_extraction",
+    "cori_finding_classifiers",
+    "cori_medication_classifiers",
+    "study1_truth_funnel",
+    "study2_truth",
+    "vendor_classifiers_for",
+    "build_endoscopy_schema",
+    "context_blind_smoking",
+    "cori_classifiers",
+    "cori_entity_classifier",
+    "domain_translation_report",
+    "endopro_classifiers",
+    "endopro_entity_classifier",
+    "global_etl_ex_smokers",
+    "guava_smoking",
+    "medscribe_classifiers",
+    "medscribe_entity_classifier",
+    "precision_recall",
+    "run_study1",
+    "run_study2",
+    "standard_bindings",
+]

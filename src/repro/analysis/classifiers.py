@@ -1,0 +1,618 @@
+"""Classifier sets relating each contributor's g-tree to the study schema.
+
+This module is the analyst's work product: for every vendor tool, one
+classifier per (attribute, domain) the CORI studies need, written against
+that tool's g-tree nodes and informed by each control's context (question
+wording, options, enablement).  The alternative classifiers for smoking
+habits (cancer vs chemistry cutoffs, Figure 5a) and for the ex-smoker
+definition (quit within 1 year / 10 years / ever) demonstrate why
+MultiClass lets several classifiers target the same domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clinical.vocabulary import INDICATIONS
+from repro.guava.source import GuavaSource
+from repro.multiclass.classifier import Classifier, EntityClassifier, Rule
+from repro.multiclass.study import Study
+
+
+def _classifier(
+    name: str,
+    attribute: str,
+    domain: str,
+    rules: list[tuple[str, str]],
+    description: str = "",
+    entity: str = "Procedure",
+    form: str = "",
+) -> Classifier:
+    return Classifier(
+        name=name,
+        target_entity=entity,
+        target_attribute=attribute,
+        target_domain=domain,
+        rules=[Rule.of(output, guard) for output, guard in rules],
+        description=description,
+        source_form=form,
+    )
+
+
+def _flag_from_checkbox(name: str, attribute: str, node: str, description: str = "") -> Classifier:
+    """Boolean attribute mirrored from one checkbox node."""
+    return _classifier(
+        name,
+        attribute,
+        "flag",
+        [(node, f"{node} IS NOT NULL")],
+        description or f"direct read of checkbox {node!r}",
+    )
+
+
+def _flag_from_list(
+    name: str, attribute: str, list_node: str, item: str, description: str = ""
+) -> Classifier:
+    """Boolean attribute: is ``item`` among a CheckList's selections?"""
+    return _classifier(
+        name,
+        attribute,
+        "flag",
+        [
+            ("TRUE", f"CONTAINS({list_node}, '{item}')"),
+            ("FALSE", f"{list_node} IS NULL"),
+            ("FALSE", f"NOT CONTAINS({list_node}, '{item}')"),
+        ],
+        description or f"membership of {item!r} in {list_node}",
+    )
+
+
+@dataclass
+class VendorClassifiers:
+    """One vendor's classifiers, with the alternative definitions split out."""
+
+    entity_classifier: EntityClassifier
+    base: list[Classifier] = field(default_factory=list)
+    habits_cancer: Classifier | None = None
+    habits_chemistry: Classifier | None = None
+    ex_smoker_1y: Classifier | None = None
+    ex_smoker_10y: Classifier | None = None
+    ex_smoker_ever: Classifier | None = None
+
+    def ex_smoker(self, definition: str) -> Classifier:
+        chosen = {
+            "1y": self.ex_smoker_1y,
+            "10y": self.ex_smoker_10y,
+            "ever": self.ex_smoker_ever,
+        }.get(definition)
+        if chosen is None:
+            raise ValueError(f"unknown ex-smoker definition {definition!r}")
+        return chosen
+
+    def habits(self, variant: str) -> Classifier:
+        chosen = {
+            "cancer": self.habits_cancer,
+            "chemistry": self.habits_chemistry,
+        }.get(variant)
+        if chosen is None:
+            raise ValueError(f"unknown habits variant {variant!r}")
+        return chosen
+
+
+# ---------------------------------------------------------------------------
+# CORI
+
+
+def cori_entity_classifier() -> EntityClassifier:
+    return EntityClassifier(
+        "cori_all_procedures",
+        "Procedure",
+        "procedure",
+        condition="TRUE",
+        description="every saved CORI procedure report",
+    )
+
+
+def cori_classifiers() -> VendorClassifiers:
+    """Classifiers for the CORI tool's g-tree."""
+    base = [
+        _classifier(
+            "cori_proc_type", "ProcedureType", "proc_type",
+            [("procedure_type", "procedure_type IS NOT NULL")],
+            "the procedure drop-down already uses study vocabulary",
+        ),
+        _classifier(
+            "cori_indication", "Indication", "indication",
+            [("indication", "indication IS NOT NULL")],
+        ),
+        _classifier(
+            "cori_year", "ProcedureYear", "year",
+            [("YEAR(procedure_date)", "procedure_date IS NOT NULL")],
+            "calendar year extracted from the date picker",
+        ),
+        _flag_from_checkbox("cori_transient_hypoxia", "TransientHypoxia", "transient_hypoxia"),
+        _flag_from_checkbox("cori_prolonged_hypoxia", "ProlongedHypoxia", "prolonged_hypoxia"),
+        _classifier(
+            "cori_any_hypoxia", "AnyHypoxia", "flag",
+            [
+                ("TRUE", "transient_hypoxia = TRUE OR prolonged_hypoxia = TRUE"),
+                ("FALSE", "transient_hypoxia = FALSE AND prolonged_hypoxia = FALSE"),
+            ],
+        ),
+        _flag_from_checkbox("cori_renal", "RenalFailureHistory", "renal_failure"),
+        _flag_from_checkbox("cori_cardio", "CardioExamNormal", "cardio_wnl"),
+        _flag_from_checkbox("cori_abdo", "AbdominalExamNormal", "abdominal_wnl"),
+        _flag_from_list("cori_surgery", "SurgeryPerformed", "interventions", "Surgery"),
+        _flag_from_list("cori_iv", "IVFluidsGiven", "interventions", "IV fluids"),
+        _flag_from_list(
+            "cori_oxygen", "OxygenGiven", "interventions", "Oxygen administration"
+        ),
+        _classifier(
+            "cori_packs", "Smoking", "packs_per_day",
+            [
+                ("packs_per_day", "packs_per_day IS NOT NULL"),
+                ("0", "smoking = 'Never'"),
+            ],
+            "frequency box only enables once the smoking question is answered",
+        ),
+        _classifier(
+            "cori_status3", "Smoking", "status3",
+            [
+                ("'None'", "smoking = 'Never'"),
+                ("'Current'", "smoking = 'Current'"),
+                ("'Previous'", "smoking = 'Previous'"),
+            ],
+            "the CORI radio list matches domain 2 directly",
+        ),
+        _classifier(
+            "cori_alcohol", "Alcohol", "alcohol3",
+            [
+                ("'None'", "alcohol = 'None'"),
+                ("'Light'", "alcohol = 'Light'"),
+                ("'Heavy'", "alcohol = 'Heavy'"),
+            ],
+            "free-text answers remain unclassified by design",
+        ),
+    ]
+    habits_cancer = _classifier(
+        "cori_habits_cancer", "Smoking", "habits4",
+        [
+            ("'None'", "smoking = 'Never' OR packs_per_day = 0"),
+            ("'Light'", "packs_per_day > 0 AND packs_per_day < 2"),
+            ("'Moderate'", "packs_per_day >= 2 AND packs_per_day < 5"),
+            ("'Heavy'", "packs_per_day >= 5"),
+        ],
+        "Classifies packs per day according to conversations with cancer "
+        "study on 5/3/02 (paper Figure 5a)",
+    )
+    habits_chemistry = _classifier(
+        "cori_habits_chemistry", "Smoking", "habits4",
+        [
+            ("'None'", "smoking = 'Never' OR packs_per_day = 0"),
+            ("'Light'", "packs_per_day > 0 AND packs_per_day < 1"),
+            ("'Moderate'", "packs_per_day >= 1 AND packs_per_day < 2"),
+            ("'Heavy'", "packs_per_day >= 2"),
+        ],
+        "Classifies packs per day according to flier from chemical studies "
+        "(paper Figure 5a)",
+    )
+    ex_1y = _classifier(
+        "cori_ex_smoker_1y", "ExSmoker", "flag",
+        [
+            ("TRUE", "smoking = 'Previous' AND quit_years_ago <= 1"),
+            ("FALSE", "smoking != 'Previous'"),
+            ("FALSE", "quit_years_ago > 1"),
+        ],
+        "ex-smoker = quit within the last year",
+    )
+    ex_10y = _classifier(
+        "cori_ex_smoker_10y", "ExSmoker", "flag",
+        [
+            ("TRUE", "smoking = 'Previous' AND quit_years_ago <= 10"),
+            ("FALSE", "smoking != 'Previous'"),
+            ("FALSE", "quit_years_ago > 10"),
+        ],
+        "ex-smoker = quit within the last ten years",
+    )
+    ex_ever = _classifier(
+        "cori_ex_smoker_ever", "ExSmoker", "flag",
+        [
+            ("TRUE", "smoking = 'Previous'"),
+            ("FALSE", "smoking != 'Previous'"),
+        ],
+        "ex-smoker = has quit at any time",
+    )
+    return VendorClassifiers(
+        entity_classifier=cori_entity_classifier(),
+        base=base,
+        habits_cancer=habits_cancer,
+        habits_chemistry=habits_chemistry,
+        ex_smoker_1y=ex_1y,
+        ex_smoker_10y=ex_10y,
+        ex_smoker_ever=ex_ever,
+    )
+
+
+def cori_finding_classifiers() -> tuple[EntityClassifier, list[Classifier]]:
+    """Classifiers for CORI's finding form (includes Figure 5b's volume)."""
+    entity = EntityClassifier(
+        "cori_all_findings",
+        "Finding",
+        "finding",
+        condition="TRUE",
+        description="every recorded endoscopic finding",
+        parent_link="procedure_id",
+    )
+    classifiers = [
+        _classifier(
+            "cori_finding_type", "FindingType", "finding_type",
+            [("finding_type", "finding_type IS NOT NULL")],
+            entity="Finding",
+        ),
+        _classifier(
+            "cori_finding_size", "SizeMm", "mm",
+            [("size_mm", "size_mm IS NOT NULL")],
+            entity="Finding",
+        ),
+        _classifier(
+            "cori_finding_images", "ImagesTaken", "flag",
+            [("images_taken", "images_taken IS NOT NULL")],
+            entity="Finding",
+        ),
+        _classifier(
+            "cori_tumor_volume", "TumorVolume", "cubic_mm",
+            [("size_mm * size_mm * size_mm * 0.52",
+              "finding_type = 'Tumor' AND size_mm > 0")],
+            "Estimates tumor volume from size. Assumes 52% occupancy from "
+            "sphere-to-cube ratio (paper Figure 5b adapted to one dimension)",
+            entity="Finding",
+        ),
+    ]
+    return entity, classifiers
+
+
+def cori_medication_classifiers() -> tuple[EntityClassifier, list[Classifier]]:
+    """Classifiers for CORI's new-medication form (Figure 4's third entity)."""
+    entity = EntityClassifier(
+        "cori_all_medications",
+        "NewMedication",
+        "medication",
+        condition="TRUE",
+        description="every newly prescribed medication",
+        parent_link="procedure_id",
+    )
+    classifiers = [
+        _classifier(
+            "cori_drug", "Drug", "name",
+            [("drug", "drug IS NOT NULL")],
+            entity="NewMedication",
+        ),
+        _classifier(
+            "cori_dosage", "DosageMg", "mg",
+            [("dosage_mg", "dosage_mg IS NOT NULL")],
+            entity="NewMedication",
+        ),
+        _classifier(
+            "cori_pills", "PillsPerDay", "per_day",
+            [("pills_per_day", "pills_per_day IS NOT NULL")],
+            entity="NewMedication",
+        ),
+    ]
+    return entity, classifiers
+
+
+# ---------------------------------------------------------------------------
+# EndoPro
+
+
+def endopro_entity_classifier() -> EntityClassifier:
+    return EntityClassifier(
+        "endopro_reports",
+        "Procedure",
+        "endoscopy_report",
+        condition="TRUE",
+        description="every EndoPro procedure report",
+    )
+
+
+def endopro_classifiers() -> VendorClassifiers:
+    """Classifiers for EndoPro: ``smoker`` means *currently smokes*."""
+    base = [
+        _classifier(
+            "endopro_proc_type", "ProcedureType", "proc_type",
+            [("proc_kind", "proc_kind IS NOT NULL")],
+        ),
+        _classifier(
+            "endopro_indication", "Indication", "indication",
+            [("reason", "reason IS NOT NULL")],
+        ),
+        _flag_from_list(
+            "endopro_transient_hypoxia", "TransientHypoxia",
+            "complication_list", "Transient hypoxia",
+        ),
+        _flag_from_list(
+            "endopro_prolonged_hypoxia", "ProlongedHypoxia",
+            "complication_list", "Prolonged hypoxia",
+        ),
+        _flag_from_list(
+            "endopro_any_hypoxia", "AnyHypoxia", "complication_list", "hypoxia"
+        ),
+        _flag_from_checkbox("endopro_renal", "RenalFailureHistory", "renal_hx"),
+        _classifier(
+            "endopro_cardio", "CardioExamNormal", "flag",
+            [
+                ("TRUE", "cardio_exam = 'WNL'"),
+                ("FALSE", "cardio_exam = 'Abnormal'"),
+            ],
+            "'Not examined' stays unclassified rather than guessed",
+        ),
+        _classifier(
+            "endopro_abdo", "AbdominalExamNormal", "flag",
+            [
+                ("TRUE", "abdominal_exam = 'WNL'"),
+                ("FALSE", "abdominal_exam = 'Abnormal'"),
+            ],
+        ),
+        _flag_from_list(
+            "endopro_surgery", "SurgeryPerformed", "intervention_list", "Surgery"
+        ),
+        _flag_from_list(
+            "endopro_iv", "IVFluidsGiven", "intervention_list", "IV fluids"
+        ),
+        _flag_from_list(
+            "endopro_oxygen", "OxygenGiven", "intervention_list",
+            "Oxygen administration",
+        ),
+        _classifier(
+            "endopro_packs", "Smoking", "packs_per_day",
+            [
+                ("cigarettes_per_day / 20", "smoker = TRUE"),
+                ("0", "smoker = FALSE AND former_smoker = FALSE"),
+            ],
+            "EndoPro counts cigarettes; 20 per pack.  Ex-smokers' historic "
+            "frequency is not captured by this tool and stays unclassified",
+        ),
+        _classifier(
+            "endopro_status3", "Smoking", "status3",
+            [
+                ("'Current'", "smoker = TRUE"),
+                ("'Previous'", "former_smoker = TRUE"),
+                ("'None'", "smoker = FALSE AND former_smoker = FALSE"),
+            ],
+            "the g-tree shows 'smoker' asks about CURRENT smoking only",
+        ),
+        _classifier(
+            "endopro_alcohol", "Alcohol", "alcohol3",
+            [
+                ("'None'", "STARTSWITH(alcohol_notes, 'None')"),
+                ("'Light'", "STARTSWITH(alcohol_notes, 'Light')"),
+                ("'Heavy'", "STARTSWITH(alcohol_notes, 'Heavy')"),
+            ],
+            "vendor records alcohol as free text",
+        ),
+    ]
+    habits_cancer = _classifier(
+        "endopro_habits_cancer", "Smoking", "habits4",
+        [
+            ("'None'", "smoker = FALSE AND former_smoker = FALSE"),
+            ("'Light'", "smoker = TRUE AND cigarettes_per_day > 0 AND cigarettes_per_day < 40"),
+            ("'Moderate'", "smoker = TRUE AND cigarettes_per_day >= 40 AND cigarettes_per_day < 100"),
+            ("'Heavy'", "smoker = TRUE AND cigarettes_per_day >= 100"),
+            ("'None'", "smoker = TRUE AND cigarettes_per_day = 0"),
+        ],
+        "cancer-study cutoffs expressed in cigarettes (pack = 20)",
+    )
+    habits_chemistry = _classifier(
+        "endopro_habits_chemistry", "Smoking", "habits4",
+        [
+            ("'None'", "smoker = FALSE AND former_smoker = FALSE"),
+            ("'Light'", "smoker = TRUE AND cigarettes_per_day > 0 AND cigarettes_per_day < 20"),
+            ("'Moderate'", "smoker = TRUE AND cigarettes_per_day >= 20 AND cigarettes_per_day < 40"),
+            ("'Heavy'", "smoker = TRUE AND cigarettes_per_day >= 40"),
+            ("'None'", "smoker = TRUE AND cigarettes_per_day = 0"),
+        ],
+        "chemistry-flier cutoffs expressed in cigarettes",
+    )
+    ex_1y = _classifier(
+        "endopro_ex_smoker_1y", "ExSmoker", "flag",
+        [
+            ("TRUE", "former_smoker = TRUE AND years_since_quit <= 1"),
+            ("FALSE", "smoker = TRUE"),
+            ("FALSE", "former_smoker = FALSE"),
+            ("FALSE", "years_since_quit > 1"),
+        ],
+    )
+    ex_10y = _classifier(
+        "endopro_ex_smoker_10y", "ExSmoker", "flag",
+        [
+            ("TRUE", "former_smoker = TRUE AND years_since_quit <= 10"),
+            ("FALSE", "smoker = TRUE"),
+            ("FALSE", "former_smoker = FALSE"),
+            ("FALSE", "years_since_quit > 10"),
+        ],
+    )
+    ex_ever = _classifier(
+        "endopro_ex_smoker_ever", "ExSmoker", "flag",
+        [
+            ("TRUE", "former_smoker = TRUE"),
+            ("FALSE", "smoker = TRUE"),
+            ("FALSE", "former_smoker = FALSE"),
+        ],
+    )
+    return VendorClassifiers(
+        entity_classifier=endopro_entity_classifier(),
+        base=base,
+        habits_cancer=habits_cancer,
+        habits_chemistry=habits_chemistry,
+        ex_smoker_1y=ex_1y,
+        ex_smoker_10y=ex_10y,
+        ex_smoker_ever=ex_ever,
+    )
+
+
+# ---------------------------------------------------------------------------
+# MedScribe
+
+
+def medscribe_entity_classifier() -> EntityClassifier:
+    return EntityClassifier(
+        "medscribe_visits",
+        "Procedure",
+        "visit",
+        condition="TRUE",
+        description="every MedScribe visit record",
+    )
+
+
+def medscribe_classifiers() -> VendorClassifiers:
+    """Classifiers for MedScribe: ``smoker`` means *has EVER smoked*."""
+    indication_guard = " OR ".join(
+        f"indication_text = '{indication}'" for indication in INDICATIONS
+    )
+    base = [
+        _classifier(
+            "medscribe_proc_type", "ProcedureType", "proc_type",
+            [("procedure_code", "procedure_code IS NOT NULL")],
+        ),
+        _classifier(
+            "medscribe_indication", "Indication", "indication",
+            [("indication_text", indication_guard)],
+            "free-text indications only classify when they match study "
+            "vocabulary exactly",
+        ),
+        _classifier(
+            "medscribe_year", "ProcedureYear", "year",
+            [("YEAR(visit_date)", "visit_date IS NOT NULL")],
+        ),
+        _flag_from_checkbox(
+            "medscribe_transient_hypoxia", "TransientHypoxia", "c_hypoxia_transient"
+        ),
+        _flag_from_checkbox(
+            "medscribe_prolonged_hypoxia", "ProlongedHypoxia", "c_hypoxia_prolonged"
+        ),
+        _classifier(
+            "medscribe_any_hypoxia", "AnyHypoxia", "flag",
+            [
+                ("TRUE", "c_hypoxia_transient = TRUE OR c_hypoxia_prolonged = TRUE"),
+                ("FALSE", "c_hypoxia_transient = FALSE AND c_hypoxia_prolonged = FALSE"),
+            ],
+        ),
+        _flag_from_checkbox("medscribe_renal", "RenalFailureHistory", "renal_failure_hx"),
+        _flag_from_checkbox("medscribe_cardio", "CardioExamNormal", "cardio_ok"),
+        _flag_from_checkbox("medscribe_abdo", "AbdominalExamNormal", "abdomen_ok"),
+        _flag_from_checkbox("medscribe_surgery", "SurgeryPerformed", "i_surgery"),
+        _flag_from_checkbox("medscribe_iv", "IVFluidsGiven", "i_iv_fluids"),
+        _flag_from_checkbox("medscribe_oxygen", "OxygenGiven", "i_oxygen"),
+        _classifier(
+            "medscribe_packs", "Smoking", "packs_per_day",
+            [
+                ("packs_daily", "smoker = TRUE AND packs_daily IS NOT NULL"),
+                ("0", "smoker = FALSE"),
+            ],
+        ),
+        _classifier(
+            "medscribe_status3", "Smoking", "status3",
+            [
+                ("'Current'", "smoker = TRUE AND quit = FALSE"),
+                ("'Previous'", "smoker = TRUE AND quit = TRUE"),
+                ("'None'", "smoker = FALSE"),
+            ],
+            "the g-tree shows 'smoker' asks about EVER smoking; 'quit' "
+            "separates current from past",
+        ),
+    ]
+    habits_cancer = _classifier(
+        "medscribe_habits_cancer", "Smoking", "habits4",
+        [
+            ("'None'", "smoker = FALSE OR packs_daily = 0"),
+            ("'Light'", "packs_daily > 0 AND packs_daily < 2"),
+            ("'Moderate'", "packs_daily >= 2 AND packs_daily < 5"),
+            ("'Heavy'", "packs_daily >= 5"),
+        ],
+    )
+    habits_chemistry = _classifier(
+        "medscribe_habits_chemistry", "Smoking", "habits4",
+        [
+            ("'None'", "smoker = FALSE OR packs_daily = 0"),
+            ("'Light'", "packs_daily > 0 AND packs_daily < 1"),
+            ("'Moderate'", "packs_daily >= 1 AND packs_daily < 2"),
+            ("'Heavy'", "packs_daily >= 2"),
+        ],
+    )
+    ex_1y = _classifier(
+        "medscribe_ex_smoker_1y", "ExSmoker", "flag",
+        [
+            ("TRUE", "quit = TRUE AND years_quit <= 1"),
+            ("FALSE", "smoker = FALSE"),
+            ("FALSE", "quit = FALSE"),
+            ("FALSE", "years_quit > 1"),
+        ],
+    )
+    ex_10y = _classifier(
+        "medscribe_ex_smoker_10y", "ExSmoker", "flag",
+        [
+            ("TRUE", "quit = TRUE AND years_quit <= 10"),
+            ("FALSE", "smoker = FALSE"),
+            ("FALSE", "quit = FALSE"),
+            ("FALSE", "years_quit > 10"),
+        ],
+    )
+    ex_ever = _classifier(
+        "medscribe_ex_smoker_ever", "ExSmoker", "flag",
+        [
+            ("TRUE", "quit = TRUE"),
+            ("FALSE", "smoker = FALSE"),
+            ("FALSE", "quit = FALSE"),
+        ],
+    )
+    return VendorClassifiers(
+        entity_classifier=medscribe_entity_classifier(),
+        base=base,
+        habits_cancer=habits_cancer,
+        habits_chemistry=habits_chemistry,
+        ex_smoker_1y=ex_1y,
+        ex_smoker_10y=ex_10y,
+        ex_smoker_ever=ex_ever,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Binding helper
+
+
+def vendor_classifiers_for(source: GuavaSource) -> VendorClassifiers:
+    """The classifier set matching a clinical-world source."""
+    by_tool = {
+        "cori": cori_classifiers,
+        "endopro": endopro_classifiers,
+        "medscribe": medscribe_classifiers,
+    }
+    builder = by_tool.get(source.tool.name)
+    if builder is None:
+        raise ValueError(f"no classifier set for tool {source.tool.name!r}")
+    return builder()
+
+
+def standard_bindings(
+    study: Study,
+    sources: list[GuavaSource],
+    ex_smoker_definition: str = "ever",
+    habits_variant: str = "cancer",
+) -> None:
+    """Bind every source to ``study`` with the requested variants.
+
+    Only classifiers whose targets the study actually selected are bound,
+    so one helper serves every study over the endoscopy schema.
+    """
+    wanted = {(attribute, domain) for _, attribute, domain in study.elements}
+    for source in sources:
+        vendor = vendor_classifiers_for(source)
+        chosen: list[Classifier] = []
+        for classifier in vendor.base:
+            if (classifier.target_attribute, classifier.target_domain) in wanted:
+                chosen.append(classifier)
+        if ("Smoking", "habits4") in wanted:
+            chosen.append(vendor.habits(habits_variant))
+        if ("ExSmoker", "flag") in wanted:
+            chosen.append(vendor.ex_smoker(ex_smoker_definition))
+        study.bind(source, [vendor.entity_classifier], chosen)

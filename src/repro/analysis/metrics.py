@@ -1,0 +1,119 @@
+"""Evaluation metrics: precision/recall and domain information loss."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from repro.multiclass.domain import Domain
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Extraction quality against ground truth (Hypothesis 2's metric)."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"(tp={self.true_positives}, fp={self.false_positives}, "
+            f"fn={self.false_negatives})"
+        )
+
+
+def precision_recall(
+    predicted: Iterable[Hashable], actual: Iterable[Hashable]
+) -> PrecisionRecall:
+    """Compare a predicted id set against the ground-truth id set."""
+    predicted_set = set(predicted)
+    actual_set = set(actual)
+    return PrecisionRecall(
+        true_positives=len(predicted_set & actual_set),
+        false_positives=len(predicted_set - actual_set),
+        false_negatives=len(actual_set - predicted_set),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2: domain translation / information loss
+
+
+def translation_is_lossless(
+    source: Domain, target: Domain, mapping: Mapping[object, object]
+) -> bool:
+    """A translation preserves information iff it is total and injective.
+
+    Table 2's point: none of the three smoking domains translate into each
+    other losslessly (packs-per-day → category collapses intervals;
+    category sets of different granularity cannot align).
+    """
+    if source.cardinality == float("inf"):
+        # A translation out of an unbounded domain into a bounded one must
+        # collapse infinitely many values; lossless is impossible.
+        return target.cardinality == float("inf") and _mapping_injective(mapping)
+    # Total over the source categories?
+    for category in source.categories:
+        if category not in mapping:
+            return False
+    if not _mapping_injective(mapping):
+        return False
+    # Every image must be a member of the target.
+    return all(target.contains(value) for value in mapping.values())
+
+
+def _mapping_injective(mapping: Mapping[object, object]) -> bool:
+    images = list(mapping.values())
+    return len(set(map(repr, images))) == len(images)
+
+
+def domain_translation_report(
+    domains: Mapping[str, Domain],
+    translations: Mapping[tuple[str, str], Mapping[object, object]],
+) -> list[dict[str, object]]:
+    """Rows for the Table 2 experiment: each pair's best-case fidelity."""
+    rows: list[dict[str, object]] = []
+    names = list(domains)
+    for source_name in names:
+        for target_name in names:
+            if source_name == target_name:
+                continue
+            mapping = translations.get((source_name, target_name))
+            if mapping is None:
+                rows.append(
+                    {
+                        "from": source_name,
+                        "to": target_name,
+                        "translation": "none defined",
+                        "lossless": False,
+                    }
+                )
+                continue
+            rows.append(
+                {
+                    "from": source_name,
+                    "to": target_name,
+                    "translation": f"{len(mapping)} value mapping",
+                    "lossless": translation_is_lossless(
+                        domains[source_name], domains[target_name], mapping
+                    ),
+                }
+            )
+    return rows

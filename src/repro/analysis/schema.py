@@ -1,0 +1,90 @@
+"""The endoscopy study schema (paper Figure 4, extended for the studies).
+
+One study schema serves all of CORI's studies — "we expect that CORI would
+only need to have one study schema" — with the Procedure entity at the top
+of the has-a tree and Finding / New Medication beneath it.  The Smoking
+attribute carries the three domains of Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.clinical.vocabulary import INDICATIONS, PROCEDURE_TYPES
+from repro.multiclass.domain import Domain
+from repro.multiclass.study_schema import Entity, StudySchema
+
+#: Table 2 domain 1: positive packs smoked per day.
+PACKS_PER_DAY = Domain.real(
+    "packs_per_day", "Number of packs smoked per day", minimum=0
+)
+#: Table 2 domain 2: no smoking, current smoker, or has smoked in the past.
+STATUS3 = Domain.categorical(
+    "status3", ["None", "Current", "Previous"], "No smoking / current / past"
+)
+#: Table 2 domain 3: general classification of smoking habits.
+HABITS4 = Domain.categorical(
+    "habits4",
+    ["None", "Light", "Moderate", "Heavy"],
+    "General classification of smoking habits",
+)
+
+FLAG = Domain.boolean("flag", "Yes/no")
+
+
+def build_endoscopy_schema() -> StudySchema:
+    """Construct the shared CORI study schema."""
+    procedure = Entity("Procedure", description="The primary entity of interest")
+    procedure.add_attribute(
+        "ProcedureType",
+        Domain.categorical("proc_type", list(PROCEDURE_TYPES)),
+    )
+    procedure.add_attribute(
+        "Indication",
+        Domain.categorical("indication", list(INDICATIONS)),
+    )
+    procedure.add_attribute(
+        "ProcedureYear",
+        Domain.integer("year", "Calendar year the procedure took place",
+                       minimum=1990, maximum=2100),
+    )
+    procedure.add_attribute("TransientHypoxia", FLAG)
+    procedure.add_attribute("ProlongedHypoxia", FLAG)
+    procedure.add_attribute("AnyHypoxia", FLAG)
+    procedure.add_attribute("RenalFailureHistory", FLAG)
+    procedure.add_attribute("CardioExamNormal", FLAG)
+    procedure.add_attribute("AbdominalExamNormal", FLAG)
+    procedure.add_attribute("SurgeryPerformed", FLAG)
+    procedure.add_attribute("IVFluidsGiven", FLAG)
+    procedure.add_attribute("OxygenGiven", FLAG)
+    procedure.add_attribute("Smoking", PACKS_PER_DAY, STATUS3, HABITS4)
+    procedure.add_attribute("ExSmoker", FLAG)
+    procedure.add_attribute(
+        "Alcohol", Domain.categorical("alcohol3", ["None", "Light", "Heavy"])
+    )
+
+    finding = Entity("Finding", description="One endoscopic finding")
+    finding.add_attribute(
+        "FindingType",
+        Domain.categorical(
+            "finding_type", ["Fissure", "Polyp", "Ulcer", "Tumor", "Varices"]
+        ),
+    )
+    finding.add_attribute("SizeMm", Domain.integer("mm", minimum=0))
+    finding.add_attribute("ImagesTaken", FLAG)
+    finding.add_attribute(
+        "TumorVolume", Domain.real("cubic_mm", "Estimated volume", minimum=0)
+    )
+    procedure.add_child(finding)
+
+    medication = Entity("NewMedication", description="Figure 4 fidelity entity")
+    medication.add_attribute("Drug", Domain.text("name"))
+    medication.add_attribute("DosageMg", Domain.integer("mg", minimum=0))
+    medication.add_attribute("PillsPerDay", Domain.integer("per_day", minimum=0))
+    procedure.add_child(medication)
+
+    schema = StudySchema("endoscopy", procedure)
+    schema.annotate(
+        "cori-analyst-team",
+        "created study schema",
+        "shared schema for all CORI endoscopy studies (paper Figure 4)",
+    )
+    return schema

@@ -1,0 +1,56 @@
+"""The synthetic clinical world.
+
+CORI's production endoscopy data is proprietary, so this package generates
+a statistically plausible substitute *with ground truth*: patient profiles
+and procedure facts are drawn first, then each contributor's reporting
+tool records those facts through its own UI semantics and physical layout.
+Because the truth is known, precision/recall of any extraction strategy is
+measurable — something the paper's Hypothesis 2 calls for but real data
+cannot provide.
+
+The three contributors deliberately reproduce the paper's §1 example of
+context divergence: the CORI tool asks smoking as Never/Current/Previous;
+EndoPro's ``smoker`` checkbox means *currently smokes*; MedScribe's
+``smoker`` checkbox means *has ever smoked*.  A ``1`` in the field
+``smoker`` therefore means different things in different sources — exactly
+the trap GUAVA's context information exists to defuse.
+"""
+
+from repro.clinical.vocabulary import (
+    COMPLICATIONS,
+    FINDING_TYPES,
+    INDICATIONS,
+    INTERVENTIONS,
+    PROCEDURE_TYPES,
+)
+from repro.clinical.patients import Patient, SmokingHistory, generate_patients
+from repro.clinical.ground_truth import ProcedureTruth, generate_truths
+from repro.clinical.cori import build_cori_source, build_cori_tool
+from repro.clinical.vendors import (
+    build_endopro_source,
+    build_endopro_tool,
+    build_medscribe_source,
+    build_medscribe_tool,
+)
+from repro.clinical.sources import ClinicalWorld, build_world
+
+__all__ = [
+    "COMPLICATIONS",
+    "ClinicalWorld",
+    "FINDING_TYPES",
+    "INDICATIONS",
+    "INTERVENTIONS",
+    "PROCEDURE_TYPES",
+    "Patient",
+    "ProcedureTruth",
+    "SmokingHistory",
+    "build_cori_source",
+    "build_cori_tool",
+    "build_endopro_source",
+    "build_endopro_tool",
+    "build_medscribe_source",
+    "build_medscribe_tool",
+    "build_world",
+    "generate_patients",
+    "generate_truths",
+]

@@ -1,0 +1,253 @@
+"""The CORI reporting tool: forms, storage patterns, and data entry.
+
+This is the reproduction's stand-in for the software tool CORI distributes
+to clinics.  The medical-history screen follows the paper's Figure 2: a
+complications group, a medical-history group, a smoking radio list whose
+frequency box only enables once smoking is answered, and an alcohol
+drop-down with free text (Figure 3).
+
+CORI's physical layout uses the *Generic* (EAV) pattern behind an *Audit*
+sentinel — the combination the paper calls the most frequent source of
+schematic heterogeneity.
+"""
+
+from __future__ import annotations
+
+from repro.clinical.ground_truth import ProcedureTruth, ordered_subset
+from repro.clinical.vocabulary import (
+    ALCOHOL_LEVELS,
+    FINDING_TYPES,
+    INDICATIONS,
+    INTERVENTIONS,
+    MEDICATIONS,
+    PROCEDURE_TYPES,
+)
+from repro.guava.source import GuavaSource
+from repro.patterns import AuditPattern, GenericPattern, PatternChain
+from repro.ui import (
+    CheckBox,
+    CheckList,
+    DatePicker,
+    DropDown,
+    Form,
+    GroupBox,
+    NumericBox,
+    RadioGroup,
+    ReportingTool,
+    TextBox,
+)
+
+CORI_SMOKING_CHOICES = ("Never", "Current", "Previous")
+
+
+def build_cori_tool(version: str = "1.0") -> ReportingTool:
+    """The CORI endoscopy reporting tool."""
+    procedure_form = Form(
+        "procedure",
+        "Endoscopic Procedure Report",
+        controls=[
+            GroupBox(
+                "procedure_info",
+                "Procedure",
+                children=[
+                    DatePicker("procedure_date", "Date of procedure", required=True),
+                    NumericBox("patient_id", "Patient ID", required=True),
+                    NumericBox("patient_age", "Patient age", minimum=0, maximum=120),
+                    RadioGroup("patient_sex", "Sex", choices=["F", "M"]),
+                    DropDown(
+                        "procedure_type",
+                        "Procedure performed",
+                        choices=list(PROCEDURE_TYPES),
+                        required=True,
+                    ),
+                    DropDown(
+                        "indication",
+                        "Primary indication",
+                        choices=list(INDICATIONS),
+                        required=True,
+                    ),
+                ],
+            ),
+            GroupBox(
+                "examinations",
+                "Physical Examination",
+                children=[
+                    CheckBox(
+                        "cardio_wnl",
+                        "Cardiopulmonary examination within normal limits",
+                    ),
+                    CheckBox(
+                        "abdominal_wnl",
+                        "Abdominal examination within normal limits",
+                    ),
+                ],
+            ),
+            GroupBox(
+                "complications",
+                "Complications",
+                children=[
+                    CheckBox("transient_hypoxia", "Transient hypoxia"),
+                    CheckBox("prolonged_hypoxia", "Prolonged hypoxia"),
+                    CheckBox("bleeding", "Bleeding"),
+                    CheckBox("perforation", "Perforation"),
+                    CheckBox("arrhythmia", "Arrhythmia"),
+                    CheckBox("surgeon_consulted", "Surgeon consulted"),
+                    TextBox("other_complication", "Other"),
+                ],
+            ),
+            GroupBox(
+                "interventions_group",
+                "Interventions",
+                children=[
+                    CheckList(
+                        "interventions",
+                        "Interventions required",
+                        choices=list(INTERVENTIONS),
+                    ),
+                ],
+            ),
+            GroupBox(
+                "medical_history",
+                "Medical History",
+                children=[
+                    CheckBox("renal_failure", "History of renal failure"),
+                    RadioGroup(
+                        "smoking",
+                        "Does the patient smoke? (Previous = has smoked at "
+                        "any time in the past)",
+                        choices=list(CORI_SMOKING_CHOICES),
+                    ),
+                    NumericBox(
+                        "packs_per_day",
+                        "Frequency (packs per day)",
+                        integer=False,
+                        minimum=0,
+                        maximum=20,
+                        enabled_when="smoking IS NOT NULL AND smoking != 'Never'",
+                    ),
+                    NumericBox(
+                        "quit_years_ago",
+                        "Years since quitting",
+                        integer=False,
+                        minimum=0,
+                        enabled_when="smoking = 'Previous'",
+                    ),
+                    DropDown(
+                        "alcohol",
+                        "Alcohol use",
+                        choices=list(ALCOHOL_LEVELS),
+                        free_text=True,
+                    ),
+                ],
+            ),
+        ],
+    )
+    finding_form = Form(
+        "finding",
+        "Endoscopic Finding",
+        controls=[
+            NumericBox("procedure_id", "Procedure record", required=True),
+            DropDown(
+                "finding_type", "Finding", choices=list(FINDING_TYPES), required=True
+            ),
+            NumericBox("size_mm", "Size (mm)", minimum=0, maximum=500),
+            CheckBox("images_taken", "Images taken"),
+        ],
+    )
+    medication_form = Form(
+        "medication",
+        "New Medication",
+        controls=[
+            NumericBox("procedure_id", "Procedure record", required=True),
+            DropDown("drug", "Drug", choices=list(MEDICATIONS), required=True),
+            NumericBox("dosage_mg", "Dosage (mg)", minimum=0, maximum=5000),
+            NumericBox("pills_per_day", "Pills per day", minimum=0, maximum=24),
+            TextBox("instructions", "Full instructions", multiline=True),
+        ],
+    )
+    return ReportingTool(
+        "cori",
+        version,
+        forms=[procedure_form, finding_form, medication_form],
+        vendor="CORI",
+    )
+
+
+def build_cori_chain(tool: ReportingTool) -> PatternChain:
+    """CORI's physical layout: Generic EAV behind an Audit sentinel."""
+    return PatternChain(
+        tool.naive_schemas(),
+        [
+            GenericPattern(
+                ["procedure", "finding", "medication"], eav_table="cori_eav"
+            ),
+            AuditPattern(deleted_column="deprecated"),
+        ],
+    )
+
+
+def cori_procedure_values(truth: ProcedureTruth) -> dict[str, object]:
+    """How a clinician records one procedure in the CORI tool."""
+    smoking = truth.patient.smoking
+    status = {"never": "Never", "current": "Current", "ex": "Previous"}[smoking.status]
+    values: dict[str, object] = {
+        "procedure_date": truth.performed_on,
+        "patient_id": truth.patient.patient_id,
+        "patient_age": truth.patient.age,
+        "patient_sex": truth.patient.sex,
+        "procedure_type": truth.procedure_type,
+        "indication": truth.indication,
+        "cardio_wnl": truth.cardio_exam_normal,
+        "abdominal_wnl": truth.abdominal_exam_normal,
+        "transient_hypoxia": "Transient hypoxia" in truth.complications,
+        "prolonged_hypoxia": "Prolonged hypoxia" in truth.complications,
+        "bleeding": "Bleeding" in truth.complications,
+        "perforation": "Perforation" in truth.complications,
+        "arrhythmia": "Arrhythmia" in truth.complications,
+        "surgeon_consulted": truth.surgery_performed,
+        "renal_failure": truth.patient.renal_failure_history,
+        # Answer the smoking question before its dependent boxes enable.
+        "smoking": status,
+    }
+    if smoking.status != "never":
+        values["packs_per_day"] = smoking.packs_per_day
+    if smoking.status == "ex":
+        values["quit_years_ago"] = smoking.quit_years_ago
+    values["alcohol"] = truth.patient.alcohol
+    interventions = ordered_subset(INTERVENTIONS, truth.interventions)
+    if interventions:
+        values["interventions"] = interventions
+    return values
+
+
+def build_cori_source(
+    truths: list[ProcedureTruth], name: str = "cori_warehouse_feed"
+) -> GuavaSource:
+    """A populated CORI contributor source."""
+    tool = build_cori_tool()
+    source = GuavaSource(name, tool, build_cori_chain(tool))
+    session = source.session()
+    for truth in truths:
+        row = session.enter("procedure", cori_procedure_values(truth))
+        for finding in truth.findings:
+            session.enter(
+                "finding",
+                {
+                    "procedure_id": row["record_id"],
+                    "finding_type": finding.finding_type,
+                    "size_mm": finding.size_mm,
+                    "images_taken": finding.images_taken,
+                },
+            )
+        for medication in truth.medications:
+            session.enter(
+                "medication",
+                {
+                    "procedure_id": row["record_id"],
+                    "drug": medication.drug,
+                    "dosage_mg": medication.dosage_mg,
+                    "pills_per_day": medication.pills_per_day,
+                    "instructions": medication.instructions,
+                },
+            )
+    return source

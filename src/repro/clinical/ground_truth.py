@@ -1,0 +1,171 @@
+"""Ground-truth procedure facts, independent of any reporting tool.
+
+Every vendor tool records these facts through its own UI; extraction
+quality (Hypothesis 2) is then measurable as precision/recall against
+this truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import date, timedelta
+
+from repro.clinical.patients import Patient, generate_patients
+from repro.clinical.vocabulary import (
+    FINDING_TYPES,
+    INDICATIONS,
+    INDICATION_WEIGHTS,
+    MEDICATION_INSTRUCTIONS,
+    MEDICATIONS,
+    PROCEDURE_TYPES,
+    PROCEDURE_TYPE_WEIGHTS,
+)
+
+
+@dataclass(frozen=True)
+class FindingTruth:
+    """One endoscopic finding within a procedure."""
+
+    finding_type: str
+    size_mm: int
+    images_taken: bool
+
+
+@dataclass(frozen=True)
+class MedicationTruth:
+    """One medication newly prescribed at a procedure (Figure 4's entity)."""
+
+    drug: str
+    dosage_mg: int
+    pills_per_day: int
+    instructions: str
+
+
+@dataclass(frozen=True)
+class ProcedureTruth:
+    """Everything that truly happened in one procedure."""
+
+    procedure_id: int
+    patient: Patient
+    procedure_type: str
+    performed_on: date
+    indication: str
+    cardio_exam_normal: bool
+    abdominal_exam_normal: bool
+    complications: tuple[str, ...]
+    interventions: tuple[str, ...]
+    findings: tuple[FindingTruth, ...] = field(default_factory=tuple)
+    medications: tuple[MedicationTruth, ...] = field(default_factory=tuple)
+    surgery_performed: bool = False
+
+    @property
+    def had_transient_hypoxia(self) -> bool:
+        return "Transient hypoxia" in self.complications
+
+    @property
+    def had_any_hypoxia(self) -> bool:
+        return any("hypoxia" in c.lower() for c in self.complications)
+
+
+def generate_truths(
+    count: int, seed: int = 7, patients: list[Patient] | None = None
+) -> list[ProcedureTruth]:
+    """Draw ``count`` procedures deterministically from ``seed``.
+
+    Patients are reused across procedures (a patient can undergo several),
+    matching the CORI setting where the procedure is the primary entity.
+    """
+    rng = random.Random(seed * 7919 + 13)
+    if patients is None:
+        patients = generate_patients(max(count // 2, 10), seed=seed)
+    truths = []
+    for procedure_id in range(1, count + 1):
+        truths.append(_draw_procedure(rng, procedure_id, rng.choice(patients)))
+    return truths
+
+
+def _draw_procedure(
+    rng: random.Random, procedure_id: int, patient: Patient
+) -> ProcedureTruth:
+    procedure_type = rng.choices(PROCEDURE_TYPES, weights=PROCEDURE_TYPE_WEIGHTS)[0]
+    indication = rng.choices(INDICATIONS, weights=INDICATION_WEIGHTS)[0]
+
+    complications: list[str] = []
+    # Hypoxia is more likely for smokers and reflux/asthma indications —
+    # gives Study 1 and 2 a real signal to find.
+    hypoxia_p = 0.08
+    if patient.smoking.ever_smoked:
+        hypoxia_p += 0.10
+    if indication == "Asthma-specific ENT/Pulmonary Reflux symptoms":
+        hypoxia_p += 0.12
+    if rng.random() < hypoxia_p:
+        complications.append(
+            "Transient hypoxia" if rng.random() < 0.8 else "Prolonged hypoxia"
+        )
+    for complication in ("Bleeding", "Perforation", "Arrhythmia"):
+        if rng.random() < 0.03:
+            complications.append(complication)
+
+    interventions: list[str] = []
+    if complications:
+        if any("hypoxia" in c.lower() for c in complications) and rng.random() < 0.85:
+            interventions.append("Oxygen administration")
+        if rng.random() < 0.30:
+            interventions.append("IV fluids")
+        if "Perforation" in complications or rng.random() < 0.08:
+            interventions.append("Surgery")
+        if "Bleeding" in complications and rng.random() < 0.5:
+            interventions.append("Transfusion")
+        if not interventions:
+            interventions.append("Observation")
+
+    findings: list[FindingTruth] = []
+    for _ in range(rng.choices((0, 1, 2, 3), weights=(0.45, 0.3, 0.17, 0.08))[0]):
+        findings.append(
+            FindingTruth(
+                finding_type=rng.choice(FINDING_TYPES),
+                size_mm=rng.randint(1, 60),
+                images_taken=rng.random() < 0.7,
+            )
+        )
+
+    # Medications use their own generator keyed by procedure id so adding
+    # them did not shift any existing draw (documented counts stay stable).
+    med_rng = random.Random(procedure_id * 104729 + 7)
+    medications: list[MedicationTruth] = []
+    medication_count = med_rng.choices((0, 1, 2), weights=(0.6, 0.3, 0.1))[0]
+    if indication == "Asthma-specific ENT/Pulmonary Reflux symptoms":
+        medication_count = max(medication_count, 1)  # reflux gets a PPI
+    for _ in range(medication_count):
+        medications.append(
+            MedicationTruth(
+                drug=med_rng.choice(MEDICATIONS),
+                dosage_mg=med_rng.choice((10, 20, 40, 50)),
+                pills_per_day=med_rng.randint(1, 3),
+                instructions=med_rng.choice(MEDICATION_INSTRUCTIONS),
+            )
+        )
+
+    return ProcedureTruth(
+        procedure_id=procedure_id,
+        patient=patient,
+        procedure_type=procedure_type,
+        # Derived from the id, not the rng, so adding the date field did
+        # not shift any other draw (documented counts stay stable).
+        performed_on=date(2005, 1, 1) + timedelta(days=(procedure_id * 37) % 540),
+        indication=indication,
+        cardio_exam_normal=rng.random() < 0.85,
+        abdominal_exam_normal=rng.random() < 0.8,
+        complications=tuple(complications),
+        interventions=tuple(interventions),
+        findings=tuple(findings),
+        medications=tuple(medications),
+        surgery_performed="Surgery" in interventions,
+    )
+
+
+def ordered_subset(universe: tuple[str, ...], chosen: tuple[str, ...]) -> list[str]:
+    """``chosen`` in the canonical order of ``universe`` (for CheckLists)."""
+    picked = set(chosen)
+    return [item for item in universe if item in picked]

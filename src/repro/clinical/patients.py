@@ -1,0 +1,98 @@
+"""Synthetic patients with ground-truth health histories."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.clinical.vocabulary import ALCOHOL_LEVELS
+
+
+@dataclass(frozen=True)
+class SmokingHistory:
+    """The true smoking facts about a patient.
+
+    ``status`` is never/current/ex; for ex-smokers ``quit_years_ago``
+    records when they quit — the attribute whose different study
+    definitions ("quit in the last year" vs "has ever smoked") motivate
+    per-study classifiers.
+    """
+
+    status: str  # "never" | "current" | "ex"
+    packs_per_day: float = 0.0
+    quit_years_ago: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in ("never", "current", "ex"):
+            raise ValueError(f"bad smoking status {self.status!r}")
+        if self.status == "ex" and self.quit_years_ago is None:
+            raise ValueError("ex-smokers need quit_years_ago")
+
+    @property
+    def ever_smoked(self) -> bool:
+        return self.status != "never"
+
+    @property
+    def currently_smokes(self) -> bool:
+        return self.status == "current"
+
+    def is_ex_smoker(self, within_years: float | None = None) -> bool:
+        """Ex-smoker under a study's definition (quit within N years; None
+        = quit at any time)."""
+        if self.status != "ex":
+            return False
+        if within_years is None:
+            return True
+        assert self.quit_years_ago is not None
+        return self.quit_years_ago <= within_years
+
+
+@dataclass(frozen=True)
+class Patient:
+    """One patient's ground truth."""
+
+    patient_id: int
+    age: int
+    sex: str
+    smoking: SmokingHistory
+    alcohol: str  # None | Light | Heavy
+    renal_failure_history: bool
+
+
+def generate_patients(count: int, seed: int = 7) -> list[Patient]:
+    """Draw ``count`` patients deterministically from ``seed``."""
+    rng = random.Random(seed)
+    patients = []
+    for patient_id in range(1, count + 1):
+        patients.append(_draw_patient(rng, patient_id))
+    return patients
+
+
+def _draw_patient(rng: random.Random, patient_id: int) -> Patient:
+    status = rng.choices(("never", "current", "ex"), weights=(0.5, 0.25, 0.25))[0]
+    if status == "never":
+        smoking = SmokingHistory("never")
+    elif status == "current":
+        smoking = SmokingHistory("current", packs_per_day=_draw_packs(rng))
+    else:
+        # Quit times cluster near the present (many recent quitters), so
+        # Study 2's "quit within a year" cohort is non-empty at study sizes.
+        smoking = SmokingHistory(
+            "ex",
+            packs_per_day=_draw_packs(rng),
+            quit_years_ago=round(min(rng.expovariate(0.18) + 0.1, 25.0), 1),
+        )
+    return Patient(
+        patient_id=patient_id,
+        age=rng.randint(21, 90),
+        sex=rng.choice(("F", "M")),
+        smoking=smoking,
+        alcohol=rng.choices(ALCOHOL_LEVELS, weights=(0.55, 0.35, 0.10))[0],
+        renal_failure_history=rng.random() < 0.08,
+    )
+
+
+def _draw_packs(rng: random.Random) -> float:
+    """Packs/day clustered at light smoking with a heavy tail."""
+    value = rng.expovariate(0.9)
+    return round(min(value + 0.1, 8.0), 1)

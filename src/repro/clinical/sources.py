@@ -1,0 +1,81 @@
+"""Assemble the full clinical world: truth + three populated contributors."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.clinical.cori import build_cori_source
+from repro.clinical.ground_truth import ProcedureTruth, generate_truths
+from repro.clinical.vendors import build_endopro_source, build_medscribe_source
+from repro.guava.source import GuavaSource
+
+
+@dataclass
+class ClinicalWorld:
+    """Ground truth plus the contributor sources that recorded it.
+
+    ``assignment`` maps each procedure id to the source that documented it
+    (an endoscopy report "is likely not created twice", §3.1, so sources
+    partition the procedures and integration is a union).
+    """
+
+    truths: list[ProcedureTruth]
+    sources: list[GuavaSource]
+    assignment: dict[int, str] = field(default_factory=dict)
+    truths_by_source: dict[str, list[ProcedureTruth]] = field(default_factory=dict)
+
+    def truth_for(self, source_name: str, record_id: int) -> ProcedureTruth:
+        """The ground truth behind one source record.
+
+        Record ids are assigned sequentially per source in entry order, so
+        the k-th record of a source corresponds to the k-th truth routed
+        there.
+        """
+        return self.truths_by_source[source_name][record_id - 1]
+
+    def source(self, name: str) -> GuavaSource:
+        for source in self.sources:
+            if source.name == name:
+                return source
+        raise KeyError(name)
+
+    @property
+    def procedure_count(self) -> int:
+        return len(self.truths)
+
+
+def build_world(
+    n_procedures: int = 300,
+    seed: int = 7,
+    shares: tuple[float, float, float] = (0.5, 0.3, 0.2),
+) -> ClinicalWorld:
+    """Generate truth and route procedures to CORI/EndoPro/MedScribe.
+
+    ``shares`` are the contributors' market shares; routing is drawn
+    deterministically from ``seed``.
+    """
+    truths = generate_truths(n_procedures, seed=seed)
+    rng = random.Random(seed * 31 + 5)
+    routed: dict[str, list[ProcedureTruth]] = {
+        "cori_warehouse_feed": [],
+        "endopro_clinic": [],
+        "medscribe_clinic": [],
+    }
+    names = list(routed)
+    assignment: dict[int, str] = {}
+    for truth in truths:
+        name = rng.choices(names, weights=shares)[0]
+        routed[name].append(truth)
+        assignment[truth.procedure_id] = name
+    sources = [
+        build_cori_source(routed["cori_warehouse_feed"]),
+        build_endopro_source(routed["endopro_clinic"]),
+        build_medscribe_source(routed["medscribe_clinic"]),
+    ]
+    return ClinicalWorld(
+        truths=truths,
+        sources=sources,
+        assignment=assignment,
+        truths_by_source=routed,
+    )

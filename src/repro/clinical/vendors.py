@@ -1,0 +1,371 @@
+"""Two commercial vendor reporting tools contributing to the warehouse.
+
+"Several commercial reporting tool vendors have expressed an interest in
+contributing data to CORI's clinical data warehouse.  Each new vendor
+necessitates a new ETL workflow, potentially for each study."
+
+The vendors are built to exercise the paper's §1 trap: the *same column
+name* (``smoker``) with *different UI semantics*:
+
+* **EndoPro** — "Does the patient currently smoke?"  ``smoker = 1`` means
+  a current smoker; a separate ``former_smoker`` box covers the past.
+* **MedScribe** — "Has the patient EVER smoked?"  ``smoker = 1`` includes
+  everyone with any smoking history; a ``quit`` box distinguishes.
+
+A context-blind reader that treats ``smoker`` uniformly misclassifies one
+of the two; GUAVA's g-trees carry the question wording that disambiguates.
+The vendors also use different physical layouts so every design pattern
+gets exercised in the integration benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.clinical.ground_truth import ProcedureTruth, ordered_subset
+from repro.clinical.vocabulary import (
+    COMPLICATIONS,
+    INDICATIONS,
+    INTERVENTIONS,
+    PROCEDURE_TYPES,
+)
+from repro.guava.source import GuavaSource
+from repro.patterns import (
+    AuditPattern,
+    EncodingPattern,
+    LookupPattern,
+    MergePattern,
+    MultivaluePattern,
+    PatternChain,
+    SplitPattern,
+    VersionedPattern,
+)
+from repro.ui import (
+    CheckBox,
+    CheckList,
+    DatePicker,
+    DropDown,
+    Form,
+    GroupBox,
+    NumericBox,
+    RadioGroup,
+    ReportingTool,
+    TextBox,
+)
+
+EXAM_CHOICES = ("WNL", "Abnormal", "Not examined")
+
+
+# ---------------------------------------------------------------------------
+# EndoPro
+
+
+def build_endopro_tool(version: str = "3.2") -> ReportingTool:
+    """EndoPro: ``smoker`` asks about *current* smoking."""
+    report = Form(
+        "endoscopy_report",
+        "EndoPro Procedure Documentation",
+        controls=[
+            NumericBox("patient_ref", "Patient reference", required=True),
+            DropDown(
+                "proc_kind",
+                "Type of procedure",
+                choices=list(PROCEDURE_TYPES),
+                required=True,
+            ),
+            DropDown(
+                "reason",
+                "Reason for examination",
+                choices=list(INDICATIONS),
+                required=True,
+            ),
+            GroupBox(
+                "exams",
+                "Examination",
+                children=[
+                    RadioGroup(
+                        "cardio_exam", "Cardiopulmonary exam", choices=list(EXAM_CHOICES)
+                    ),
+                    RadioGroup(
+                        "abdominal_exam", "Abdominal exam", choices=list(EXAM_CHOICES)
+                    ),
+                ],
+            ),
+            GroupBox(
+                "events",
+                "Procedure events",
+                children=[
+                    CheckList(
+                        "complication_list",
+                        "Complications observed",
+                        choices=list(COMPLICATIONS),
+                    ),
+                    CheckList(
+                        "intervention_list",
+                        "Interventions performed",
+                        choices=list(INTERVENTIONS),
+                    ),
+                ],
+            ),
+            GroupBox(
+                "history",
+                "Patient history",
+                children=[
+                    CheckBox("renal_hx", "Renal failure in history"),
+                    CheckBox("smoker", "Does the patient currently smoke?"),
+                    NumericBox(
+                        "cigarettes_per_day",
+                        "Cigarettes per day",
+                        minimum=0,
+                        maximum=400,
+                        enabled_when="smoker = TRUE",
+                    ),
+                    CheckBox(
+                        "former_smoker",
+                        "Did the patient smoke in the past?",
+                        enabled_when="smoker = FALSE",
+                    ),
+                    NumericBox(
+                        "years_since_quit",
+                        "Years since quitting",
+                        integer=False,
+                        minimum=0,
+                        enabled_when="former_smoker = TRUE",
+                    ),
+                    TextBox("alcohol_notes", "Alcohol (free text)"),
+                ],
+            ),
+        ],
+    )
+    return ReportingTool("endopro", version, forms=[report], vendor="EndoSoft Inc.")
+
+
+def build_endopro_chain(tool: ReportingTool) -> PatternChain:
+    """EndoPro's layout: split + lookup + multivalue + audit."""
+    return PatternChain(
+        tool.naive_schemas(),
+        [
+            MultivaluePattern(
+                "endoscopy_report", "complication_list", "report_complications"
+            ),
+            MultivaluePattern(
+                "endoscopy_report", "intervention_list", "report_interventions"
+            ),
+            LookupPattern({("endoscopy_report", "reason"): "reason_codes"}),
+            SplitPattern(
+                "endoscopy_report",
+                {
+                    "report_main": [
+                        "patient_ref",
+                        "proc_kind",
+                        "reason_code",
+                        "cardio_exam",
+                        "abdominal_exam",
+                    ],
+                    "report_history": [
+                        "renal_hx",
+                        "smoker",
+                        "cigarettes_per_day",
+                        "former_smoker",
+                        "years_since_quit",
+                        "alcohol_notes",
+                    ],
+                },
+            ),
+            AuditPattern(),
+        ],
+    )
+
+
+def endopro_values(truth: ProcedureTruth) -> dict[str, object]:
+    """How an EndoPro user records one procedure."""
+    smoking = truth.patient.smoking
+    values: dict[str, object] = {
+        "patient_ref": truth.patient.patient_id,
+        "proc_kind": truth.procedure_type,
+        "reason": truth.indication,
+        "cardio_exam": "WNL" if truth.cardio_exam_normal else "Abnormal",
+        "abdominal_exam": "WNL" if truth.abdominal_exam_normal else "Abnormal",
+        "renal_hx": truth.patient.renal_failure_history,
+        "smoker": smoking.currently_smokes,
+    }
+    if smoking.currently_smokes:
+        # EndoPro counts cigarettes; a pack is 20.
+        values["cigarettes_per_day"] = int(round(smoking.packs_per_day * 20))
+    elif smoking.status == "ex":
+        values["former_smoker"] = True
+        values["years_since_quit"] = smoking.quit_years_ago
+    complications = ordered_subset(COMPLICATIONS, truth.complications)
+    if complications:
+        values["complication_list"] = complications
+    interventions = ordered_subset(INTERVENTIONS, truth.interventions)
+    if interventions:
+        values["intervention_list"] = interventions
+    values["alcohol_notes"] = f"{truth.patient.alcohol} use reported"
+    return values
+
+
+def build_endopro_source(
+    truths: list[ProcedureTruth], name: str = "endopro_clinic"
+) -> GuavaSource:
+    tool = build_endopro_tool()
+    source = GuavaSource(name, tool, build_endopro_chain(tool))
+    session = source.session()
+    for truth in truths:
+        session.enter("endoscopy_report", endopro_values(truth))
+    return source
+
+
+# ---------------------------------------------------------------------------
+# MedScribe
+
+
+def build_medscribe_tool(version: str = "2.0") -> ReportingTool:
+    """MedScribe: ``smoker`` asks about *ever* smoking — the §1 trap."""
+    visit = Form(
+        "visit",
+        "MedScribe Visit Record",
+        controls=[
+            NumericBox("pt_num", "Patient number", required=True),
+            DatePicker("visit_date", "Date of visit"),
+            DropDown(
+                "procedure_code",
+                "Procedure",
+                choices=list(PROCEDURE_TYPES),
+                required=True,
+            ),
+            TextBox("indication_text", "Indication (free text)"),
+            CheckBox("cardio_ok", "Cardiopulmonary exam normal"),
+            CheckBox("abdomen_ok", "Abdominal exam normal"),
+            GroupBox(
+                "complication_boxes",
+                "Complications",
+                children=[
+                    CheckBox("c_hypoxia_transient", "Transient hypoxia"),
+                    CheckBox("c_hypoxia_prolonged", "Prolonged hypoxia"),
+                    CheckBox("c_bleeding", "Bleeding"),
+                    CheckBox("c_perforation", "Perforation"),
+                    CheckBox("c_arrhythmia", "Arrhythmia"),
+                ],
+            ),
+            GroupBox(
+                "intervention_boxes",
+                "Interventions",
+                children=[
+                    CheckBox("i_surgery", "Surgery required"),
+                    CheckBox("i_iv_fluids", "IV fluids given"),
+                    CheckBox("i_oxygen", "Oxygen administered"),
+                    CheckBox("i_transfusion", "Transfusion"),
+                    CheckBox("i_observation", "Observation only"),
+                ],
+            ),
+            GroupBox(
+                "social",
+                "Social history",
+                children=[
+                    CheckBox("renal_failure_hx", "Renal failure history"),
+                    CheckBox("smoker", "Has the patient EVER smoked?"),
+                    CheckBox(
+                        "quit",
+                        "Has the patient quit?",
+                        enabled_when="smoker = TRUE",
+                    ),
+                    NumericBox(
+                        "packs_daily",
+                        "Packs per day (current or before quitting)",
+                        integer=False,
+                        minimum=0,
+                        enabled_when="smoker = TRUE",
+                    ),
+                    NumericBox(
+                        "years_quit",
+                        "Years since quit",
+                        integer=False,
+                        minimum=0,
+                        enabled_when="quit = TRUE",
+                    ),
+                ],
+            ),
+        ],
+    )
+    admin = Form(
+        "admin_note",
+        "Administrative Note",
+        controls=[
+            NumericBox("pt_num", "Patient number", required=True),
+            TextBox("note", "Note", multiline=True),
+        ],
+    )
+    return ReportingTool("medscribe", version, forms=[visit, admin], vendor="MedScribe LLC")
+
+
+def build_medscribe_chain(tool: ReportingTool) -> PatternChain:
+    """MedScribe's layout: merge + Y/N encoding + version stamps."""
+    boolean_columns = [
+        "cardio_ok",
+        "abdomen_ok",
+        "c_hypoxia_transient",
+        "c_hypoxia_prolonged",
+        "c_bleeding",
+        "c_perforation",
+        "c_arrhythmia",
+        "i_surgery",
+        "i_iv_fluids",
+        "i_oxygen",
+        "i_transfusion",
+        "i_observation",
+        "renal_failure_hx",
+        "smoker",
+        "quit",
+    ]
+    return PatternChain(
+        tool.naive_schemas(),
+        [
+            EncodingPattern(
+                {("visit", column): {True: "Y", False: "N"} for column in boolean_columns}
+            ),
+            MergePattern("ms_records", ["visit", "admin_note"], form_column="rec_type"),
+            VersionedPattern(tool.version),
+        ],
+    )
+
+
+def medscribe_values(truth: ProcedureTruth) -> dict[str, object]:
+    """How a MedScribe user records one procedure."""
+    smoking = truth.patient.smoking
+    values: dict[str, object] = {
+        "pt_num": truth.patient.patient_id,
+        "visit_date": truth.performed_on,
+        "procedure_code": truth.procedure_type,
+        "indication_text": truth.indication,
+        "cardio_ok": truth.cardio_exam_normal,
+        "abdomen_ok": truth.abdominal_exam_normal,
+        "c_hypoxia_transient": "Transient hypoxia" in truth.complications,
+        "c_hypoxia_prolonged": "Prolonged hypoxia" in truth.complications,
+        "c_bleeding": "Bleeding" in truth.complications,
+        "c_perforation": "Perforation" in truth.complications,
+        "c_arrhythmia": "Arrhythmia" in truth.complications,
+        "i_surgery": "Surgery" in truth.interventions,
+        "i_iv_fluids": "IV fluids" in truth.interventions,
+        "i_oxygen": "Oxygen administration" in truth.interventions,
+        "i_transfusion": "Transfusion" in truth.interventions,
+        "i_observation": "Observation" in truth.interventions,
+        "renal_failure_hx": truth.patient.renal_failure_history,
+        # The trap: EVER smoked — both current and ex-smokers check this.
+        "smoker": smoking.ever_smoked,
+    }
+    if smoking.ever_smoked:
+        values["packs_daily"] = smoking.packs_per_day
+        values["quit"] = smoking.status == "ex"
+    if smoking.status == "ex":
+        values["years_quit"] = smoking.quit_years_ago
+    return values
+
+
+def build_medscribe_source(
+    truths: list[ProcedureTruth], name: str = "medscribe_clinic"
+) -> GuavaSource:
+    tool = build_medscribe_tool()
+    source = GuavaSource(name, tool, build_medscribe_chain(tool))
+    session = source.session()
+    for truth in truths:
+        session.enter("visit", medscribe_values(truth))
+    return source

@@ -1,0 +1,71 @@
+"""Controlled vocabulary of the synthetic endoscopy world.
+
+Terms follow the paper's motivating studies: upper GI endoscopy,
+the Asthma-specific ENT/Pulmonary Reflux indication, transient hypoxia,
+and the surgery / IV fluids / oxygen interventions all appear verbatim in
+Study 1 and Study 2 (§2).
+"""
+
+from __future__ import annotations
+
+PROCEDURE_TYPES: tuple[str, ...] = (
+    "Upper GI endoscopy",
+    "Colonoscopy",
+    "Flexible sigmoidoscopy",
+    "ERCP",
+)
+
+INDICATIONS: tuple[str, ...] = (
+    "Asthma-specific ENT/Pulmonary Reflux symptoms",
+    "Dysphagia",
+    "GI bleeding",
+    "Abdominal pain",
+    "Surveillance",
+    "Anemia",
+)
+
+COMPLICATIONS: tuple[str, ...] = (
+    "Transient hypoxia",
+    "Prolonged hypoxia",
+    "Bleeding",
+    "Perforation",
+    "Arrhythmia",
+)
+
+INTERVENTIONS: tuple[str, ...] = (
+    "Surgery",
+    "IV fluids",
+    "Oxygen administration",
+    "Transfusion",
+    "Observation",
+)
+
+FINDING_TYPES: tuple[str, ...] = (
+    "Fissure",
+    "Polyp",
+    "Ulcer",
+    "Tumor",
+    "Varices",
+)
+
+ALCOHOL_LEVELS: tuple[str, ...] = ("None", "Light", "Heavy")
+
+MEDICATIONS: tuple[str, ...] = (
+    "Omeprazole",
+    "Pantoprazole",
+    "Sucralfate",
+    "Metoclopramide",
+    "Ondansetron",
+)
+
+MEDICATION_INSTRUCTIONS: tuple[str, ...] = (
+    "Take with food",
+    "Take 30 minutes before meals",
+    "Take at bedtime",
+    "Take as needed for nausea",
+)
+
+#: Probability weights used by the generators (tuned for study-sized
+#: cohorts: every Study 1 funnel stage stays non-empty at n >= 200).
+PROCEDURE_TYPE_WEIGHTS: tuple[float, ...] = (0.45, 0.35, 0.12, 0.08)
+INDICATION_WEIGHTS: tuple[float, ...] = (0.18, 0.15, 0.2, 0.22, 0.15, 0.1)

@@ -1,0 +1,214 @@
+"""The common ETL component vocabulary.
+
+Hypothesis 3 is argued "by comparing the expressive power of our
+classifier language against a set of common ETL components"; this module
+is that set.  Each component consumes zero or more input row lists and
+produces one output row list.  Components are deliberately ordinary —
+extract, filter, derive, classify, project, union, load — so a compiled
+study reads like any hand-built warehouse workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ETLError
+from repro.expr.ast import Expression
+from repro.expr.evaluator import Evaluator
+from repro.expr.parser import parse
+from repro.multiclass.classifier import Classifier
+from repro.multiclass.domain import Domain
+from repro.relational.algebra import Plan
+from repro.relational.database import Database
+from repro.relational.schema import TableSchema
+
+Row = dict[str, object]
+
+_EVALUATOR = Evaluator()
+
+
+@dataclass
+class Component:
+    """Base ETL component: ``run(inputs) -> rows``."""
+
+    def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
+        raise NotImplementedError
+
+    def expects(self, count: int, inputs: Sequence[list[Row]]) -> None:
+        if len(inputs) != count:
+            raise ETLError(
+                f"{type(self).__name__} expects {count} input(s), got {len(inputs)}"
+            )
+
+
+@dataclass
+class Extract(Component):
+    """Pull rows out of a source database by executing a plan.
+
+    In a compiled study the plan is GUAVA's translation of the entity
+    classifier's g-tree query — the bridge from Figure 6's "Source" box to
+    the first temporary database.
+    """
+
+    db: Database
+    plan: Plan
+
+    def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
+        self.expects(0, inputs)
+        return self.plan.execute(self.db)
+
+
+@dataclass
+class Values(Component):
+    """A literal input (tests and backfills)."""
+
+    rows: list[Row] = field(default_factory=list)
+
+    def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
+        self.expects(0, inputs)
+        return [dict(row) for row in self.rows]
+
+
+@dataclass
+class FilterRows(Component):
+    """Keep rows satisfying a condition (NULL filters out)."""
+
+    condition: Expression
+
+    def __post_init__(self) -> None:
+        if isinstance(self.condition, str):
+            self.condition = parse(self.condition)
+
+    def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
+        self.expects(1, inputs)
+        return [row for row in inputs[0] if _EVALUATOR.satisfied(self.condition, row)]
+
+
+@dataclass
+class DeriveColumn(Component):
+    """Extend rows with a computed column."""
+
+    name: str
+    expression: Expression
+
+    def __post_init__(self) -> None:
+        if isinstance(self.expression, str):
+            self.expression = parse(self.expression)
+
+    def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
+        self.expects(1, inputs)
+        out = []
+        for row in inputs[0]:
+            extended = dict(row)
+            extended[self.name] = _EVALUATOR.evaluate(self.expression, row)
+            out.append(extended)
+        return out
+
+
+@dataclass
+class Classify(Component):
+    """Apply a MultiClass classifier, writing its output column.
+
+    This is the component that makes a compiled study *context-sensitive*:
+    the classifier's rules reference g-tree nodes, and the extract stage
+    guarantees the rows carry those nodes' values.
+    """
+
+    column: str
+    classifier: Classifier
+    domain: Domain | None = None
+
+    def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
+        self.expects(1, inputs)
+        out = []
+        for row in inputs[0]:
+            extended = dict(row)
+            extended[self.column] = self.classifier.classify(row, self.domain)
+            out.append(extended)
+        return out
+
+
+@dataclass
+class Clean(Component):
+    """Apply DISCARD WHEN cleaning rules, quarantining removed rows.
+
+    The §6 extension compiled into ETL form: discards are diverted into a
+    shared :class:`~repro.multiclass.cleaning.Quarantine` rather than
+    silently dropped.
+    """
+
+    rules: list
+    source_name: str
+    scope: str
+    quarantine: object  # Quarantine; typed loosely to avoid an import cycle
+
+    def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
+        from repro.multiclass.cleaning import apply_rules
+
+        self.expects(1, inputs)
+        return apply_rules(
+            self.rules, list(inputs[0]), self.source_name, self.scope, self.quarantine
+        )
+
+
+@dataclass
+class ProjectColumns(Component):
+    """Keep only the named columns (missing ones become NULL)."""
+
+    columns: tuple[str, ...]
+
+    def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
+        self.expects(1, inputs)
+        return [
+            {column: row.get(column) for column in self.columns}
+            for row in inputs[0]
+        ]
+
+
+@dataclass
+class AddConstant(Component):
+    """Stamp every row with a constant column (e.g. the source name)."""
+
+    column: str
+    value: object
+
+    def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
+        self.expects(1, inputs)
+        out = []
+        for row in inputs[0]:
+            extended = dict(row)
+            extended[self.column] = self.value
+            out.append(extended)
+        return out
+
+
+@dataclass
+class UnionInputs(Component):
+    """Concatenate all inputs — the contributor integration step."""
+
+    def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
+        if not inputs:
+            raise ETLError("UnionInputs needs at least one input")
+        out: list[Row] = []
+        for rows in inputs:
+            out.extend(dict(row) for row in rows)
+        return out
+
+
+@dataclass
+class Load(Component):
+    """Write rows into a warehouse table (created if absent), pass through."""
+
+    db: Database
+    schema: TableSchema
+    replace: bool = True
+
+    def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
+        self.expects(1, inputs)
+        if self.db.has_table(self.schema.name) and self.replace:
+            self.db.drop_table(self.schema.name)
+        table = self.db.ensure_table(self.schema)
+        for row in inputs[0]:
+            table.insert({c: row.get(c) for c in self.schema.column_names})
+        return inputs[0] if isinstance(inputs[0], list) else list(inputs[0])

@@ -1,0 +1,168 @@
+"""ETL workflow DAGs and their executor."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import WorkflowError
+from repro.etl.components import Component, Row
+
+
+@dataclass
+class Step:
+    """One node of the workflow graph."""
+
+    name: str
+    component: Component
+    inputs: tuple[str, ...] = ()
+    #: Which Figure 6 stage this step belongs to (extract/classify/study).
+    stage: str = ""
+
+
+@dataclass
+class StepRun:
+    """Execution record for one step."""
+
+    step: str
+    stage: str
+    rows_in: int
+    rows_out: int
+    seconds: float
+
+
+@dataclass
+class RunReport:
+    """Per-step row counts and timings for one workflow run."""
+
+    steps: list[StepRun] = field(default_factory=list)
+
+    def rows_out(self, step_name: str) -> int:
+        for run in self.steps:
+            if run.step == step_name:
+                return run.rows_out
+        raise WorkflowError(f"no step {step_name!r} in run report")
+
+    def summary(self) -> str:
+        lines = [f"{'step':40} {'stage':10} {'in':>8} {'out':>8}"]
+        for run in self.steps:
+            lines.append(
+                f"{run.step:40} {run.stage:10} {run.rows_in:>8} {run.rows_out:>8}"
+            )
+        return "\n".join(lines)
+
+
+class Workflow:
+    """A named DAG of ETL steps.
+
+    Steps execute in topological order; each step's inputs are the outputs
+    of the named predecessor steps.  ``outputs`` names the steps whose
+    results the caller wants back.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._steps: dict[str, Step] = {}
+        self.outputs: list[str] = []
+        #: Shared run artifacts (e.g. the cleaning quarantine).
+        self.context: dict[str, object] = {}
+
+    def add(
+        self,
+        name: str,
+        component: Component,
+        inputs: tuple[str, ...] | list[str] = (),
+        stage: str = "",
+    ) -> Step:
+        """Append a step; input names must already exist (keeps it acyclic)."""
+        if name in self._steps:
+            raise WorkflowError(f"duplicate step name {name!r}")
+        for input_name in inputs:
+            if input_name not in self._steps:
+                raise WorkflowError(
+                    f"step {name!r} depends on unknown step {input_name!r}"
+                )
+        step = Step(name, component, tuple(inputs), stage)
+        self._steps[name] = step
+        return step
+
+    def mark_output(self, name: str) -> None:
+        """Flag a step's result as a workflow output."""
+        if name not in self._steps:
+            raise WorkflowError(f"unknown step {name!r}")
+        if name not in self.outputs:
+            self.outputs.append(name)
+
+    @property
+    def steps(self) -> list[Step]:
+        return list(self._steps.values())
+
+    def step(self, name: str) -> Step:
+        if name not in self._steps:
+            raise WorkflowError(f"unknown step {name!r}")
+        return self._steps[name]
+
+    def stages(self) -> list[str]:
+        """Distinct stages in first-appearance order (Figure 6 structure)."""
+        seen: list[str] = []
+        for step in self._steps.values():
+            if step.stage and step.stage not in seen:
+                seen.append(step.stage)
+        return seen
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> tuple[dict[str, list[Row]], RunReport]:
+        """Execute all steps; returns ({output step: rows}, report)."""
+        results: dict[str, list[Row]] = {}
+        report = RunReport()
+        for step in self._steps.values():  # insertion order is topological
+            inputs = [results[name] for name in step.inputs]
+            started = time.perf_counter()
+            rows = step.component.run(inputs)
+            elapsed = time.perf_counter() - started
+            results[step.name] = rows
+            report.steps.append(
+                StepRun(
+                    step=step.name,
+                    stage=step.stage,
+                    rows_in=sum(len(rows_in) for rows_in in inputs),
+                    rows_out=len(rows),
+                    seconds=elapsed,
+                )
+            )
+        outputs = {name: results[name] for name in self.outputs} if self.outputs else results
+        return outputs, report
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering of the DAG, clustered by Figure 6 stage."""
+        lines = [f'digraph "{self.name}" {{', "  rankdir=LR;"]
+        for index, stage in enumerate(self.stages()):
+            lines.append(f'  subgraph cluster_{index} {{ label="{stage}";')
+            for step in self._steps.values():
+                if step.stage == stage:
+                    lines.append(
+                        f'    "{step.name}" '
+                        f'[label="{step.name}\\n{type(step.component).__name__}"];'
+                    )
+            lines.append("  }")
+        for step in self._steps.values():
+            if not step.stage:
+                lines.append(f'  "{step.name}";')
+        for step in self._steps.values():
+            for input_name in step.inputs:
+                lines.append(f'  "{input_name}" -> "{step.name}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        """Readable listing of the DAG."""
+        lines = [f"Workflow {self.name!r}:"]
+        for step in self._steps.values():
+            deps = f" <- {list(step.inputs)}" if step.inputs else ""
+            stage = f" [{step.stage}]" if step.stage else ""
+            lines.append(f"  {step.name}: {type(step.component).__name__}{stage}{deps}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._steps)

@@ -1,0 +1,167 @@
+"""Static analysis over expression ASTs.
+
+Two consumers:
+
+* **MultiClass versioning** needs the set of g-tree nodes a classifier
+  reads (:func:`referenced_identifiers`), to decide whether a classifier
+  survives a reporting-tool upgrade.
+* **Hypothesis 3** claims the classifier language is equivalent in power to
+  *conjunctive queries with union*.  :func:`to_dnf` rewrites any boolean
+  condition into a disjunction of conjunctions of atoms, and
+  :func:`is_union_of_conjunctions` verifies the rewrite covers the whole
+  grammar — the executable form of that claim.
+"""
+
+from __future__ import annotations
+
+from repro.expr.ast import (
+    BinaryOp,
+    Expression,
+    FunctionCall,
+    Identifier,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+    conjunction,
+    disjunction,
+)
+
+
+def referenced_identifiers(expr: Expression) -> set[str]:
+    """Dotted names of every identifier mentioned anywhere in ``expr``."""
+    return {node.name for node in expr.walk() if isinstance(node, Identifier)}
+
+
+def is_atom(expr: Expression) -> bool:
+    """True when ``expr`` has no logical connectives inside it."""
+    if isinstance(expr, BinaryOp) and expr.is_logical:
+        return False
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        return False
+    return all(is_atom(child) for child in expr.children())
+
+
+def atoms(expr: Expression) -> list[Expression]:
+    """The maximal connective-free subexpressions of ``expr``, pre-order."""
+    if is_atom(expr):
+        return [expr]
+    found: list[Expression] = []
+    for child in expr.children():
+        found.extend(atoms(child))
+    return found
+
+
+def is_conjunctive(expr: Expression) -> bool:
+    """True when ``expr`` is a conjunction of atoms (no OR, no NOT over ANDs)."""
+    if is_atom(expr):
+        return True
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return is_conjunctive(expr.left) and is_conjunctive(expr.right)
+    return False
+
+
+def to_dnf(expr: Expression) -> list[list[Expression]]:
+    """Rewrite a boolean expression into disjunctive normal form.
+
+    Returns a list of clauses; each clause is a list of atoms understood as
+    a conjunction, and the clauses are joined by OR.  ``NOT`` is pushed to
+    atoms (where it stays as a negated atom), ``IN`` lists expand to
+    equality disjunctions, so every classifier-language condition lands in
+    "union of conjunctive" shape.
+    """
+    normalized = _push_not(expr, negate=False)
+    return _dnf(normalized)
+
+
+def dnf_to_expression(clauses: list[list[Expression]]) -> Expression:
+    """Reassemble DNF clauses into a single expression (for round-tripping)."""
+    return disjunction([conjunction(clause) for clause in clauses])
+
+
+def is_union_of_conjunctions(expr: Expression, max_clauses: int = 10_000) -> bool:
+    """Check the Hypothesis 3 claim for one condition.
+
+    Every condition in the grammar normalizes to DNF; the check fails only
+    if normalization would explode past ``max_clauses`` (never in practice
+    for analyst-written classifiers).
+    """
+    try:
+        clauses = to_dnf(expr)
+    except RecursionError:  # pragma: no cover - pathological nesting only
+        return False
+    return len(clauses) <= max_clauses
+
+
+# -- internals ---------------------------------------------------------------
+
+
+def _push_not(expr: Expression, negate: bool) -> Expression:
+    """Drive NOT down to atoms (negation normal form)."""
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        return _push_not(expr.operand, not negate)
+    if isinstance(expr, BinaryOp) and expr.is_logical:
+        left = _push_not(expr.left, negate)
+        right = _push_not(expr.right, negate)
+        op = expr.op
+        if negate:
+            op = "OR" if op == "AND" else "AND"
+        return BinaryOp(op, left, right)
+    if negate:
+        negated = _negate_atom(expr)
+        if negated is not None:
+            return negated
+        return UnaryOp("NOT", expr)
+    return expr
+
+
+_COMPARISON_NEGATION = {
+    "=": "!=",
+    "!=": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+def _negate_atom(expr: Expression) -> Expression | None:
+    """Negate an atom structurally when a dual form exists."""
+    if isinstance(expr, BinaryOp) and expr.op in _COMPARISON_NEGATION:
+        return BinaryOp(_COMPARISON_NEGATION[expr.op], expr.left, expr.right)
+    if isinstance(expr, IsNull):
+        return IsNull(expr.operand, negated=not expr.negated)
+    if isinstance(expr, InList):
+        return InList(expr.operand, expr.items, negated=not expr.negated)
+    if isinstance(expr, Literal) and isinstance(expr.value, bool):
+        return Literal(not expr.value)
+    return None
+
+
+def _dnf(expr: Expression) -> list[list[Expression]]:
+    """DNF of a negation-normal-form expression."""
+    if isinstance(expr, BinaryOp) and expr.op == "OR":
+        return _dnf(expr.left) + _dnf(expr.right)
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        left_clauses = _dnf(expr.left)
+        right_clauses = _dnf(expr.right)
+        return [
+            left + right for left in left_clauses for right in right_clauses
+        ]
+    if isinstance(expr, InList) and not expr.negated:
+        # Positive IN expands to a union of equalities — the canonical
+        # "union of conjunctive queries" citizen.
+        return [
+            [BinaryOp("=", expr.operand, item)] for item in expr.items
+        ]
+    return [[expr]]
+
+
+def complexity(expr: Expression) -> int:
+    """Node count — a rough cost metric used by benchmark reports."""
+    return sum(1 for _ in expr.walk())
+
+
+def referenced_functions(expr: Expression) -> set[str]:
+    """Names of all functions called anywhere in ``expr``."""
+    return {node.name for node in expr.walk() if isinstance(node, FunctionCall)}

@@ -1,0 +1,231 @@
+"""Built-in function library for the expression language.
+
+Functions follow SQL-ish null semantics: unless documented otherwise, a
+NULL (Python ``None``) argument yields NULL.  ``COALESCE`` and ``IFNULL``
+are the deliberate exceptions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import EvaluationError, UnknownFunctionError
+
+FunctionImpl = Callable[..., object]
+
+
+class FunctionRegistry:
+    """Name → implementation mapping with optional arity checking."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, FunctionImpl] = {}
+        self._arity: dict[str, tuple[int, int | None]] = {}
+
+    def register(
+        self,
+        name: str,
+        impl: FunctionImpl,
+        min_args: int = 0,
+        max_args: int | None = None,
+    ) -> None:
+        """Register ``impl`` under ``name`` (case-insensitive)."""
+        key = name.upper()
+        self._functions[key] = impl
+        self._arity[key] = (min_args, max_args)
+
+    def lookup(self, name: str) -> FunctionImpl:
+        key = name.upper()
+        if key not in self._functions:
+            raise UnknownFunctionError(name)
+        return self._functions[key]
+
+    def call(self, name: str, args: list[object]) -> object:
+        """Invoke a registered function, enforcing its declared arity."""
+        impl = self.lookup(name)
+        min_args, max_args = self._arity[name.upper()]
+        if len(args) < min_args or (max_args is not None and len(args) > max_args):
+            expected = (
+                f"exactly {min_args}"
+                if max_args == min_args
+                else f"between {min_args} and {max_args or 'unbounded'}"
+            )
+            raise EvaluationError(
+                f"{name} expects {expected} argument(s), got {len(args)}"
+            )
+        return impl(*args)
+
+    def names(self) -> list[str]:
+        """All registered function names, sorted."""
+        return sorted(self._functions)
+
+    def copy(self) -> "FunctionRegistry":
+        """A shallow copy that can be extended without mutating the original."""
+        clone = FunctionRegistry()
+        clone._functions = dict(self._functions)
+        clone._arity = dict(self._arity)
+        return clone
+
+
+def _null_propagating(impl: FunctionImpl) -> FunctionImpl:
+    def wrapper(*args: object) -> object:
+        if any(arg is None for arg in args):
+            return None
+        return impl(*args)
+
+    return wrapper
+
+
+def _coalesce(*args: object) -> object:
+    for arg in args:
+        if arg is not None:
+            return arg
+    return None
+
+
+def _iif(condition: object, when_true: object, when_false: object) -> object:
+    return when_true if condition is True else when_false
+
+
+def _substring(text: str, start: int, length: int | None = None) -> str:
+    # 1-based start, mirroring SQL SUBSTRING.
+    begin = max(int(start) - 1, 0)
+    if length is None:
+        return text[begin:]
+    return text[begin : begin + int(length)]
+
+
+def _round(value: float, digits: int = 0) -> float:
+    return round(float(value), int(digits))
+
+
+def _least(*args: object) -> object:
+    return min(args)  # type: ignore[type-var]
+
+
+def _greatest(*args: object) -> object:
+    return max(args)  # type: ignore[type-var]
+
+
+def _num(value: object) -> object:
+    """Best-effort numeric coercion used when UI text fields hold numbers."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    text = str(value).strip()
+    if not text:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            raise EvaluationError(f"NUM() cannot convert {value!r} to a number")
+
+
+def default_registry() -> FunctionRegistry:
+    """Construct the standard library shared by all evaluators."""
+    registry = FunctionRegistry()
+    register = registry.register
+
+    register("ABS", _null_propagating(lambda x: abs(x)), 1, 1)
+    register("ROUND", _null_propagating(_round), 1, 2)
+    register("FLOOR", _null_propagating(lambda x: math.floor(x)), 1, 1)
+    register("CEIL", _null_propagating(lambda x: math.ceil(x)), 1, 1)
+    register("SQRT", _null_propagating(lambda x: math.sqrt(x)), 1, 1)
+    register("POWER", _null_propagating(lambda x, y: x**y), 2, 2)
+    register("MOD", _null_propagating(lambda x, y: x % y), 2, 2)
+    register("LEAST", _null_propagating(_least), 1, None)
+    register("GREATEST", _null_propagating(_greatest), 1, None)
+    register("NUM", _null_propagating(_num), 1, 1)
+
+    register("LENGTH", _null_propagating(lambda s: len(str(s))), 1, 1)
+    register("UPPER", _null_propagating(lambda s: str(s).upper()), 1, 1)
+    register("LOWER", _null_propagating(lambda s: str(s).lower()), 1, 1)
+    register("TRIM", _null_propagating(lambda s: str(s).strip()), 1, 1)
+    register("SUBSTRING", _null_propagating(_substring), 2, 3)
+    register(
+        "CONCAT",
+        lambda *parts: "".join(str(p) for p in parts if p is not None),
+        1,
+        None,
+    )
+    register(
+        "CONTAINS",
+        _null_propagating(lambda s, sub: str(sub).lower() in str(s).lower()),
+        2,
+        2,
+    )
+    register(
+        "STARTSWITH",
+        _null_propagating(lambda s, pre: str(s).lower().startswith(str(pre).lower())),
+        2,
+        2,
+    )
+
+    register("YEAR", _null_propagating(lambda d: _as_date(d).year), 1, 1)
+    register("MONTH", _null_propagating(lambda d: _as_date(d).month), 1, 1)
+    register("DAY", _null_propagating(lambda d: _as_date(d).day), 1, 1)
+    register(
+        "DAYS_BETWEEN",
+        _null_propagating(lambda a, b: (_as_date(b) - _as_date(a)).days),
+        2,
+        2,
+    )
+
+    register("JSON_GET", _json_get, 2, 2)
+    register("COALESCE", _coalesce, 1, None)
+    register("IFNULL", lambda value, default: default if value is None else value, 2, 2)
+    register("IIF", _iif, 3, 3)
+    register("ISNUMERIC", lambda v: _is_numeric(v), 1, 1)
+
+    return registry
+
+
+def _as_date(value: object):
+    """Coerce a date function argument (date or ISO text) to a date."""
+    from datetime import date
+
+    if isinstance(value, date):
+        return value
+    if isinstance(value, str):
+        try:
+            return date.fromisoformat(value.strip())
+        except ValueError as exc:
+            raise EvaluationError(f"not an ISO date: {value!r}") from exc
+    raise EvaluationError(f"not a date: {value!r}")
+
+
+def _json_get(blob: object, key: object) -> object:
+    """Extract a top-level key from a JSON object blob (NULL on miss).
+
+    Used by the *Blob* design pattern's read path: entire screens stored
+    as one serialized column get their fields back through JSON_GET.
+    """
+    if blob is None or key is None:
+        return None
+    import json
+
+    try:
+        parsed = json.loads(str(blob))
+    except (ValueError, TypeError):
+        raise EvaluationError(f"JSON_GET: not a JSON document: {blob!r}")
+    if not isinstance(parsed, dict):
+        raise EvaluationError("JSON_GET: blob is not a JSON object")
+    return parsed.get(str(key))
+
+
+def _is_numeric(value: object) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float)):
+        return True
+    try:
+        float(str(value).strip())
+        return True
+    except ValueError:
+        return False

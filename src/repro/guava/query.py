@@ -1,0 +1,99 @@
+"""Queries against g-trees.
+
+"The g-tree behaves like a view; when analysts write classifiers, they
+express queries against the g-trees."  A :class:`GTreeQuery` names the
+data nodes of interest, optionally filters with a condition over node
+names, and optionally derives computed values — everything an analyst
+needs without ever seeing the physical schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GuavaError
+from repro.expr.analysis import referenced_identifiers
+from repro.expr.ast import Expression
+from repro.expr.parser import parse
+from repro.guava.gtree import GTree
+
+
+@dataclass(frozen=True)
+class GTreeQuery:
+    """An immutable query over one g-tree.
+
+    ``nodes`` — data nodes whose values to return (empty = all data nodes);
+    ``condition`` — boolean filter over node names;
+    ``derivations`` — (name, arithmetic expression) computed columns.
+    The record key is always included so results stay joinable.
+    """
+
+    gtree: GTree
+    nodes: tuple[str, ...] = ()
+    condition: Expression | None = None
+    derivations: tuple[tuple[str, Expression], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in self.nodes:
+            node = self.gtree.node(name)  # raises on unknown
+            if not node.stores_data:
+                raise GuavaError(
+                    f"node {name!r} stores no data and cannot be selected"
+                )
+        for expression in self._expressions():
+            for identifier in referenced_identifiers(expression):
+                leaf = identifier.split(".")[-1]
+                if not self.gtree.has_node(leaf):
+                    raise GuavaError(
+                        f"query references unknown g-tree node {identifier!r}"
+                    )
+                if not self.gtree.node(leaf).stores_data:
+                    raise GuavaError(
+                        f"node {identifier!r} stores no data (a "
+                        f"{self.gtree.node(leaf).control_type}) and cannot "
+                        "appear in a condition"
+                    )
+
+    def _expressions(self) -> list[Expression]:
+        found = [expr for _, expr in self.derivations]
+        if self.condition is not None:
+            found.append(self.condition)
+        return found
+
+    # -- builder API -------------------------------------------------------------
+
+    def select(self, *names: str) -> "GTreeQuery":
+        """Return a query selecting the named data nodes."""
+        return GTreeQuery(self.gtree, self.nodes + names, self.condition, self.derivations)
+
+    def where(self, condition: str | Expression) -> "GTreeQuery":
+        """Add a filter; multiple calls AND together."""
+        expr = parse(condition) if isinstance(condition, str) else condition
+        if self.condition is not None:
+            from repro.expr.ast import BinaryOp
+
+            expr = BinaryOp("AND", self.condition, expr)
+        return GTreeQuery(self.gtree, self.nodes, expr, self.derivations)
+
+    def derive(self, name: str, expression: str | Expression) -> "GTreeQuery":
+        """Add a computed column."""
+        expr = parse(expression) if isinstance(expression, str) else expression
+        return GTreeQuery(
+            self.gtree, self.nodes, self.condition, self.derivations + ((name, expr),)
+        )
+
+    # -- introspection ---------------------------------------------------------------
+
+    def referenced_nodes(self) -> set[str]:
+        """All g-tree node names this query touches."""
+        names = set(self.nodes)
+        for expression in self._expressions():
+            for identifier in referenced_identifiers(expression):
+                names.add(identifier.split(".")[-1])
+        return names
+
+    def selected_nodes(self) -> tuple[str, ...]:
+        """The output node columns (all data nodes when none were named)."""
+        if self.nodes:
+            return self.nodes
+        return tuple(node.name for node in self.gtree.data_nodes())

@@ -1,0 +1,113 @@
+"""A GUAVA source: reporting tool + pattern chain + physical database.
+
+This is one "contributor" box of the paper's Figure 1: the tool defines
+the UI, the chain defines how screens land in the database, and GUAVA
+exposes it all through g-trees.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GuavaError
+from repro.guava.derive import derive_all
+from repro.guava.gtree import GTree
+from repro.guava.query import GTreeQuery
+from repro.guava.translate import translate_query
+from repro.patterns.chain import PatternChain
+from repro.relational.database import Database
+from repro.relational.query import optimize
+from repro.relational.sql import to_sql
+from repro.ui.session import DataEntrySession
+from repro.ui.toolkit import ReportingTool
+from repro.util.clock import Clock
+
+Row = dict[str, object]
+
+
+class GuavaSource:
+    """One contributor data source, fully wired.
+
+    >>> source = GuavaSource("clinic_a", tool, chain)
+    >>> session = source.session()                  # clinicians enter data
+    >>> rows = source.query("procedure").where("hypoxia = TRUE").run()
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tool: ReportingTool,
+        chain: PatternChain,
+        db: Database | None = None,
+        clock: Clock | None = None,
+    ):
+        missing = [
+            form for form in tool.form_names() if form not in chain.naive_schemas
+        ]
+        if missing:
+            raise GuavaError(
+                f"pattern chain does not cover form(s) {missing} of {tool.name}"
+            )
+        self.name = name
+        self.tool = tool
+        self.chain = chain
+        self.db = db or Database(name)
+        chain.deploy(self.db)
+        self.gtrees: dict[str, GTree] = derive_all(tool, clock=clock)
+
+    # -- data entry -------------------------------------------------------------
+
+    def session(self, first_record_id: int = 1) -> DataEntrySession:
+        """A data-entry session writing through the pattern chain."""
+        return DataEntrySession(
+            self.tool, writer=self.chain.writer(self.db), first_record_id=first_record_id
+        )
+
+    # -- querying ----------------------------------------------------------------
+
+    def gtree(self, form_name: str) -> GTree:
+        """The g-tree of one form."""
+        if form_name not in self.gtrees:
+            raise GuavaError(f"source {self.name} has no form {form_name!r}")
+        return self.gtrees[form_name]
+
+    def query(self, form_name: str) -> "BoundQuery":
+        """Start a query against one form's g-tree."""
+        return BoundQuery(self, GTreeQuery(self.gtree(form_name)))
+
+    def execute(self, query: GTreeQuery) -> list[Row]:
+        """Translate and run a g-tree query against the physical database."""
+        plan = optimize(translate_query(query, self.chain))
+        return plan.execute(self.db)
+
+    def explain(self, query: GTreeQuery) -> str:
+        """The SQL the translated query corresponds to (documentation)."""
+        return to_sql(translate_query(query, self.chain))
+
+    def __repr__(self) -> str:
+        return f"GuavaSource({self.name!r}, tool={self.tool.name} v{self.tool.version})"
+
+
+class BoundQuery:
+    """A g-tree query bound to its source, with a fluent interface."""
+
+    def __init__(self, source: GuavaSource, query: GTreeQuery):
+        self._source = source
+        self._query = query
+
+    def select(self, *names: str) -> "BoundQuery":
+        return BoundQuery(self._source, self._query.select(*names))
+
+    def where(self, condition) -> "BoundQuery":
+        return BoundQuery(self._source, self._query.where(condition))
+
+    def derive(self, name: str, expression) -> "BoundQuery":
+        return BoundQuery(self._source, self._query.derive(name, expression))
+
+    @property
+    def query(self) -> GTreeQuery:
+        return self._query
+
+    def run(self) -> list[Row]:
+        return self._source.execute(self._query)
+
+    def sql(self) -> str:
+        return self._source.explain(self._query)

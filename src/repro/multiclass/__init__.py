@@ -1,0 +1,67 @@
+"""MultiClass: per-study integration and classification.
+
+The paper's second component.  Analysts describe what they study in a
+*study schema* (a has-a hierarchy of entities whose attributes each carry
+*multiple domains*), then write *classifiers* — lists of declarative
+``A <- B`` rules over g-tree nodes — to map contributor data into those
+domains, differently for different studies.  Entity classifiers identify
+the objects to bring forward.  Studies bundle schema elements, filters,
+and classifier choices; they compile to ETL workflows and their artifacts
+are annotated so decisions can be audited and reused.
+"""
+
+from repro.multiclass.domain import Domain
+from repro.multiclass.study_schema import Attribute, Entity, StudySchema
+from repro.multiclass.classifier import Classifier, EntityClassifier, Rule
+from repro.multiclass.cleaning import (
+    CleaningRule,
+    Quarantine,
+    QuarantinedRow,
+    parse_cleaning_rule,
+)
+from repro.multiclass.language import (
+    format_classifier,
+    format_entity_classifier,
+    parse_classifier,
+    parse_entity_classifier,
+)
+from repro.multiclass.study import Study, StudyResult
+from repro.multiclass.registry import Registry
+from repro.multiclass.versioning import PropagationReport, propagate_classifiers
+from repro.multiclass.datalog import classifier_to_datalog, study_to_datalog
+from repro.multiclass.lint import CoverageGap, LintReport, lint_all, lint_classifier
+from repro.multiclass.suggest import Suggestion, suggest_all, suggest_classifiers
+from repro.multiclass.xquery import study_to_xquery
+
+__all__ = [
+    "Attribute",
+    "Classifier",
+    "CleaningRule",
+    "CoverageGap",
+    "LintReport",
+    "lint_all",
+    "lint_classifier",
+    "Quarantine",
+    "QuarantinedRow",
+    "parse_cleaning_rule",
+    "Domain",
+    "Entity",
+    "EntityClassifier",
+    "PropagationReport",
+    "Registry",
+    "Rule",
+    "Study",
+    "StudyResult",
+    "StudySchema",
+    "Suggestion",
+    "classifier_to_datalog",
+    "suggest_all",
+    "suggest_classifiers",
+    "format_classifier",
+    "format_entity_classifier",
+    "parse_classifier",
+    "parse_entity_classifier",
+    "propagate_classifiers",
+    "study_to_datalog",
+    "study_to_xquery",
+]

@@ -1,0 +1,161 @@
+"""Emit classifiers as Datalog programs.
+
+"To date, we have successfully hand-translated several collections of
+classifiers into both XQuery and Datalog."  This module automates the
+Datalog direction: each classifier rule becomes one (or more) Datalog
+rules whose bodies are the DNF clauses of the guard — making the
+"conjunctive queries with union" equivalence (Hypothesis 3) visible: one
+Datalog rule per conjunction, several rules per predicate for the union.
+"""
+
+from __future__ import annotations
+
+from repro.expr.analysis import referenced_identifiers, to_dnf
+from repro.expr.ast import (
+    BinaryOp,
+    Expression,
+    FunctionCall,
+    Identifier,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+from repro.multiclass.classifier import Classifier, EntityClassifier
+from repro.multiclass.study import Study, element_column
+
+_OP_TEXT = {
+    "=": "=",
+    "!=": "\\=",
+    "<": "<",
+    "<=": "=<",
+    ">": ">",
+    ">=": ">=",
+}
+
+
+def classifier_to_datalog(classifier: Classifier, relation: str = "record") -> str:
+    """Render one classifier as Datalog rules.
+
+    The source relation is ``record(Id, node..., value...)`` flattened as
+    ``node(Id, Value)`` facts; the classifier becomes rules defining
+    ``<entity>_<attribute>_<domain>(Id, Value)``.  Earlier-rule precedence
+    is encoded by negating earlier guards in later rules (first-match
+    semantics), keeping the program declarative.
+    """
+    head_name = "{}_{}_{}".format(*classifier.target).lower()
+    lines = [f"% classifier {classifier.name}: {classifier.description}".rstrip()]
+    earlier_guards: list[Expression] = []
+    for rule in classifier.rules:
+        guard_clauses = to_dnf(rule.guard)
+        negations = [f"\\+ {_guard_predicate(g)}" for g in earlier_guards]
+        for clause in guard_clauses:
+            body = [_bind_atoms(clause)]
+            body.extend(negations)
+            value_term = _term(rule.output)
+            lines.append(
+                f"{head_name}(Id, {value_term}) :- {', '.join(filter(None, body))}."
+            )
+        earlier_guards.append(rule.guard)
+    return "\n".join(lines)
+
+
+def entity_classifier_to_datalog(classifier: EntityClassifier) -> str:
+    """Render an entity classifier as a selection rule."""
+    head = f"{classifier.target_entity.lower()}(Id)"
+    clauses = to_dnf(classifier.condition)
+    lines = [f"% entity classifier {classifier.name}: {classifier.description}".rstrip()]
+    for clause in clauses:
+        body = _bind_atoms(clause)
+        lines.append(f"{head} :- {body or 'true'}.")
+    return "\n".join(lines)
+
+
+def study_to_datalog(study: Study) -> str:
+    """Render a whole study: entity classifiers, classifiers, study tables."""
+    parts: list[str] = [f"% study {study.name}"]
+    for binding in study.bindings:
+        parts.append(f"% --- source {binding.source.name}")
+        for ec in binding.entity_classifiers.values():
+            parts.append(entity_classifier_to_datalog(ec))
+        for classifier in binding.classifiers.values():
+            parts.append(classifier_to_datalog(classifier))
+    for entity in study.entities_in_play():
+        columns = [
+            element_column(attribute, domain)
+            for _, attribute, domain in study.elements_of(entity)
+        ]
+        head_vars = ", ".join(["Id"] + [c.title().replace("_", "") for c in columns])
+        body_parts = [f"{entity.lower()}(Id)"]
+        for element, column in zip(study.elements_of(entity), columns):
+            predicate = "{}_{}_{}".format(*element).lower()
+            body_parts.append(f"{predicate}(Id, {column.title().replace('_', '')})")
+        parts.append(f"study_{entity.lower()}({head_vars}) :- {', '.join(body_parts)}.")
+    return "\n\n".join(parts)
+
+
+# -- expression rendering ------------------------------------------------------
+
+
+def _bind_atoms(clause: list[Expression]) -> str:
+    """Render a conjunction: node bindings then comparisons."""
+    bindings: dict[str, str] = {}
+    for atom in clause:
+        for name in sorted(referenced_identifiers(atom)):
+            leaf = name.split(".")[-1]
+            if leaf not in bindings:
+                bindings[leaf] = f"{leaf.lower()}(Id, {_var(leaf)})"
+    atoms_text = [text for text in bindings.values()]
+    atoms_text.extend(_atom(atom) for atom in clause)
+    return ", ".join(atoms_text)
+
+
+def _guard_predicate(guard: Expression) -> str:
+    clauses = to_dnf(guard)
+    rendered = ["(" + _bind_atoms(clause) + ")" for clause in clauses]
+    if len(rendered) > 1:
+        # Parenthesize the whole disjunction so "\+" negates all of it.
+        return "(" + "; ".join(rendered) + ")"
+    return rendered[0]
+
+
+def _atom(expr: Expression) -> str:
+    if isinstance(expr, BinaryOp) and expr.op in _OP_TEXT:
+        return f"{_term(expr.left)} {_OP_TEXT[expr.op]} {_term(expr.right)}"
+    if isinstance(expr, IsNull):
+        inner = _term(expr.operand)
+        return f"{'nonnull' if expr.negated else 'null'}({inner})"
+    if isinstance(expr, InList):
+        items = "; ".join(f"{_term(expr.operand)} = {_term(i)}" for i in expr.items)
+        body = f"({items})"
+        return f"\\+ {body}" if expr.negated else body
+    if isinstance(expr, UnaryOp) and expr.op == "NOT":
+        return f"\\+ ({_atom(expr.operand)})"
+    if isinstance(expr, Literal) and isinstance(expr.value, bool):
+        return "true" if expr.value else "fail"
+    return _term(expr)
+
+
+def _term(expr: Expression) -> str:
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return "null"
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        if isinstance(expr.value, str):
+            return f"'{expr.value}'"
+        return str(expr.value)
+    if isinstance(expr, Identifier):
+        return _var(expr.leaf)
+    if isinstance(expr, BinaryOp):
+        return f"({_term(expr.left)} {expr.op} {_term(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        return f"(-{_term(expr.operand)})" if expr.op == "-" else f"\\+ {_term(expr.operand)}"
+    if isinstance(expr, FunctionCall):
+        args = ", ".join(_term(a) for a in expr.args)
+        return f"{expr.name.lower()}({args})"
+    return str(expr)
+
+
+def _var(name: str) -> str:
+    return name[0].upper() + name[1:] if name else "X"

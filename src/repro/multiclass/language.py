@@ -1,0 +1,133 @@
+"""The analyst-facing classifier mini-language.
+
+A classifier is written as a header plus one ``output <- guard`` line per
+rule, matching the look of the paper's Figure 5::
+
+    CLASSIFIER Habits_Cancer
+    TARGET Procedure.Smoking
+    DOMAIN smoking_class
+    FORM procedure
+    DESCRIPTION Classifies packs per day per cancer-study conversation 2002-05-03
+    RULE 'None' <- PacksPerDay = 0
+    RULE 'Light' <- PacksPerDay > 0 AND PacksPerDay < 2
+
+    ENTITY CLASSIFIER Relevant_Procedures
+    TARGET Procedure
+    FORM procedure
+    DESCRIPTION Only consider procedures where surgery was performed
+    WHERE SurgeryPerformed = TRUE
+
+``parse_classifier``/``format_classifier`` round-trip.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClassifierError
+from repro.expr.parser import parse
+from repro.multiclass.classifier import Classifier, EntityClassifier, Rule
+
+
+def parse_classifier(text: str) -> Classifier:
+    """Parse a domain classifier from the mini-language."""
+    fields = _parse_lines(text, "CLASSIFIER")
+    target = fields.get("TARGET", "")
+    if "." not in target:
+        raise ClassifierError(f"TARGET must be Entity.Attribute, got {target!r}")
+    entity, attribute = target.split(".", 1)
+    if "DOMAIN" not in fields:
+        raise ClassifierError("classifier needs a DOMAIN line")
+    rules = [
+        _parse_rule(line) for line in fields.get("__rules__", [])  # type: ignore[union-attr]
+    ]
+    if not rules:
+        raise ClassifierError("classifier needs at least one RULE line")
+    return Classifier(
+        name=fields["__name__"],  # type: ignore[index]
+        target_entity=entity,
+        target_attribute=attribute,
+        target_domain=fields["DOMAIN"],  # type: ignore[index]
+        rules=rules,
+        description=fields.get("DESCRIPTION", ""),  # type: ignore[arg-type]
+        source_form=fields.get("FORM", ""),  # type: ignore[arg-type]
+    )
+
+
+def parse_entity_classifier(text: str) -> EntityClassifier:
+    """Parse an entity classifier from the mini-language."""
+    fields = _parse_lines(text, "ENTITY CLASSIFIER")
+    if "TARGET" not in fields:
+        raise ClassifierError("entity classifier needs a TARGET line")
+    if "FORM" not in fields:
+        raise ClassifierError("entity classifier needs a FORM line")
+    condition = parse(fields["WHERE"]) if "WHERE" in fields else parse("TRUE")  # type: ignore[arg-type]
+    return EntityClassifier(
+        name=fields["__name__"],  # type: ignore[index]
+        target_entity=fields["TARGET"],  # type: ignore[index]
+        form=fields["FORM"],  # type: ignore[index]
+        condition=condition,
+        description=fields.get("DESCRIPTION", ""),  # type: ignore[arg-type]
+    )
+
+
+def format_classifier(classifier: Classifier) -> str:
+    """Render a classifier back to the mini-language."""
+    lines = [
+        f"CLASSIFIER {classifier.name}",
+        f"TARGET {classifier.target_entity}.{classifier.target_attribute}",
+        f"DOMAIN {classifier.target_domain}",
+    ]
+    if classifier.source_form:
+        lines.append(f"FORM {classifier.source_form}")
+    if classifier.description:
+        lines.append(f"DESCRIPTION {classifier.description}")
+    for rule in classifier.rules:
+        lines.append(f"RULE {rule.output.to_source()} <- {rule.guard.to_source()}")
+    return "\n".join(lines)
+
+
+def format_entity_classifier(classifier: EntityClassifier) -> str:
+    """Render an entity classifier back to the mini-language."""
+    lines = [
+        f"ENTITY CLASSIFIER {classifier.name}",
+        f"TARGET {classifier.target_entity}",
+        f"FORM {classifier.form}",
+    ]
+    if classifier.description:
+        lines.append(f"DESCRIPTION {classifier.description}")
+    lines.append(f"WHERE {classifier.condition.to_source()}")
+    return "\n".join(lines)
+
+
+# -- internals ---------------------------------------------------------------
+
+
+def _parse_lines(text: str, header: str) -> dict[str, object]:
+    lines = [line.strip() for line in text.strip().splitlines() if line.strip()]
+    if not lines:
+        raise ClassifierError("empty classifier text")
+    first = lines[0]
+    if not first.upper().startswith(header + " "):
+        raise ClassifierError(f"expected {header!r} header, got {first!r}")
+    fields: dict[str, object] = {
+        "__name__": first[len(header) :].strip(),
+        "__rules__": [],
+    }
+    for line in lines[1:]:
+        keyword, _, rest = line.partition(" ")
+        keyword = keyword.upper()
+        if keyword == "RULE":
+            fields["__rules__"].append(rest.strip())  # type: ignore[union-attr]
+        elif keyword in ("TARGET", "DOMAIN", "FORM", "DESCRIPTION", "WHERE"):
+            if keyword in fields:
+                raise ClassifierError(f"duplicate {keyword} line")
+            fields[keyword] = rest.strip()
+        else:
+            raise ClassifierError(f"unknown line keyword {keyword!r}")
+    return fields
+
+
+def _parse_rule(text: str) -> Rule:
+    if "<-" not in text:
+        raise ClassifierError(f"rule needs '<-': {text!r}")
+    output_text, _, guard_text = text.partition("<-")
+    return Rule(parse(output_text.strip()), parse(guard_text.strip()))

@@ -1,0 +1,186 @@
+"""Classifier linting: find inputs a classifier silently leaves unclassified.
+
+Hypothesis 2 wants analysts to "extract only and all relevant data".  A
+classifier with a coverage gap — an answer combination no rule matches —
+quietly drops records instead.  The linter enumerates the classifier's
+input space where the g-tree makes it enumerable (choice controls list
+their options, booleans have two values, anything can be unanswered;
+numeric nodes are probed on a grid around the rule constants) and reports
+every combination that classifies to NULL.
+
+Gaps are not always bugs — leaving free text unclassified is often the
+analyst's intent — so the linter reports findings for review, mirroring
+how :mod:`repro.multiclass.suggest` never auto-adopts drafts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.expr.ast import Literal
+from repro.guava.gtree import GNode, GTree
+from repro.multiclass.classifier import Classifier
+from repro.relational.types import DataType
+
+#: Refuse to enumerate beyond this many input combinations.
+MAX_COMBINATIONS = 20_000
+
+
+@dataclass(frozen=True)
+class CoverageGap:
+    """One input combination no rule classifies."""
+
+    inputs: tuple[tuple[str, object], ...]
+
+    def describe(self) -> str:
+        rendered = ", ".join(f"{name}={value!r}" for name, value in self.inputs)
+        return f"unclassified when {rendered}"
+
+
+@dataclass
+class LintReport:
+    """Outcome of linting one classifier against one g-tree."""
+
+    classifier: str
+    checked_combinations: int
+    gaps: list[CoverageGap]
+    skipped_nodes: list[str]  # nodes whose value space was not enumerable
+
+    @property
+    def is_exhaustive(self) -> bool:
+        """True when no gap was found over the enumerated space."""
+        return not self.gaps
+
+    def summary(self) -> str:
+        skipped = (
+            f"; {len(self.skipped_nodes)} node(s) not enumerable"
+            if self.skipped_nodes
+            else ""
+        )
+        return (
+            f"{self.classifier}: {len(self.gaps)} gap(s) in "
+            f"{self.checked_combinations} combination(s){skipped}"
+        )
+
+
+def lint_classifier(classifier: Classifier, gtree: GTree) -> LintReport:
+    """Enumerate the classifier's inputs and report unclassified combos.
+
+    The value space per input node: every option of a choice control,
+    True/False for checkboxes, a probe grid around the classifier's own
+    numeric constants for numeric nodes, and always NULL (unanswered).
+    NULL-only gaps for a single node are expected (unanswered questions
+    stay unclassified by design) and are not reported; a gap needs at
+    least one answered node.
+    """
+    nodes = sorted(classifier.input_nodes())
+    spaces: list[tuple[str, list[object]]] = []
+    skipped: list[str] = []
+    constants = _numeric_constants(classifier)
+    for name in nodes:
+        if not gtree.has_node(name):
+            skipped.append(name)
+            continue
+        space = _value_space(gtree.node(name), constants)
+        if space is None:
+            skipped.append(name)
+            continue
+        spaces.append((name, space))
+
+    total = 1
+    for _, space in spaces:
+        total *= len(space)
+    if total > MAX_COMBINATIONS or not spaces:
+        return LintReport(classifier.name, 0, [], skipped or nodes)
+
+    gaps: list[CoverageGap] = []
+    names = [name for name, _ in spaces]
+    checked = 0
+    for combo in itertools.product(*(space for _, space in spaces)):
+        env = dict(zip(names, combo))
+        for name in skipped:
+            env[name] = None
+        if not _screen_consistent(env, gtree):
+            continue  # the GUI could never save this combination
+        if all(value is None for value in combo):
+            continue  # a fully unanswered screen is legitimately unclassified
+        checked += 1
+        if classifier.classify(env) is None:
+            gaps.append(CoverageGap(tuple(zip(names, combo))))
+    return LintReport(classifier.name, checked, gaps, skipped)
+
+
+def lint_all(classifiers: list[Classifier], gtree: GTree) -> list[LintReport]:
+    """Lint a classifier set; reports in input order."""
+    return [lint_classifier(classifier, gtree) for classifier in classifiers]
+
+
+# -- internals ---------------------------------------------------------------
+
+
+def _screen_consistent(env: dict[str, object], gtree: GTree) -> bool:
+    """Could the GUI save a screen with these values?
+
+    Two g-tree facts prune impossible combinations:
+
+    * a control with a default and no enablement condition always holds a
+      value (a checkbox is never NULL once the form opens);
+    * a control with an enablement condition only holds data while that
+      condition is satisfied.
+
+    Enablement conditions referencing nodes outside ``env`` cannot be
+    decided here and are given the benefit of the doubt.
+    """
+    from repro.expr.analysis import referenced_identifiers
+    from repro.expr.evaluator import Evaluator
+
+    evaluator = Evaluator()
+    for name, value in env.items():
+        if not gtree.has_node(name):
+            continue
+        node = gtree.node(name)
+        if value is None:
+            if node.default is not None and node.enablement is None:
+                return False  # never blank: it has a default and no gate
+            continue
+        if node.enablement is not None:
+            referenced = {
+                n.split(".")[-1] for n in referenced_identifiers(node.enablement)
+            }
+            if referenced <= set(env):
+                if evaluator.satisfied(node.enablement, env) is not True:
+                    return False  # holds data while its gate is closed
+    return True
+
+
+def _value_space(node: GNode, constants: list[float]) -> list[object] | None:
+    if node.options and not node.allows_free_text:
+        return [value for value, _ in node.options] + [None]
+    if node.data_type is DataType.BOOLEAN:
+        return [True, False, None]
+    if node.data_type in (DataType.INTEGER, DataType.FLOAT):
+        probes: list[object] = [None]
+        grid: set[float] = {0.0}
+        for constant in constants:
+            grid.update(
+                {constant - 0.5, constant, constant + 0.5}
+            )
+        for value in sorted(grid):
+            if value >= 0:  # clinical quantities are non-negative
+                probes.append(
+                    int(value) if node.data_type is DataType.INTEGER and float(value).is_integer() else value
+                )
+        return probes
+    return None  # free text / dates: not enumerable
+
+
+def _numeric_constants(classifier: Classifier) -> list[float]:
+    constants: list[float] = []
+    for rule in classifier.rules:
+        for expression in (rule.guard, rule.output):
+            for node in expression.walk():
+                if isinstance(node, Literal) and isinstance(node.value, (int, float)):
+                    if not isinstance(node.value, bool):
+                        constants.append(float(node.value))
+    return constants

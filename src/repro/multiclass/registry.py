@@ -1,0 +1,170 @@
+"""The registry: document, inspect, reuse, and modify prior decisions.
+
+"Analysts are also able to use MultiClass to document, inspect, reuse, and
+modify integration decisions from prior studies" and "may choose to look
+at other studies that use the same study schema to make informed decisions
+as to which classifiers to use."
+"""
+
+from __future__ import annotations
+
+from repro.errors import MultiClassError
+from repro.multiclass.classifier import Classifier, EntityClassifier
+from repro.multiclass.study import Study
+from repro.multiclass.study_schema import StudySchema
+
+
+class Registry:
+    """Named store of study schemas, classifiers, and studies."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, StudySchema] = {}
+        self._classifiers: dict[str, Classifier] = {}
+        self._entity_classifiers: dict[str, EntityClassifier] = {}
+        self._studies: dict[str, Study] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def add_schema(self, schema: StudySchema) -> StudySchema:
+        if schema.name in self._schemas:
+            raise MultiClassError(f"study schema {schema.name!r} already registered")
+        self._schemas[schema.name] = schema
+        return schema
+
+    def add_classifier(self, classifier: Classifier) -> Classifier:
+        if classifier.name in self._classifiers:
+            raise MultiClassError(f"classifier {classifier.name!r} already registered")
+        self._classifiers[classifier.name] = classifier
+        return classifier
+
+    def add_entity_classifier(self, classifier: EntityClassifier) -> EntityClassifier:
+        if classifier.name in self._entity_classifiers:
+            raise MultiClassError(
+                f"entity classifier {classifier.name!r} already registered"
+            )
+        self._entity_classifiers[classifier.name] = classifier
+        return classifier
+
+    def add_study(self, study: Study) -> Study:
+        if study.name in self._studies:
+            raise MultiClassError(f"study {study.name!r} already registered")
+        self._studies[study.name] = study
+        return study
+
+    # -- lookup -------------------------------------------------------------------
+
+    def schema(self, name: str) -> StudySchema:
+        return self._get(self._schemas, name, "study schema")
+
+    def classifier(self, name: str) -> Classifier:
+        return self._get(self._classifiers, name, "classifier")
+
+    def entity_classifier(self, name: str) -> EntityClassifier:
+        return self._get(self._entity_classifiers, name, "entity classifier")
+
+    def study(self, name: str) -> Study:
+        return self._get(self._studies, name, "study")
+
+    @staticmethod
+    def _get(table: dict, name: str, kind: str):
+        if name not in table:
+            raise MultiClassError(f"no {kind} named {name!r}")
+        return table[name]
+
+    # -- reuse support -----------------------------------------------------------
+
+    def classifiers_for(
+        self, entity: str, attribute: str, domain: str | None = None
+    ) -> list[Classifier]:
+        """All classifiers targeting an attribute — "MultiClass allows more
+        than one classifier to map data from the same contributor to the
+        same domain"."""
+        return [
+            classifier
+            for classifier in self._classifiers.values()
+            if classifier.target_entity == entity
+            and classifier.target_attribute == attribute
+            and (domain is None or classifier.target_domain == domain)
+        ]
+
+    def studies_using_schema(self, schema_name: str) -> list[Study]:
+        """Prior studies over the same study schema (reuse discovery)."""
+        return [
+            study
+            for study in self._studies.values()
+            if study.schema.name == schema_name
+        ]
+
+    def studies_using_classifier(self, classifier_name: str) -> list[Study]:
+        """Which studies chose a given classifier (decision audit)."""
+        found = []
+        for study in self._studies.values():
+            for binding in study.bindings:
+                if any(
+                    classifier.name == classifier_name
+                    for classifier in binding.classifiers.values()
+                ):
+                    found.append(study)
+                    break
+        return found
+
+    # -- persistence ------------------------------------------------------------
+
+    def export_text(self) -> str:
+        """All classifiers and entity classifiers in the mini-language.
+
+        The document is the analyst-shareable form of the registry:
+        human-readable, diffable, and re-importable with
+        :meth:`import_text`.  (Studies bind to live sources, so they are
+        reconstructed from code, not text.)
+        """
+        from repro.multiclass.language import (
+            format_classifier,
+            format_entity_classifier,
+        )
+
+        blocks = [
+            format_classifier(classifier)
+            for _, classifier in sorted(self._classifiers.items())
+        ]
+        blocks.extend(
+            format_entity_classifier(classifier)
+            for _, classifier in sorted(self._entity_classifiers.items())
+        )
+        return "\n\n---\n\n".join(blocks) + ("\n" if blocks else "")
+
+    def import_text(self, text: str) -> dict[str, int]:
+        """Register every classifier in a mini-language document.
+
+        Blocks are separated by ``---`` lines; returns counts per kind.
+        Raises on the first malformed block or duplicate name, leaving
+        earlier blocks registered (import is incremental by design —
+        an analyst fixes the reported block and re-imports the rest).
+        """
+        from repro.multiclass.language import (
+            parse_classifier,
+            parse_entity_classifier,
+        )
+
+        imported = {"classifiers": 0, "entity_classifiers": 0}
+        for block in text.split("---"):
+            block = block.strip()
+            if not block:
+                continue
+            if block.upper().startswith("ENTITY CLASSIFIER"):
+                self.add_entity_classifier(parse_entity_classifier(block))
+                imported["entity_classifiers"] += 1
+            else:
+                self.add_classifier(parse_classifier(block))
+                imported["classifiers"] += 1
+        return imported
+
+    # -- stats ---------------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "schemas": len(self._schemas),
+            "classifiers": len(self._classifiers),
+            "entity_classifiers": len(self._entity_classifiers),
+            "studies": len(self._studies),
+        }

@@ -1,0 +1,281 @@
+"""Studies: the unit of analyst work.
+
+"A study comprises all of the decisions that a data analyst makes from the
+time a request arrives to when final statistical analyses are run."  A
+:class:`Study` bundles:
+
+* the study-schema elements of interest (entity, attribute, domain),
+* WHERE-like filters over the classified output,
+* per-source bindings: an entity classifier per entity and a domain
+  classifier per element,
+
+and executes by pulling each source's data through GUAVA, classifying, and
+unioning — "MultiClass simply unions together the results of ETL workflows
+from different contributors."  Direct execution here is the semantic
+reference; :mod:`repro.etl.compile` turns the same study into an ETL
+workflow and Hypothesis 3 checks the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StudyError
+from repro.expr.ast import BinaryOp, Expression
+from repro.expr.evaluator import Evaluator
+from repro.expr.parser import parse
+from repro.guava.query import GTreeQuery
+from repro.guava.source import GuavaSource
+from repro.multiclass.classifier import Classifier, EntityClassifier
+from repro.multiclass.cleaning import CleaningRule, Quarantine, apply_rules
+from repro.multiclass.study_schema import StudySchema
+from repro.ui.form import RECORD_ID
+from repro.util.annotations import Annotated
+
+_EVALUATOR = Evaluator()
+
+Row = dict[str, object]
+
+#: An element the analyst selected: (entity, attribute, domain).
+Element = tuple[str, str, str]
+
+
+#: Output column carrying the has-a parent's record id (child entities).
+PARENT_RECORD_ID = "parent_record_id"
+
+
+def element_column(attribute: str, domain: str) -> str:
+    """The output column name for an (attribute, domain) selection."""
+    return f"{attribute}_{domain}"
+
+
+@dataclass
+class SourceBinding:
+    """One contributor's classifiers for a study."""
+
+    source: GuavaSource
+    entity_classifiers: dict[str, EntityClassifier] = field(default_factory=dict)
+    classifiers: dict[Element, Classifier] = field(default_factory=dict)
+
+
+@dataclass
+class Study(Annotated):
+    """A named, reusable, annotated set of integration decisions."""
+
+    name: str
+    schema: StudySchema
+    description: str = ""
+    elements: list[Element] = field(default_factory=list)
+    filters: dict[str, Expression] = field(default_factory=dict)  # entity -> filter
+    bindings: list[SourceBinding] = field(default_factory=list)
+    #: §6 data cleaning: DISCARD WHEN rules per entity.
+    cleaning: dict[str, list[CleaningRule]] = field(default_factory=dict)
+
+    # -- declaration ---------------------------------------------------------
+
+    def add_element(self, entity: str, attribute: str, domain: str) -> Element:
+        """Select a study-schema element (validates it exists)."""
+        self.schema.domain_of(entity, attribute, domain)
+        element = (entity, attribute, domain)
+        if element in self.elements:
+            raise StudyError(f"element {element} already selected")
+        self.elements.append(element)
+        return element
+
+    def where(self, entity: str, condition: str | Expression) -> None:
+        """Filter an entity's classified rows (conditions AND together).
+
+        Conditions reference output columns (``attribute_domain``) plus
+        ``record_id`` and ``source``.
+        """
+        expr = parse(condition) if isinstance(condition, str) else condition
+        if entity in self.filters:
+            expr = BinaryOp("AND", self.filters[entity], expr)
+        self.filters[entity] = expr
+
+    def add_cleaning_rule(self, entity: str, rule: CleaningRule) -> CleaningRule:
+        """Attach a DISCARD WHEN rule to an entity (paper §6).
+
+        ``record``-scoped rules see g-tree node values before
+        classification; ``study``-scoped rules see the classified output
+        columns after the union.
+        """
+        if not self.schema.has_entity(entity):
+            raise StudyError(f"study schema has no entity {entity!r}")
+        self.cleaning.setdefault(entity, []).append(rule)
+        return rule
+
+    def bind(
+        self,
+        source: GuavaSource,
+        entity_classifiers: list[EntityClassifier],
+        classifiers: list[Classifier],
+    ) -> SourceBinding:
+        """Attach one contributor with its classifier choices.
+
+        Validates every classifier against the source's g-trees and
+        against the study schema, so binding errors surface at study
+        definition time, not mid-run.
+        """
+        binding = SourceBinding(source)
+        for ec in entity_classifiers:
+            if not self.schema.has_entity(ec.target_entity):
+                raise StudyError(
+                    f"entity classifier {ec.name!r} targets unknown entity "
+                    f"{ec.target_entity!r}"
+                )
+            problems = ec.validate_against(source.gtree(ec.form))
+            if problems:
+                raise StudyError(
+                    f"entity classifier {ec.name!r} invalid for source "
+                    f"{source.name!r}: {problems}"
+                )
+            if ec.target_entity in binding.entity_classifiers:
+                raise StudyError(
+                    f"duplicate entity classifier for {ec.target_entity!r}"
+                )
+            binding.entity_classifiers[ec.target_entity] = ec
+        for classifier in classifiers:
+            self.schema.domain_of(*classifier.target)  # raises if unknown
+            ec = binding.entity_classifiers.get(classifier.target_entity)
+            if ec is None:
+                raise StudyError(
+                    f"classifier {classifier.name!r} targets entity "
+                    f"{classifier.target_entity!r} with no entity classifier bound"
+                )
+            form = classifier.source_form or ec.form
+            missing = classifier.validate_against(source.gtree(form))
+            if missing:
+                raise StudyError(
+                    f"classifier {classifier.name!r} references unknown "
+                    f"node(s) {missing} in source {source.name!r}"
+                )
+            binding.classifiers[classifier.target] = classifier
+        self.bindings.append(binding)
+        return binding
+
+    # -- execution -------------------------------------------------------------
+
+    def elements_of(self, entity: str) -> list[Element]:
+        return [element for element in self.elements if element[0] == entity]
+
+    def entities_in_play(self) -> list[str]:
+        """Entities with at least one selected element, in schema order."""
+        wanted = {element[0] for element in self.elements}
+        return [e.name for e in self.schema.entities() if e.name in wanted]
+
+    def run(self) -> "StudyResult":
+        """Execute the study directly (the semantic reference)."""
+        if not self.bindings:
+            raise StudyError(f"study {self.name!r} has no sources bound")
+        if not self.elements:
+            raise StudyError(f"study {self.name!r} selects no elements")
+        tables: dict[str, list[Row]] = {}
+        quarantine = Quarantine()
+        for entity in self.entities_in_play():
+            rows: list[Row] = []
+            for binding in self.bindings:
+                rows.extend(self._run_entity(binding, entity, quarantine))
+            rules = self.cleaning.get(entity, [])
+            rows = apply_rules(rules, rows, "study", "study", quarantine)
+            condition = self.filters.get(entity)
+            if condition is not None:
+                rows = [row for row in rows if _EVALUATOR.satisfied(condition, row)]
+            tables[entity] = rows
+        return StudyResult(self.name, tables, quarantine)
+
+    def _run_entity(
+        self,
+        binding: SourceBinding,
+        entity: str,
+        quarantine: Quarantine | None = None,
+    ) -> list[Row]:
+        ec = binding.entity_classifiers.get(entity)
+        if ec is None:
+            raise StudyError(
+                f"source {binding.source.name!r} has no entity classifier "
+                f"for {entity!r}"
+            )
+        gtree = binding.source.gtree(ec.form)
+        base = GTreeQuery(gtree).where(ec.condition)
+        records = binding.source.execute(base)
+        if quarantine is not None:
+            records = apply_rules(
+                self.cleaning.get(entity, []),
+                records,
+                binding.source.name,
+                "record",
+                quarantine,
+            )
+        out: list[Row] = []
+        for record in records:
+            row: Row = {
+                RECORD_ID: record[RECORD_ID],
+                "source": binding.source.name,
+            }
+            if ec.parent_link is not None:
+                row[PARENT_RECORD_ID] = record.get(ec.parent_link)
+            for element in self.elements_of(entity):
+                _, attribute, domain_name = element
+                classifier = binding.classifiers.get(element)
+                if classifier is None:
+                    raise StudyError(
+                        f"source {binding.source.name!r} has no classifier for "
+                        f"{element}"
+                    )
+                domain = self.schema.domain_of(*element)
+                row[element_column(attribute, domain_name)] = classifier.classify(
+                    record, domain
+                )
+            out.append(row)
+        return out
+
+    def output_columns(self, entity: str) -> tuple[str, ...]:
+        """Column names of an entity's study table."""
+        base: tuple[str, ...] = (RECORD_ID, "source")
+        if self.has_parent_link(entity):
+            base = base + (PARENT_RECORD_ID,)
+        return base + tuple(
+            element_column(attribute, domain)
+            for _, attribute, domain in self.elements_of(entity)
+        )
+
+    def has_parent_link(self, entity: str) -> bool:
+        """True when every bound entity classifier provides a parent link.
+
+        The link column only appears when it is total: a partially-linked
+        union would silently mix linkable and orphan rows.
+        """
+        classifiers = [
+            binding.entity_classifiers[entity]
+            for binding in self.bindings
+            if entity in binding.entity_classifiers
+        ]
+        return bool(classifiers) and all(
+            ec.parent_link is not None for ec in classifiers
+        )
+
+
+@dataclass
+class StudyResult:
+    """Classified, cleaned, filtered, unioned rows per entity."""
+
+    study_name: str
+    tables: dict[str, list[Row]]
+    quarantine: Quarantine = field(default_factory=Quarantine)
+
+    def rows(self, entity: str) -> list[Row]:
+        if entity not in self.tables:
+            raise StudyError(f"study result has no entity {entity!r}")
+        return self.tables[entity]
+
+    def count(self, entity: str) -> int:
+        return len(self.rows(entity))
+
+    def distribution(self, entity: str, column: str) -> dict[object, int]:
+        """Value counts of one output column — the analyst's first look."""
+        counts: dict[object, int] = {}
+        for row in self.rows(entity):
+            key = row.get(column)
+            counts[key] = counts.get(key, 0) + 1
+        return counts

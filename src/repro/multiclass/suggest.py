@@ -1,0 +1,219 @@
+"""Vocabulary-assisted classifier suggestions (paper §3.1).
+
+"Note that controlled vocabularies or ontology, or other automated schema
+matching tools may be useful in conjunction with GUAVA to assist the
+user."  This module is that assist: given a g-tree and a study-schema
+target, it drafts candidate classifiers by matching node *context* —
+name tokens, question wording, option values, stored types — against the
+attribute and its domain.  Suggestions are drafts for the analyst to
+review, never silently adopted: each carries a confidence and a rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.guava.gtree import GNode, GTree
+from repro.multiclass.classifier import Classifier, Rule
+from repro.multiclass.domain import Domain, DomainKind
+from repro.multiclass.study_schema import StudySchema
+from repro.relational.types import DataType
+from repro.util.ids import slugify
+
+#: Generic words that carry no matching signal.
+_STOPWORDS = frozenset(
+    {"the", "a", "an", "of", "is", "does", "do", "per", "in", "has", "have", "patient"}
+)
+
+
+def _tokens(*texts: str) -> set[str]:
+    out: set[str] = set()
+    for text in texts:
+        for token in slugify(text).split("_"):
+            if token and token not in _STOPWORDS:
+                out.add(token)
+    return out
+
+
+def _camel_split(name: str) -> str:
+    """Insert separators at camel-case boundaries: TransientHypoxia -> ..."""
+    parts: list[str] = []
+    for ch in name:
+        if ch.isupper() and parts and parts[-1] != " ":
+            parts.append(" ")
+        parts.append(ch)
+    return "".join(parts)
+
+
+def _name_similarity(attribute: str, node: GNode) -> float:
+    """Jaccard overlap between attribute tokens and node name+question."""
+    attribute_tokens = _tokens(_camel_split(attribute))
+    node_tokens = _tokens(node.name, node.question)
+    if not attribute_tokens or not node_tokens:
+        return 0.0
+    overlap = attribute_tokens & node_tokens
+    return len(overlap) / len(attribute_tokens | node_tokens)
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One draft classifier with its evidence."""
+
+    classifier: Classifier
+    confidence: float
+    rationale: str
+
+    def __repr__(self) -> str:
+        return (
+            f"Suggestion({self.classifier.name!r}, confidence="
+            f"{self.confidence:.2f})"
+        )
+
+
+def suggest_classifiers(
+    gtree: GTree,
+    schema: StudySchema,
+    entity: str,
+    attribute: str,
+    domain_name: str,
+    limit: int = 3,
+) -> list[Suggestion]:
+    """Draft classifiers for one (entity, attribute, domain) target.
+
+    Ranked best-first; empty when no node resembles the target.
+    """
+    domain = schema.domain_of(entity, attribute, domain_name)
+    suggestions: list[Suggestion] = []
+    for node in gtree.data_nodes():
+        drafted = _draft_for_node(node, gtree, entity, attribute, domain_name, domain)
+        if drafted is not None:
+            suggestions.append(drafted)
+    suggestions.sort(key=lambda s: -s.confidence)
+    return suggestions[:limit]
+
+
+def suggest_all(
+    gtree: GTree, schema: StudySchema, entity: str, limit: int = 1
+) -> dict[tuple[str, str], list[Suggestion]]:
+    """Suggestions for every (attribute, domain) of one entity."""
+    out: dict[tuple[str, str], list[Suggestion]] = {}
+    for attribute in schema.entity(entity).attributes.values():
+        for domain_name in attribute.domains:
+            found = suggest_classifiers(
+                gtree, schema, entity, attribute.name, domain_name, limit=limit
+            )
+            if found:
+                out[(attribute.name, domain_name)] = found
+    return out
+
+
+# -- drafting ---------------------------------------------------------------
+
+
+def _draft_for_node(
+    node: GNode,
+    gtree: GTree,
+    entity: str,
+    attribute: str,
+    domain_name: str,
+    domain: Domain,
+) -> Suggestion | None:
+    name_score = _name_similarity(attribute, node)
+    if name_score == 0.0:
+        return None
+    shape = _shape_match(node, domain)
+    if shape is None:
+        return None
+    rules, shape_score, shape_note = shape
+    confidence = round(0.6 * name_score + 0.4 * shape_score, 3)
+    classifier = Classifier(
+        name=f"suggested_{slugify(attribute)}_{domain_name}_from_{node.name}",
+        target_entity=entity,
+        target_attribute=attribute,
+        target_domain=domain_name,
+        rules=rules,
+        description=(
+            f"DRAFT suggested from node {node.name!r} "
+            f"(question: {node.question!r}); review before use"
+        ),
+        source_form=gtree.form_name,
+    )
+    rationale = (
+        f"name overlap {name_score:.2f} with node {node.name!r}; {shape_note}"
+    )
+    return Suggestion(classifier, confidence, rationale)
+
+
+def _shape_match(
+    node: GNode, domain: Domain
+) -> tuple[list[Rule], float, str] | None:
+    """Can this node's values populate the domain?  Returns draft rules."""
+    if domain.kind is DomainKind.BOOLEAN:
+        if node.data_type is DataType.BOOLEAN:
+            return (
+                [Rule.of(node.name, f"{node.name} IS NOT NULL")],
+                1.0,
+                "boolean checkbox feeds boolean domain directly",
+            )
+        return None
+    if domain.kind is DomainKind.CATEGORICAL:
+        if not node.options:
+            return None
+        option_values = [str(value) for value, _ in node.options]
+        matches = _option_alignment(option_values, domain.categories)
+        if not matches:
+            return None
+        rules = [
+            Rule.of(f"'{category}'", f"{node.name} = '{option}'")
+            for option, category in matches
+        ]
+        coverage = len(matches) / len(domain.categories)
+        return (
+            rules,
+            coverage,
+            f"{len(matches)}/{len(domain.categories)} categories align "
+            f"with the node's options",
+        )
+    if domain.kind in (DomainKind.INTEGER, DomainKind.FLOAT):
+        if node.data_type in (DataType.INTEGER, DataType.FLOAT):
+            return (
+                [Rule.of(node.name, f"{node.name} IS NOT NULL")],
+                0.9,
+                "numeric control feeds numeric domain directly",
+            )
+        return None
+    if domain.kind is DomainKind.TEXT:
+        if node.data_type is DataType.TEXT:
+            return (
+                [Rule.of(node.name, f"{node.name} IS NOT NULL")],
+                0.7,
+                "text control feeds text domain",
+            )
+    return None
+
+
+def _option_alignment(
+    options: list[str], categories: tuple[str, ...]
+) -> list[tuple[str, str]]:
+    """Pair node options with domain categories by token similarity."""
+    pairs: list[tuple[str, str]] = []
+    used_categories: set[str] = set()
+    for option in options:
+        option_tokens = _tokens(option)
+        best: tuple[float, str] | None = None
+        for category in categories:
+            if category in used_categories:
+                continue
+            category_tokens = _tokens(category)
+            if not option_tokens or not category_tokens:
+                continue
+            overlap = option_tokens & category_tokens
+            if not overlap:
+                continue
+            score = len(overlap) / len(option_tokens | category_tokens)
+            if best is None or score > best[0]:
+                best = (score, category)
+        if best is not None:
+            used_categories.add(best[1])
+            pairs.append((option, best[1]))
+    return pairs

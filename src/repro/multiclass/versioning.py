@@ -1,0 +1,144 @@
+"""Classifier propagation across reporting-tool versions (paper §6).
+
+"We are also interested in handling new versions of a reporting tool by
+propagating classifiers to the next version if their input nodes did not
+change, and suggest new classifiers if there is a change."
+
+:func:`propagate_classifiers` compares two g-trees of the same form and
+sorts classifiers into *propagated* (inputs unchanged), *flagged* (an
+input's context changed — options, type, question), and *broken* (an input
+disappeared), with rename suggestions for the broken ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.guava.gtree import GNode, GTree
+from repro.multiclass.classifier import Classifier
+
+
+@dataclass(frozen=True)
+class NodeChange:
+    """How one input node differs between versions."""
+
+    node: str
+    kind: str  # "missing", "options", "type", "question"
+    detail: str
+    suggestion: str | None = None
+
+
+@dataclass
+class PropagationReport:
+    """Outcome of propagating one classifier set to a new tool version."""
+
+    propagated: list[Classifier] = field(default_factory=list)
+    flagged: list[tuple[Classifier, list[NodeChange]]] = field(default_factory=list)
+    broken: list[tuple[Classifier, list[NodeChange]]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.propagated) + len(self.flagged) + len(self.broken)
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.propagated)} propagated, {len(self.flagged)} flagged, "
+            f"{len(self.broken)} broken of {self.total}"
+        )
+
+
+def propagate_classifiers(
+    old: GTree, new: GTree, classifiers: list[Classifier]
+) -> PropagationReport:
+    """Sort ``classifiers`` by whether their inputs survive old → new."""
+    report = PropagationReport()
+    for classifier in classifiers:
+        changes = _changes_for(classifier, old, new)
+        if not changes:
+            report.propagated.append(classifier)
+        elif any(change.kind == "missing" for change in changes):
+            report.broken.append((classifier, changes))
+        else:
+            report.flagged.append((classifier, changes))
+    return report
+
+
+def _changes_for(classifier: Classifier, old: GTree, new: GTree) -> list[NodeChange]:
+    changes: list[NodeChange] = []
+    for name in sorted(classifier.input_nodes()):
+        if not old.has_node(name):
+            # The classifier never matched the old tree on this node; treat
+            # as missing so the analyst investigates.
+            changes.append(
+                NodeChange(name, "missing", "node absent from the old g-tree")
+            )
+            continue
+        old_node = old.node(name)
+        if not new.has_node(name):
+            changes.append(
+                NodeChange(
+                    name,
+                    "missing",
+                    "node removed in the new version",
+                    suggestion=_suggest_rename(old_node, new),
+                )
+            )
+            continue
+        changes.extend(_compare_nodes(old_node, new.node(name)))
+    return changes
+
+
+def _compare_nodes(old_node: GNode, new_node: GNode) -> list[NodeChange]:
+    changes: list[NodeChange] = []
+    if old_node.data_type != new_node.data_type:
+        changes.append(
+            NodeChange(
+                old_node.name,
+                "type",
+                f"stored type changed "
+                f"{_type_name(old_node)} -> {_type_name(new_node)}",
+            )
+        )
+    if old_node.options != new_node.options:
+        old_values = {value for value, _ in old_node.options}
+        new_values = {value for value, _ in new_node.options}
+        added = sorted(str(v) for v in new_values - old_values)
+        removed = sorted(str(v) for v in old_values - new_values)
+        detail = []
+        if added:
+            detail.append(f"options added: {added}")
+        if removed:
+            detail.append(f"options removed: {removed}")
+        if not detail:
+            detail.append("option labels reworded")
+        changes.append(NodeChange(old_node.name, "options", "; ".join(detail)))
+    if old_node.question != new_node.question:
+        changes.append(
+            NodeChange(
+                old_node.name,
+                "question",
+                f"question wording changed {old_node.question!r} -> "
+                f"{new_node.question!r}",
+            )
+        )
+    return changes
+
+
+def _suggest_rename(old_node: GNode, new: GTree) -> str | None:
+    """Suggest the new-version node that most resembles a removed one.
+
+    Resemblance: identical question wording first, then identical options
+    with a similar name.  Returns None when nothing plausible exists.
+    """
+    candidates = [node for node in new.iter_nodes() if node.stores_data]
+    for node in candidates:
+        if node.question and node.question == old_node.question:
+            return node.name
+    for node in candidates:
+        if node.options and node.options == old_node.options:
+            return node.name
+    return None
+
+
+def _type_name(node: GNode) -> str:
+    return node.data_type.value if node.data_type else "none"

@@ -1,0 +1,120 @@
+"""Emit studies as XQuery programs.
+
+The paper's translation recipe (§4.2): "treat each entity classifier as a
+for-each to iterate through objects, each domain classifier as a variable
+assignment, and each rule in a classifier as a conditional statement."
+G-trees are stored as XML, so records are XML documents; the emitted
+program is documentation-faithful FLWOR text.
+"""
+
+from __future__ import annotations
+
+from repro.expr.ast import (
+    BinaryOp,
+    Expression,
+    FunctionCall,
+    Identifier,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+from repro.multiclass.classifier import Classifier, EntityClassifier
+from repro.multiclass.study import Study, element_column
+
+
+def study_to_xquery(study: Study) -> str:
+    """Render a study as one XQuery program per source and entity."""
+    parts: list[str] = [f"(: study {study.name} :)"]
+    for binding in study.bindings:
+        for entity in study.entities_in_play():
+            ec = binding.entity_classifiers.get(entity)
+            if ec is None:
+                continue
+            parts.append(_entity_query(study, binding.source.name, ec))
+    return "\n\n".join(parts)
+
+
+def _entity_query(study: Study, source_name: str, ec: EntityClassifier) -> str:
+    lines = [
+        f"(: source {source_name}, entity {ec.target_entity} :)",
+        f"for $r in doc('{source_name}.xml')//{ec.form}",
+        f"where {_xq(ec.condition)}",
+    ]
+    for element in study.elements_of(ec.target_entity):
+        _, attribute, domain = element
+        binding_classifiers = _classifier_for(study, source_name, element)
+        if binding_classifiers is None:
+            continue
+        lines.append(
+            f"let ${element_column(attribute, domain)} := "
+            f"{_classifier_expression(binding_classifiers)}"
+        )
+    columns = ", ".join(
+        f"${element_column(attribute, domain)}"
+        for _, attribute, domain in study.elements_of(ec.target_entity)
+    )
+    lines.append(f"return <{ec.target_entity.lower()}> {{{columns}}} </{ec.target_entity.lower()}>")
+    return "\n".join(lines)
+
+
+def _classifier_for(study: Study, source_name: str, element):
+    for binding in study.bindings:
+        if binding.source.name == source_name:
+            return binding.classifiers.get(element)
+    return None
+
+
+def _classifier_expression(classifier: Classifier) -> str:
+    """Each rule becomes a conditional; rules chain as if/else."""
+    text = "()"
+    for rule in reversed(classifier.rules):
+        text = f"if ({_xq(rule.guard)}) then {_xq(rule.output)} else {text}"
+    return text
+
+
+def _xq(expr: Expression) -> str:
+    if isinstance(expr, Literal):
+        if expr.value is None:
+            return "()"
+        if isinstance(expr.value, bool):
+            return "true()" if expr.value else "false()"
+        if isinstance(expr.value, str):
+            return f'"{expr.value}"'
+        return str(expr.value)
+    if isinstance(expr, Identifier):
+        return "$r/" + "/".join(expr.path)
+    if isinstance(expr, BinaryOp):
+        op = {
+            "=": "eq",
+            "!=": "ne",
+            "<": "lt",
+            "<=": "le",
+            ">": "gt",
+            ">=": "ge",
+            "AND": "and",
+            "OR": "or",
+            "+": "+",
+            "-": "-",
+            "*": "*",
+            "/": "div",
+            "%": "mod",
+            "LIKE": "matches",
+        }[expr.op]
+        if expr.op == "LIKE":
+            return f"matches({_xq(expr.left)}, {_xq(expr.right)})"
+        return f"({_xq(expr.left)} {op} {_xq(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        if expr.op == "NOT":
+            return f"not({_xq(expr.operand)})"
+        return f"(-{_xq(expr.operand)})"
+    if isinstance(expr, FunctionCall):
+        args = ", ".join(_xq(a) for a in expr.args)
+        return f"{expr.name.lower()}({args})"
+    if isinstance(expr, InList):
+        tests = " or ".join(f"{_xq(expr.operand)} eq {_xq(i)}" for i in expr.items)
+        return f"not({tests})" if expr.negated else f"({tests})"
+    if isinstance(expr, IsNull):
+        inner = f"empty({_xq(expr.operand)})"
+        return f"not({inner})" if expr.negated else inner
+    raise TypeError(f"cannot render {type(expr).__name__} to XQuery")

@@ -1,0 +1,53 @@
+"""Database design patterns (paper Table 1 and §4.2).
+
+A *design pattern* encapsulates one systematic difference between a
+reporting tool's naive schema (one table per screen, one column per
+control) and its physical database layout.  Each pattern is bidirectional:
+
+* a **write path** used by the simulated reporting tool when a clinician
+  saves a screen, and
+* a **read path**: a relational-algebra rewrite GUAVA uses to reconstruct
+  the naive relation, so g-tree queries can be translated all the way down
+  to the physical tables.
+
+Patterns compose into a :class:`~repro.patterns.chain.PatternChain`; the
+paper: "several put together describe how to translate a query against the
+g-tree into one against the database."  The paper's prototype implements
+the patterns of Table 1 and reports identifying 11 in total; this library
+implements all eleven (see :data:`repro.patterns.catalog.ALL_PATTERNS`).
+"""
+
+from repro.patterns.base import DesignPattern, WriteEmit
+from repro.patterns.chain import PatternChain
+from repro.patterns.naive import NaivePattern
+from repro.patterns.merge import MergePattern
+from repro.patterns.split import SplitPattern
+from repro.patterns.generic import GenericPattern
+from repro.patterns.audit import AuditPattern
+from repro.patterns.lookup import LookupPattern
+from repro.patterns.encoding import EncodingPattern
+from repro.patterns.multivalue import MultivaluePattern
+from repro.patterns.versioned import VersionedPattern
+from repro.patterns.blob import BlobPattern
+from repro.patterns.partition import PartitionPattern
+from repro.patterns.catalog import ALL_PATTERNS, TABLE1_PATTERNS, pattern_summary
+
+__all__ = [
+    "ALL_PATTERNS",
+    "AuditPattern",
+    "BlobPattern",
+    "DesignPattern",
+    "EncodingPattern",
+    "GenericPattern",
+    "LookupPattern",
+    "MergePattern",
+    "MultivaluePattern",
+    "NaivePattern",
+    "PartitionPattern",
+    "PatternChain",
+    "SplitPattern",
+    "TABLE1_PATTERNS",
+    "VersionedPattern",
+    "WriteEmit",
+    "pattern_summary",
+]

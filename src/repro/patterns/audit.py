@@ -1,0 +1,69 @@
+"""The Audit pattern: soft deletes behind a sentinel column."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.expr.ast import BinaryOp, Identifier, Literal
+from repro.patterns.base import ChildPlan, DesignPattern, Schemas, WriteEmit
+from repro.relational.algebra import Plan, Project, Select
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+
+
+class AuditPattern(DesignPattern):
+    """No rows are ever deleted; a sentinel column deprecates them.
+
+    Read path (Table 1): "Pull only data where C = 0 (0 is a sentinel to
+    indicate that the row has not been deleted)."  The reporting tool only
+    displays current data; deprecated rows remain for audit.
+
+    ``tables`` limits the pattern to specific upstream tables; by default
+    every table at this level gains the sentinel.
+    """
+
+    name = "audit"
+    provides_audit = True
+
+    def __init__(self, deleted_column: str = "is_deleted", tables: list[str] | None = None):
+        self.deleted_column = deleted_column
+        self.tables = list(tables) if tables is not None else None
+
+    def _applies(self, table: str) -> bool:
+        return self.tables is None or table in self.tables
+
+    def apply_schema(self, schemas: Schemas) -> Schemas:
+        out: Schemas = {}
+        for name, schema in schemas.items():
+            if not self._applies(name):
+                out[name] = schema
+                continue
+            if schema.has_column(self.deleted_column):
+                out[name] = schema
+                continue
+            # The sentinel joins the primary key's world: never NULL.
+            sentinel = Column(self.deleted_column, DataType.BOOLEAN, nullable=False)
+            # Deprecation rewrites rows in place, so the original primary
+            # key stays valid (one live row per key).
+            out[name] = TableSchema(
+                name, schema.columns + (sentinel,), schema.primary_key
+            )
+        return out
+
+    def write(self, table: str, row: Mapping[str, object], schemas: Schemas) -> WriteEmit:
+        if not self._applies(table):
+            return [(table, dict(row))]
+        stamped = dict(row)
+        stamped[self.deleted_column] = False
+        return [(table, stamped)]
+
+    def plan(self, table: str, child: ChildPlan, schemas: Schemas) -> Plan:
+        if not self._applies(table):
+            return child(table)
+        live = Select(
+            child(table),
+            BinaryOp("=", Identifier.of(self.deleted_column), Literal(False)),
+        )
+        return Project(live, schemas[table].column_names)
+
+    # locate: identity — the sentinel is applied by PatternChain.soft_delete.

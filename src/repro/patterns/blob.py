@@ -1,0 +1,92 @@
+"""The Blob pattern: whole screens serialized into one document column."""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+from typing import Mapping
+
+from repro.errors import PatternConfigError
+from repro.patterns.base import ChildPlan, DesignPattern, Schemas, WriteEmit
+from repro.relational.algebra import Coerce, Compute, Plan, Project
+from repro.expr.ast import FunctionCall, Identifier, Literal
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+
+
+class BlobPattern(DesignPattern):
+    """Store each saved screen as ``(key, JSON document)``.
+
+    Several commercial reporting tools persist forms as serialized
+    documents (XML/JSON) rather than columns.  The read path extracts
+    fields with ``JSON_GET`` and coerces them back to the naive types —
+    exactly the kind of relationship only GUAVA's pattern machinery can
+    surface to an analyst.
+    """
+
+    name = "blob"
+
+    def __init__(self, forms: list[str], key: str = "record_id", blob_column: str = "document"):
+        if not forms:
+            raise PatternConfigError("blob needs at least one form")
+        self.forms = list(forms)
+        self.key = key
+        self.blob_column = blob_column
+
+    def apply_schema(self, schemas: Schemas) -> Schemas:
+        missing = [form for form in self.forms if form not in schemas]
+        if missing:
+            raise PatternConfigError(f"blob references unknown tables {missing}")
+        out = dict(schemas)
+        for form in self.forms:
+            key_column = schemas[form].column(self.key)
+            out[form] = TableSchema(
+                form,
+                (key_column, Column(self.blob_column, DataType.TEXT, nullable=False)),
+                primary_key=(self.key,),
+            )
+        return out
+
+    def write(self, table: str, row: Mapping[str, object], schemas: Schemas) -> WriteEmit:
+        if table not in self.forms:
+            return [(table, dict(row))]
+        payload = {
+            column: _jsonable(value)
+            for column, value in row.items()
+            if column != self.key and value is not None
+        }
+        return [
+            (
+                table,
+                {
+                    self.key: row.get(self.key),
+                    self.blob_column: json.dumps(payload, sort_keys=True),
+                },
+            )
+        ]
+
+    def plan(self, table: str, child: ChildPlan, schemas: Schemas) -> Plan:
+        if table not in self.forms:
+            return child(table)
+        schema = schemas[table]
+        fields = tuple(c for c in schema.column_names if c != self.key)
+        derivations = tuple(
+            (
+                column,
+                FunctionCall(
+                    "JSON_GET", (Identifier.of(self.blob_column), Literal(column))
+                ),
+            )
+            for column in fields
+        )
+        extracted = Compute(child(table), derivations)
+        coerced = Coerce(
+            extracted, tuple((c, schema.column(c).dtype) for c in fields)
+        )
+        return Project(coerced, schema.column_names)
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, date):
+        return value.isoformat()
+    return value

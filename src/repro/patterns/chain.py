@@ -1,0 +1,158 @@
+"""Composing design patterns into a source's storage mapping."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import PatternConfigError, PatternWriteError
+from repro.patterns.base import DesignPattern, Row, Schemas
+from repro.relational.algebra import Plan, Scan
+from repro.relational.database import Database
+from repro.relational.schema import TableSchema
+
+
+class PatternChain:
+    """An ordered list of design patterns mapping naive ↔ physical.
+
+    Level 0 is the tool's naive schemas; each pattern maps its level to the
+    next; the last level is the physical database layout.
+
+    * :meth:`deploy` creates the physical tables in a database.
+    * :meth:`write` pushes one saved screen down through every pattern.
+    * :meth:`plan_for` builds the algebra plan that reconstructs a form's
+      naive relation from the physical tables — the read path GUAVA's
+      query translation composes with.
+    * :meth:`soft_delete` deprecates a record through the chain; a chain
+      containing an Audit pattern sets the sentinel column, otherwise the
+      physical rows are removed.
+    """
+
+    def __init__(self, naive_schemas: Mapping[str, TableSchema], patterns: list[DesignPattern]):
+        if not naive_schemas:
+            raise PatternConfigError("chain requires at least one naive schema")
+        self.patterns = list(patterns)
+        # Precompute schemas per level: levels[0] = naive, levels[-1] = physical.
+        self.levels: list[Schemas] = [dict(naive_schemas)]
+        for pattern in self.patterns:
+            self.levels.append(pattern.apply_schema(self.levels[-1]))
+
+    # -- schema ------------------------------------------------------------
+
+    @property
+    def naive_schemas(self) -> Schemas:
+        return dict(self.levels[0])
+
+    @property
+    def physical_schemas(self) -> Schemas:
+        return dict(self.levels[-1])
+
+    def deploy(self, db: Database) -> None:
+        """Create every physical table (idempotent per schema)."""
+        for schema in self.physical_schemas.values():
+            db.ensure_table(schema)
+
+    # -- write path -----------------------------------------------------------
+
+    def write(self, db: Database, form_name: str, naive_row: Mapping[str, object]) -> int:
+        """Store one saved screen; returns physical rows written."""
+        if form_name not in self.levels[0]:
+            raise PatternWriteError(f"chain has no naive table {form_name!r}")
+        pairs: list[tuple[str, Row]] = [(form_name, dict(naive_row))]
+        for level, pattern in enumerate(self.patterns):
+            next_pairs: list[tuple[str, Row]] = []
+            for table, row in pairs:
+                next_pairs.extend(pattern.write(table, row, self.levels[level]))
+            pairs = next_pairs
+        for table, row in pairs:
+            db.table(table).insert(row)
+        return len(pairs)
+
+    def writer(self, db: Database):
+        """A ``(form_name, naive_row)`` callback for data-entry sessions."""
+
+        def _write(form_name: str, naive_row: Mapping[str, object]) -> None:
+            self.write(db, form_name, naive_row)
+
+        return _write
+
+    # -- read path --------------------------------------------------------------
+
+    def plan_for(self, form_name: str) -> Plan:
+        """Algebra plan reconstructing the naive relation of ``form_name``."""
+        if form_name not in self.levels[0]:
+            raise PatternConfigError(f"chain has no naive table {form_name!r}")
+        return self._plan(0, form_name)
+
+    def _plan(self, level: int, table: str) -> Plan:
+        if level == len(self.patterns):
+            return Scan(table)
+        pattern = self.patterns[level]
+        return pattern.plan(
+            table, lambda name: self._plan(level + 1, name), self.levels[level]
+        )
+
+    def read_naive(self, db: Database, form_name: str) -> list[Row]:
+        """Execute the read path: the naive relation, reconstructed."""
+        return self.plan_for(form_name).execute(db)
+
+    # -- provenance / deletion ------------------------------------------------
+
+    @property
+    def provides_audit(self) -> bool:
+        return any(pattern.provides_audit for pattern in self.patterns)
+
+    def locate_physical(
+        self, form_name: str, record_id: object
+    ) -> list[tuple[str, dict[str, object]]]:
+        """Physical locators for one naive record."""
+        from repro.ui.form import RECORD_ID
+
+        locators: list[tuple[str, dict[str, object]]] = [
+            (form_name, {RECORD_ID: record_id})
+        ]
+        for pattern in self.patterns:
+            next_locators: list[tuple[str, dict[str, object]]] = []
+            for table, key in locators:
+                next_locators.extend(pattern.locate(table, key))
+            locators = next_locators
+        return locators
+
+    def soft_delete(self, db: Database, form_name: str, record_id: object) -> int:
+        """Deprecate one record (Audit sentinel) or delete it physically."""
+        affected = 0
+        for table, key in self.locate_physical(form_name, record_id):
+            if not db.has_table(table):
+                continue
+            target = db.table(table)
+
+            def matches(row: Row, key: dict[str, object] = key) -> bool:
+                return all(row.get(column) == value for column, value in key.items())
+
+            if self.provides_audit and target.schema.has_column(_audit_column(self)):
+                affected += target.update(matches, {_audit_column(self): True})
+            else:
+                affected += target.delete(matches)
+        return affected
+
+    # -- description ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line summary: pattern stack and physical layout."""
+        lines = [f"PatternChain ({len(self.patterns)} pattern(s)):"]
+        for pattern in self.patterns:
+            lines.append(f"  - {pattern.describe()}")
+        lines.append("  physical tables:")
+        for schema in self.physical_schemas.values():
+            lines.append(f"    {schema}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        names = [pattern.name for pattern in self.patterns]
+        return f"PatternChain({names})"
+
+
+def _audit_column(chain: PatternChain) -> str:
+    for pattern in chain.patterns:
+        if pattern.provides_audit:
+            return getattr(pattern, "deleted_column", "is_deleted")
+    return "is_deleted"

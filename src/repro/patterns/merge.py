@@ -1,0 +1,90 @@
+"""The Merge pattern: several forms stored in one physical table."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import PatternConfigError
+from repro.expr.ast import BinaryOp, Identifier, Literal
+from repro.patterns.base import ChildPlan, DesignPattern, Row, Schemas, WriteEmit
+from repro.relational.algebra import Plan, Project, Select
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+
+
+class MergePattern(DesignPattern):
+    """Data from several forms are drawn from the same table.
+
+    Read path (Table 1): "Pull only data where C = form name (C is a
+    column that holds forms)".  The merged table's columns are the union
+    of the member forms' columns; values for another form's columns are
+    NULL.
+    """
+
+    name = "merge"
+
+    def __init__(
+        self,
+        target_table: str,
+        forms: list[str],
+        form_column: str = "form_name",
+    ):
+        if len(forms) < 2:
+            raise PatternConfigError("merge needs at least two forms")
+        if len(set(forms)) != len(forms):
+            raise PatternConfigError("merge form list has duplicates")
+        self.target_table = target_table
+        self.forms = list(forms)
+        self.form_column = form_column
+
+    def apply_schema(self, schemas: Schemas) -> Schemas:
+        missing = [form for form in self.forms if form not in schemas]
+        if missing:
+            raise PatternConfigError(f"merge references unknown tables {missing}")
+        out = {name: schema for name, schema in schemas.items() if name not in self.forms}
+        columns: list[Column] = [Column(self.form_column, DataType.TEXT, nullable=False)]
+        seen: dict[str, Column] = {}
+        for form in self.forms:
+            for column in schemas[form].columns:
+                if column.name == self.form_column:
+                    raise PatternConfigError(
+                        f"column {column.name!r} collides with the form discriminator"
+                    )
+                existing = seen.get(column.name)
+                if existing is None:
+                    # Merged columns must be nullable: other forms leave them NULL.
+                    merged = Column(column.name, column.dtype, nullable=True)
+                    seen[column.name] = merged
+                    columns.append(merged)
+                elif existing.dtype != column.dtype:
+                    raise PatternConfigError(
+                        f"merge type conflict on column {column.name!r}: "
+                        f"{existing.dtype.value} vs {column.dtype.value}"
+                    )
+        if self.target_table in out:
+            raise PatternConfigError(
+                f"merge target {self.target_table!r} collides with an existing table"
+            )
+        out[self.target_table] = TableSchema(self.target_table, tuple(columns))
+        return out
+
+    def write(self, table: str, row: Mapping[str, object], schemas: Schemas) -> WriteEmit:
+        if table not in self.forms:
+            return [(table, dict(row))]
+        merged: Row = {self.form_column: table}
+        merged.update(row)
+        return [(self.target_table, merged)]
+
+    def plan(self, table: str, child: ChildPlan, schemas: Schemas) -> Plan:
+        if table not in self.forms:
+            return child(table)
+        predicate = BinaryOp("=", Identifier.of(self.form_column), Literal(table))
+        selected = Select(child(self.target_table), predicate)
+        return Project(selected, schemas[table].column_names)
+
+    def locate(self, table: str, key: dict[str, object]):
+        if table not in self.forms:
+            return [(table, dict(key))]
+        merged_key = dict(key)
+        merged_key[self.form_column] = table
+        return [(self.target_table, merged_key)]

@@ -1,0 +1,97 @@
+"""The Multivalue pattern: multi-select answers stored as child rows."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import PatternConfigError
+from repro.patterns.base import ChildPlan, DesignPattern, Schemas, WriteEmit
+from repro.relational.algebra import (
+    Aggregate,
+    AggregateSpec,
+    Join,
+    Plan,
+    Project,
+    Sort,
+)
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.ui.controls import CheckList
+
+
+class MultivaluePattern(DesignPattern):
+    """A ``;``-joined multi-select column becomes a one-to-many child table.
+
+    The child table holds ``(key, position, value)``; the read path
+    re-aggregates in position order, so the naive canonical encoding is
+    restored exactly.  An unanswered multi-select (NULL) has no child rows
+    and reads back as NULL through the left join.
+    """
+
+    name = "multivalue"
+
+    def __init__(self, form: str, column: str, child_table: str, key: str = "record_id"):
+        self.form = form
+        self.column = column
+        self.child_table = child_table
+        self.key = key
+
+    def apply_schema(self, schemas: Schemas) -> Schemas:
+        if self.form not in schemas:
+            raise PatternConfigError(f"multivalue references unknown table {self.form!r}")
+        schema = schemas[self.form]
+        if not schema.has_column(self.column):
+            raise PatternConfigError(
+                f"multivalue references unknown column {self.form}.{self.column}"
+            )
+        if self.child_table in schemas:
+            raise PatternConfigError(f"child table {self.child_table!r} collides")
+        out = dict(schemas)
+        remaining = tuple(c for c in schema.columns if c.name != self.column)
+        out[self.form] = TableSchema(self.form, remaining, schema.primary_key)
+        key_type = schema.column(self.key).dtype
+        out[self.child_table] = TableSchema(
+            self.child_table,
+            (
+                Column(self.key, key_type, nullable=False),
+                Column("position", DataType.INTEGER, nullable=False),
+                Column(self.column, DataType.TEXT, nullable=False),
+            ),
+        )
+        return out
+
+    def write(self, table: str, row: Mapping[str, object], schemas: Schemas) -> WriteEmit:
+        if table != self.form:
+            return [(table, dict(row))]
+        main = dict(row)
+        stored = main.pop(self.column, None)
+        emitted: WriteEmit = [(self.form, main)]
+        for position, value in enumerate(CheckList.split(stored)):
+            emitted.append(
+                (
+                    self.child_table,
+                    {self.key: row.get(self.key), "position": position, self.column: value},
+                )
+            )
+        return emitted
+
+    def plan(self, table: str, child: ChildPlan, schemas: Schemas) -> Plan:
+        if table != self.form:
+            return child(table)
+        ordered = Sort(
+            child(self.child_table), ((self.key, True), ("position", True))
+        )
+        aggregated = Aggregate(
+            ordered,
+            group_by=(self.key,),
+            aggregates=(AggregateSpec("STRING_AGG", self.column, self.column),),
+        )
+        joined = Join(
+            child(self.form), aggregated, on=((self.key, self.key),), how="left"
+        )
+        return Project(joined, schemas[table].column_names)
+
+    def locate(self, table: str, key: dict[str, object]):
+        if table != self.form:
+            return [(table, dict(key))]
+        return [(self.form, dict(key)), (self.child_table, dict(key))]

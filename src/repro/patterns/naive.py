@@ -1,0 +1,15 @@
+"""The Naïve pattern: physical layout equals the naive schema."""
+
+from __future__ import annotations
+
+from repro.patterns.base import DesignPattern
+
+
+class NaivePattern(DesignPattern):
+    """No transformation — "this is just the in-memory database".
+
+    Useful as the explicit identity in chains and as the baseline in the
+    Table 1 benchmark.
+    """
+
+    name = "naive"

@@ -1,0 +1,78 @@
+"""The Partition pattern: one form's rows split across tables by value."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import PatternConfigError, PatternWriteError
+from repro.patterns.base import ChildPlan, DesignPattern, Schemas, WriteEmit
+from repro.relational.algebra import Plan, Union
+
+
+class PartitionPattern(DesignPattern):
+    """Horizontal partitioning on a routing column.
+
+    ``routes`` maps a column value to the partition table storing rows with
+    that value; ``default_table`` catches everything else.  Read path:
+    union of all partitions (partition membership is derivable from the
+    routing column, so nothing is lost).
+    """
+
+    name = "partition"
+
+    def __init__(
+        self,
+        form: str,
+        column: str,
+        routes: Mapping[object, str],
+        default_table: str,
+    ):
+        if not routes:
+            raise PatternConfigError("partition needs at least one route")
+        self.form = form
+        self.column = column
+        self.routes = dict(routes)
+        self.default_table = default_table
+        targets = list(self.routes.values()) + [default_table]
+        if len(set(targets)) != len(targets):
+            raise PatternConfigError("partition tables must be distinct")
+
+    def apply_schema(self, schemas: Schemas) -> Schemas:
+        if self.form not in schemas:
+            raise PatternConfigError(f"partition references unknown table {self.form!r}")
+        schema = schemas[self.form]
+        if not schema.has_column(self.column):
+            raise PatternConfigError(
+                f"partition references unknown column {self.form}.{self.column}"
+            )
+        out = {name: s for name, s in schemas.items() if name != self.form}
+        for target in list(self.routes.values()) + [self.default_table]:
+            if target in out:
+                raise PatternConfigError(f"partition table {target!r} collides")
+            out[target] = schema.renamed(target)
+        return out
+
+    def _route(self, value: object) -> str:
+        return self.routes.get(value, self.default_table)
+
+    def write(self, table: str, row: Mapping[str, object], schemas: Schemas) -> WriteEmit:
+        if table != self.form:
+            return [(table, dict(row))]
+        if self.column not in row:
+            raise PatternWriteError(
+                f"partition column {self.column!r} missing from row"
+            )
+        return [(self._route(row[self.column]), dict(row))]
+
+    def plan(self, table: str, child: ChildPlan, schemas: Schemas) -> Plan:
+        if table != self.form:
+            return child(table)
+        targets = list(self.routes.values()) + [self.default_table]
+        return Union(tuple(child(target) for target in targets))
+
+    def locate(self, table: str, key: dict[str, object]):
+        if table != self.form:
+            return [(table, dict(key))]
+        # The record's partition is unknown from the key alone; locate in all.
+        targets = list(self.routes.values()) + [self.default_table]
+        return [(target, dict(key)) for target in targets]

@@ -1,0 +1,82 @@
+"""The Split pattern: one form's attributes distributed over several tables."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import PatternConfigError
+from repro.patterns.base import ChildPlan, DesignPattern, Schemas, WriteEmit
+from repro.relational.algebra import Join, Plan, Project
+from repro.relational.schema import TableSchema
+
+
+class SplitPattern(DesignPattern):
+    """Attributes from a single form are distributed over several tables.
+
+    Read path (Table 1): Join.  Each part table carries the form's key
+    columns; the read path rejoins parts on those keys.
+    """
+
+    name = "split"
+
+    def __init__(self, form: str, parts: Mapping[str, list[str]], key: str = "record_id"):
+        if len(parts) < 2:
+            raise PatternConfigError("split needs at least two part tables")
+        self.form = form
+        self.parts = {name: list(columns) for name, columns in parts.items()}
+        self.key = key
+        assigned = [column for columns in self.parts.values() for column in columns]
+        duplicates = {c for c in assigned if assigned.count(c) > 1}
+        if duplicates:
+            raise PatternConfigError(
+                f"split assigns column(s) {sorted(duplicates)} to multiple parts"
+            )
+        if key in assigned:
+            raise PatternConfigError(f"key column {key!r} must not be listed in parts")
+
+    def apply_schema(self, schemas: Schemas) -> Schemas:
+        if self.form not in schemas:
+            raise PatternConfigError(f"split references unknown table {self.form!r}")
+        source = schemas[self.form]
+        assigned = {column for columns in self.parts.values() for column in columns}
+        source_columns = set(source.column_names) - {self.key}
+        if assigned != source_columns:
+            raise PatternConfigError(
+                f"split must cover exactly the non-key columns of {self.form}: "
+                f"missing {sorted(source_columns - assigned)}, "
+                f"extra {sorted(assigned - source_columns)}"
+            )
+        out = {name: schema for name, schema in schemas.items() if name != self.form}
+        key_column = source.column(self.key)
+        for part_name, columns in self.parts.items():
+            if part_name in out:
+                raise PatternConfigError(f"split part {part_name!r} collides")
+            part_columns = [key_column] + [source.column(c) for c in columns]
+            out[part_name] = TableSchema(
+                part_name, tuple(part_columns), primary_key=(self.key,)
+            )
+        return out
+
+    def write(self, table: str, row: Mapping[str, object], schemas: Schemas) -> WriteEmit:
+        if table != self.form:
+            return [(table, dict(row))]
+        emitted: WriteEmit = []
+        for part_name, columns in self.parts.items():
+            part_row = {self.key: row.get(self.key)}
+            part_row.update({column: row.get(column) for column in columns})
+            emitted.append((part_name, part_row))
+        return emitted
+
+    def plan(self, table: str, child: ChildPlan, schemas: Schemas) -> Plan:
+        if table != self.form:
+            return child(table)
+        part_names = list(self.parts)
+        plan: Plan = child(part_names[0])
+        for part_name in part_names[1:]:
+            plan = Join(plan, child(part_name), on=((self.key, self.key),))
+        return Project(plan, schemas[table].column_names)
+
+    def locate(self, table: str, key: dict[str, object]):
+        if table != self.form:
+            return [(table, dict(key))]
+        return [(part_name, dict(key)) for part_name in self.parts]

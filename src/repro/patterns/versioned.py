@@ -1,0 +1,52 @@
+"""The Versioned pattern: rows stamped with the writing tool's version."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.patterns.base import ChildPlan, DesignPattern, Schemas, WriteEmit
+from repro.relational.algebra import Plan, Project
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+
+
+class VersionedPattern(DesignPattern):
+    """Every row records which tool version produced it.
+
+    The stamp is invisible at the naive level (projected away on read) but
+    essential for MultiClass's classifier-propagation support: when a new
+    tool version ships, analysts can tell which rows each g-tree version
+    explains.
+    """
+
+    name = "versioned"
+
+    def __init__(self, version: str, column: str = "tool_version", tables: list[str] | None = None):
+        self.version = version
+        self.column = column
+        self.tables = list(tables) if tables is not None else None
+
+    def _applies(self, table: str) -> bool:
+        return self.tables is None or table in self.tables
+
+    def apply_schema(self, schemas: Schemas) -> Schemas:
+        out: Schemas = {}
+        for name, schema in schemas.items():
+            if not self._applies(name) or schema.has_column(self.column):
+                out[name] = schema
+                continue
+            stamp = Column(self.column, DataType.TEXT, nullable=False)
+            out[name] = TableSchema(name, schema.columns + (stamp,), schema.primary_key)
+        return out
+
+    def write(self, table: str, row: Mapping[str, object], schemas: Schemas) -> WriteEmit:
+        if not self._applies(table):
+            return [(table, dict(row))]
+        stamped = dict(row)
+        stamped[self.column] = self.version
+        return [(table, stamped)]
+
+    def plan(self, table: str, child: ChildPlan, schemas: Schemas) -> Plan:
+        if not self._applies(table):
+            return child(table)
+        return Project(child(table), schemas[table].column_names)

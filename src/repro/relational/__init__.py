@@ -1,0 +1,65 @@
+"""In-memory relational engine.
+
+This is the substrate standing in for the contributor databases and the
+warehouse DBMS: typed tables, a relational algebra with an executor, a
+light plan optimizer, and a SQL renderer used to document generated ETL.
+"""
+
+from repro.relational.types import DataType
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.database import Database
+from repro.relational.index import HashIndex
+from repro.relational.algebra import (
+    Aggregate,
+    AggregateSpec,
+    Coerce,
+    Compute,
+    Distinct,
+    Join,
+    Limit,
+    Pivot,
+    Plan,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Sort,
+    Union,
+    Unpivot,
+    Values,
+)
+from repro.relational.query import Query, optimize
+from repro.relational.snapshot import load_database, save_database
+from repro.relational.sql import to_sql
+
+__all__ = [
+    "Aggregate",
+    "AggregateSpec",
+    "Coerce",
+    "Column",
+    "Compute",
+    "DataType",
+    "Database",
+    "Distinct",
+    "HashIndex",
+    "Join",
+    "Limit",
+    "Pivot",
+    "Plan",
+    "Project",
+    "Query",
+    "Rename",
+    "Scan",
+    "Select",
+    "Sort",
+    "Table",
+    "TableSchema",
+    "Union",
+    "Unpivot",
+    "Values",
+    "load_database",
+    "optimize",
+    "save_database",
+    "to_sql",
+]

@@ -1,0 +1,510 @@
+"""Logical plans and their executor.
+
+Plans are immutable trees of operator nodes; ``Plan.execute(db)`` runs the
+tree against a :class:`~repro.relational.database.Database` and returns a
+list of row dicts.  Predicates and computed columns use the shared
+expression language, so the same conditions analysts write in classifiers
+run here unchanged.
+
+``Unpivot`` and ``Pivot`` are first-class because the paper's *Generic*
+design pattern (EAV layouts) hinges on them: "Execute an un-pivot
+operation, either in code or SQL if the operator exists in the DBMS".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.expr.ast import Expression
+from repro.expr.evaluator import Evaluator
+from repro.relational.database import Database
+from repro.relational.types import DataType
+
+Row = dict[str, object]
+
+_EVALUATOR = Evaluator()
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Base class for all plan nodes."""
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+    def execute(self, db: Database) -> list[Row]:
+        """Run the plan against ``db``."""
+        raise NotImplementedError
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        """Column names this node produces, in order."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterable["Plan"]:
+        """This node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """Read a base table's full extent."""
+
+    table: str
+
+    def execute(self, db: Database) -> list[Row]:
+        return db.table(self.table).rows()
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        return db.table(self.table).schema.column_names
+
+
+@dataclass(frozen=True)
+class Values(Plan):
+    """A literal relation (used by tests and by ETL staging steps)."""
+
+    columns: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+
+    def execute(self, db: Database) -> list[Row]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        return self.columns
+
+
+@dataclass(frozen=True)
+class Select(Plan):
+    """Keep rows whose predicate evaluates to TRUE (NULL filters out)."""
+
+    child: Plan
+    predicate: Expression
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, db: Database) -> list[Row]:
+        rows = self.child.execute(db)
+        return [row for row in rows if _EVALUATOR.satisfied(self.predicate, row)]
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        return self.child.output_columns(db)
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    """Keep only the named columns, in the given order."""
+
+    child: Plan
+    columns: tuple[str, ...]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, db: Database) -> list[Row]:
+        rows = self.child.execute(db)
+        available = set(self.child.output_columns(db))
+        missing = [column for column in self.columns if column not in available]
+        if missing:
+            raise QueryError(f"projection references unknown column(s) {missing}")
+        return [{column: row.get(column) for column in self.columns} for row in rows]
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        return self.columns
+
+
+@dataclass(frozen=True)
+class Compute(Plan):
+    """Extend each row with computed columns (generalized projection)."""
+
+    child: Plan
+    derivations: tuple[tuple[str, Expression], ...]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, db: Database) -> list[Row]:
+        rows = self.child.execute(db)
+        out: list[Row] = []
+        for row in rows:
+            extended = dict(row)
+            for name, expression in self.derivations:
+                extended[name] = _EVALUATOR.evaluate(expression, row)
+            out.append(extended)
+        return out
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        base = self.child.output_columns(db)
+        new = tuple(name for name, _ in self.derivations if name not in base)
+        return base + new
+
+
+@dataclass(frozen=True)
+class Rename(Plan):
+    """Rename columns: mapping of old name → new name."""
+
+    child: Plan
+    mapping: tuple[tuple[str, str], ...]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, db: Database) -> list[Row]:
+        rows = self.child.execute(db)
+        table = dict(self.mapping)
+        return [
+            {table.get(column, column): value for column, value in row.items()}
+            for row in rows
+        ]
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        table = dict(self.mapping)
+        return tuple(table.get(column, column) for column in self.child.output_columns(db))
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    """Equi-join on column pairs.  ``how`` is ``inner`` or ``left``.
+
+    Non-join columns of the two sides must be disjoint; collide-by-accident
+    joins are a classic silent-corruption source in hand-written ETL, so we
+    refuse them and force an explicit :class:`Rename`.
+    """
+
+    left: Plan
+    right: Plan
+    on: tuple[tuple[str, str], ...]
+    how: str = "inner"
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def execute(self, db: Database) -> list[Row]:
+        if self.how not in ("inner", "left"):
+            raise QueryError(f"unsupported join type {self.how!r}")
+        left_rows = self.left.execute(db)
+        right_rows = self.right.execute(db)
+        left_cols = self.left.output_columns(db)
+        right_cols = self.right.output_columns(db)
+        right_keys = tuple(rk for _, rk in self.on)
+        overlap = (set(left_cols) & set(right_cols)) - set(right_keys)
+        if overlap:
+            raise QueryError(
+                f"join would collide on columns {sorted(overlap)}; rename one side"
+            )
+        # Hash join on the right side.
+        buckets: dict[tuple[object, ...], list[Row]] = {}
+        for row in right_rows:
+            key = tuple(row.get(rk) for _, rk in self.on)
+            buckets.setdefault(key, []).append(row)
+        null_right = {column: None for column in right_cols if column not in right_keys}
+        out: list[Row] = []
+        for row in left_rows:
+            key = tuple(row.get(lk) for lk, _ in self.on)
+            matches = buckets.get(key, []) if None not in key else []
+            if matches:
+                for match in matches:
+                    merged = dict(row)
+                    merged.update(
+                        {c: v for c, v in match.items() if c not in right_keys}
+                    )
+                    out.append(merged)
+            elif self.how == "left":
+                merged = dict(row)
+                merged.update(null_right)
+                out.append(merged)
+        return out
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        right_keys = {rk for _, rk in self.on}
+        right_cols = tuple(
+            column
+            for column in self.right.output_columns(db)
+            if column not in right_keys
+        )
+        return self.left.output_columns(db) + right_cols
+
+
+@dataclass(frozen=True)
+class Union(Plan):
+    """Union-all of inputs sharing the same column set.
+
+    This is MultiClass's integration operator: "MultiClass simply unions
+    together the results of ETL workflows from different contributors."
+    """
+
+    inputs: tuple[Plan, ...]
+
+    def children(self) -> tuple[Plan, ...]:
+        return self.inputs
+
+    def execute(self, db: Database) -> list[Row]:
+        if not self.inputs:
+            return []
+        columns = self.output_columns(db)
+        out: list[Row] = []
+        for plan in self.inputs:
+            plan_columns = set(plan.output_columns(db))
+            if plan_columns != set(columns):
+                raise QueryError(
+                    f"union inputs disagree on columns: {sorted(plan_columns)} "
+                    f"vs {sorted(columns)}"
+                )
+            for row in plan.execute(db):
+                out.append({column: row.get(column) for column in columns})
+        return out
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        if not self.inputs:
+            return ()
+        return self.inputs[0].output_columns(db)
+
+
+@dataclass(frozen=True)
+class Distinct(Plan):
+    """Remove duplicate rows, preserving first-seen order."""
+
+    child: Plan
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, db: Database) -> list[Row]:
+        columns = self.child.output_columns(db)
+        seen: set[tuple[object, ...]] = set()
+        out: list[Row] = []
+        for row in self.child.execute(db):
+            key = tuple(_hashable(row.get(column)) for column in columns)
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+        return out
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        return self.child.output_columns(db)
+
+
+@dataclass(frozen=True)
+class Unpivot(Plan):
+    """Wide → EAV: each value column becomes an (attribute, value) row."""
+
+    child: Plan
+    id_columns: tuple[str, ...]
+    value_columns: tuple[str, ...]
+    attribute_column: str = "attribute"
+    value_column: str = "value"
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, db: Database) -> list[Row]:
+        out: list[Row] = []
+        for row in self.child.execute(db):
+            for column in self.value_columns:
+                record: Row = {c: row.get(c) for c in self.id_columns}
+                record[self.attribute_column] = column
+                record[self.value_column] = row.get(column)
+                out.append(record)
+        return out
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        return self.id_columns + (self.attribute_column, self.value_column)
+
+
+@dataclass(frozen=True)
+class Pivot(Plan):
+    """EAV → wide: rows sharing key columns fold into one row per key.
+
+    Attributes absent for a key yield NULL; duplicate (key, attribute)
+    pairs keep the *last* value, matching reporting tools that overwrite
+    earlier saves.
+    """
+
+    child: Plan
+    key_columns: tuple[str, ...]
+    attribute_column: str
+    value_column: str
+    attributes: tuple[str, ...]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, db: Database) -> list[Row]:
+        grouped: dict[tuple[object, ...], Row] = {}
+        order: list[tuple[object, ...]] = []
+        for row in self.child.execute(db):
+            key = tuple(row.get(column) for column in self.key_columns)
+            if key not in grouped:
+                base: Row = {c: v for c, v in zip(self.key_columns, key)}
+                base.update({attribute: None for attribute in self.attributes})
+                grouped[key] = base
+                order.append(key)
+            attribute = row.get(self.attribute_column)
+            if attribute in self.attributes:
+                grouped[key][str(attribute)] = row.get(self.value_column)
+        return [grouped[key] for key in order]
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        return self.key_columns + self.attributes
+
+
+@dataclass(frozen=True)
+class Coerce(Plan):
+    """Coerce named columns to declared types.
+
+    Read paths of patterns that store values as text (Generic/EAV, Blob)
+    end with a Coerce restoring the naive schema's types.
+    """
+
+    child: Plan
+    column_types: tuple[tuple[str, "DataType"], ...]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, db: Database) -> list[Row]:
+        rows = self.child.execute(db)
+        out: list[Row] = []
+        for row in rows:
+            converted = dict(row)
+            for column, dtype in self.column_types:
+                if column in converted:
+                    converted[column] = dtype.coerce(converted[column])
+            out.append(converted)
+        return out
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        return self.child.output_columns(db)
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate: ``func`` over ``column`` (None for COUNT(*)) as ``alias``."""
+
+    func: str  # COUNT, COUNT_DISTINCT, SUM, AVG, MIN, MAX
+    column: str | None
+    alias: str
+
+
+@dataclass(frozen=True)
+class Aggregate(Plan):
+    """Group-by aggregation."""
+
+    child: Plan
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, db: Database) -> list[Row]:
+        groups: dict[tuple[object, ...], list[Row]] = {}
+        order: list[tuple[object, ...]] = []
+        for row in self.child.execute(db):
+            key = tuple(_hashable(row.get(column)) for column in self.group_by)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        out: list[Row] = []
+        for key in order:
+            rows = groups[key]
+            result: Row = dict(zip(self.group_by, key))
+            for spec in self.aggregates:
+                result[spec.alias] = _aggregate(spec, rows)
+            out.append(result)
+        if not out and not self.group_by and self.aggregates:
+            # Aggregating an empty input without grouping still yields one row.
+            out.append({spec.alias: _aggregate(spec, []) for spec in self.aggregates})
+        return out
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        return self.group_by + tuple(spec.alias for spec in self.aggregates)
+
+
+@dataclass(frozen=True)
+class Sort(Plan):
+    """Order rows by keys; each key is (column, ascending)."""
+
+    child: Plan
+    keys: tuple[tuple[str, bool], ...]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, db: Database) -> list[Row]:
+        rows = self.child.execute(db)
+        # Apply keys right-to-left so stable sort yields composite ordering.
+        for column, ascending in reversed(self.keys):
+            rows.sort(key=lambda row: _sort_key(row.get(column)), reverse=not ascending)
+        return rows
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        return self.child.output_columns(db)
+
+
+@dataclass(frozen=True)
+class Limit(Plan):
+    """Keep the first ``count`` rows."""
+
+    child: Plan
+    count: int
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def execute(self, db: Database) -> list[Row]:
+        return self.child.execute(db)[: self.count]
+
+    def output_columns(self, db: Database) -> tuple[str, ...]:
+        return self.child.output_columns(db)
+
+
+# -- helpers -------------------------------------------------------------------
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, (list, dict, set)):
+        return repr(value)
+    return value
+
+
+def _sort_key(value: object) -> tuple[int, object]:
+    """Total order with NULLs first and types segregated."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    return (3, str(value))
+
+
+def _aggregate(spec: AggregateSpec, rows: Sequence[Row]) -> object:
+    func = spec.func.upper()
+    if func == "COUNT":
+        if spec.column is None:
+            return len(rows)
+        return sum(1 for row in rows if row.get(spec.column) is not None)
+    if spec.column is None:
+        raise QueryError(f"{func} requires a column")
+    values = [row.get(spec.column) for row in rows if row.get(spec.column) is not None]
+    if func == "COUNT_DISTINCT":
+        return len({_hashable(value) for value in values})
+    if func == "STRING_AGG":
+        # Joins in input row order; callers sort upstream for canonical order.
+        return ";".join(str(value) for value in values) if values else None
+    if not values:
+        return None
+    if func == "SUM":
+        return sum(values)  # type: ignore[arg-type]
+    if func == "AVG":
+        return sum(values) / len(values)  # type: ignore[arg-type]
+    if func == "MIN":
+        return min(values)  # type: ignore[type-var]
+    if func == "MAX":
+        return max(values)  # type: ignore[type-var]
+    raise QueryError(f"unknown aggregate function {spec.func!r}")

@@ -1,0 +1,71 @@
+"""A named collection of tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+
+
+class Database:
+    """One contributor database (or the warehouse)."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise SchemaError("database name must be non-empty")
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create an empty table; raises on duplicate names."""
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists in {self.name}")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def ensure_table(self, schema: TableSchema) -> Table:
+        """Return the existing table or create it; schemas must agree."""
+        existing = self._tables.get(schema.name)
+        if existing is None:
+            return self.create_table(schema)
+        if existing.schema != schema:
+            raise SchemaError(
+                f"table {schema.name!r} exists with a different schema"
+            )
+        return existing
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and its data."""
+        if name not in self._tables:
+            raise SchemaError(f"no table {name!r} in database {self.name}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        if name not in self._tables:
+            raise SchemaError(f"no table {name!r} in database {self.name}")
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        """All table names, sorted."""
+        return sorted(self._tables)
+
+    def insert(self, table_name: str, rows: Iterable[Mapping[str, object]]) -> int:
+        """Bulk insert into a named table."""
+        return self.table(table_name).insert_many(rows)
+
+    def total_rows(self) -> int:
+        """Row count across all tables (used by storage-size benchmarks)."""
+        return sum(len(table) for table in self._tables.values())
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __repr__(self) -> str:
+        return f"Database({self.name!r}, tables={self.table_names()})"

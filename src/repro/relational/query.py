@@ -1,0 +1,215 @@
+"""Fluent query builder and a light plan optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expr.analysis import referenced_identifiers
+from repro.expr.ast import BinaryOp, Expression
+from repro.expr.parser import parse
+from repro.relational.algebra import (
+    Aggregate,
+    AggregateSpec,
+    Compute,
+    Distinct,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Sort,
+    Union,
+)
+from repro.relational.database import Database
+
+Row = dict[str, object]
+
+
+@dataclass(frozen=True)
+class Query:
+    """Immutable fluent wrapper around a logical plan.
+
+    >>> Query.table("visits").where("age >= 50").select("patient_id")
+    """
+
+    plan: Plan
+
+    @classmethod
+    def table(cls, name: str) -> "Query":
+        return cls(Scan(name))
+
+    def where(self, condition: str | Expression) -> "Query":
+        expr = parse(condition) if isinstance(condition, str) else condition
+        return Query(Select(self.plan, expr))
+
+    def select(self, *columns: str) -> "Query":
+        return Query(Project(self.plan, tuple(columns)))
+
+    def compute(self, **derivations: str | Expression) -> "Query":
+        parsed = tuple(
+            (name, parse(value) if isinstance(value, str) else value)
+            for name, value in derivations.items()
+        )
+        return Query(Compute(self.plan, parsed))
+
+    def rename(self, **mapping: str) -> "Query":
+        """``rename(old=new)`` pairs."""
+        return Query(Rename(self.plan, tuple(mapping.items())))
+
+    def join(
+        self,
+        other: "Query | Plan",
+        on: list[tuple[str, str]] | tuple[tuple[str, str], ...],
+        how: str = "inner",
+    ) -> "Query":
+        right = other.plan if isinstance(other, Query) else other
+        return Query(Join(self.plan, right, tuple(on), how))
+
+    def union(self, *others: "Query | Plan") -> "Query":
+        plans = [self.plan]
+        plans.extend(o.plan if isinstance(o, Query) else o for o in others)
+        return Query(Union(tuple(plans)))
+
+    def distinct(self) -> "Query":
+        return Query(Distinct(self.plan))
+
+    def order_by(self, *keys: str) -> "Query":
+        """Keys like ``"age"`` (ascending) or ``"-age"`` (descending)."""
+        parsed = tuple(
+            (key[1:], False) if key.startswith("-") else (key, True) for key in keys
+        )
+        return Query(Sort(self.plan, parsed))
+
+    def limit(self, count: int) -> "Query":
+        return Query(Limit(self.plan, count))
+
+    def aggregate(
+        self, group_by: list[str] | tuple[str, ...], *specs: AggregateSpec
+    ) -> "Query":
+        return Query(Aggregate(self.plan, tuple(group_by), tuple(specs)))
+
+    def count(self, db: Database) -> int:
+        """Execute and return the row count."""
+        return len(self.execute(db))
+
+    def execute(self, db: Database, optimized: bool = True) -> list[Row]:
+        plan = optimize(self.plan) if optimized else self.plan
+        return plan.execute(db)
+
+
+def optimize(plan: Plan) -> Plan:
+    """Apply safe rewrites: select-merge, select pushdown into joins/unions.
+
+    The optimizer is deliberately conservative — correctness is checked by
+    property tests asserting optimized and naive plans agree on every
+    database they run against.
+    """
+    plan = _rewrite(plan)
+    return plan
+
+
+def _rewrite(plan: Plan) -> Plan:
+    # Bottom-up.
+    children = tuple(_rewrite(child) for child in plan.children())
+    plan = _with_children(plan, children)
+
+    if isinstance(plan, Select):
+        child = plan.child
+        # Merge consecutive selects into one conjunction.
+        if isinstance(child, Select):
+            merged = BinaryOp("AND", child.predicate, plan.predicate)
+            return _rewrite(Select(child.child, merged))
+        # Push select below union (always safe).
+        if isinstance(child, Union):
+            pushed = tuple(
+                _rewrite(Select(branch, plan.predicate)) for branch in child.inputs
+            )
+            return Union(pushed)
+        # Push select into a join side when its columns come from one side.
+        if isinstance(child, Join) and child.how == "inner":
+            return _push_into_join(plan.predicate, child)
+    return plan
+
+
+def _push_into_join(predicate: Expression, join: Join) -> Plan:
+    names = referenced_identifiers(predicate)
+    # Column provenance is only known relative to a database, which the
+    # optimizer does not have; use static column sets where derivable.
+    left_cols = _static_columns(join.left)
+    right_cols = _static_columns(join.right)
+    if left_cols is not None and names <= left_cols:
+        return Join(Select(join.left, predicate), join.right, join.on, join.how)
+    if right_cols is not None and names <= right_cols:
+        return Join(join.left, Select(join.right, predicate), join.on, join.how)
+    return Select(join, predicate)
+
+
+def _static_columns(plan: Plan) -> set[str] | None:
+    """Output columns when derivable without a database, else None."""
+    if isinstance(plan, Project):
+        return set(plan.columns)
+    if isinstance(plan, Rename):
+        base = _static_columns(plan.child)
+        if base is None:
+            return None
+        mapping = dict(plan.mapping)
+        return {mapping.get(column, column) for column in base}
+    if isinstance(plan, (Select, Distinct, Sort, Limit)):
+        return _static_columns(plan.child)
+    if isinstance(plan, Compute):
+        base = _static_columns(plan.child)
+        if base is None:
+            return None
+        return base | {name for name, _ in plan.derivations}
+    return None
+
+
+def _with_children(plan: Plan, children: tuple[Plan, ...]) -> Plan:
+    """Rebuild ``plan`` with replacement children (dataclass-generic)."""
+    if not children:
+        return plan
+    if isinstance(plan, Select):
+        return Select(children[0], plan.predicate)
+    if isinstance(plan, Project):
+        return Project(children[0], plan.columns)
+    if isinstance(plan, Compute):
+        return Compute(children[0], plan.derivations)
+    if isinstance(plan, Rename):
+        return Rename(children[0], plan.mapping)
+    if isinstance(plan, Join):
+        return Join(children[0], children[1], plan.on, plan.how)
+    if isinstance(plan, Union):
+        return Union(children)
+    if isinstance(plan, Distinct):
+        return Distinct(children[0])
+    if isinstance(plan, Sort):
+        return Sort(children[0], plan.keys)
+    if isinstance(plan, Limit):
+        return Limit(children[0], plan.count)
+    if isinstance(plan, Aggregate):
+        return Aggregate(children[0], plan.group_by, plan.aggregates)
+    # Unpivot/Pivot/Coerce and any future single-child nodes.
+    from repro.relational.algebra import Coerce, Pivot, Unpivot
+
+    if isinstance(plan, Coerce):
+        return Coerce(children[0], plan.column_types)
+
+    if isinstance(plan, Unpivot):
+        return Unpivot(
+            children[0],
+            plan.id_columns,
+            plan.value_columns,
+            plan.attribute_column,
+            plan.value_column,
+        )
+    if isinstance(plan, Pivot):
+        return Pivot(
+            children[0],
+            plan.key_columns,
+            plan.attribute_column,
+            plan.value_column,
+            plan.attributes,
+        )
+    return plan

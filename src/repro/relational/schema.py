@@ -1,0 +1,91 @@
+"""Table schemas: columns, types, nullability, primary keys."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.relational.types import DataType
+
+
+@dataclass(frozen=True)
+class Column:
+    """One typed column."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+    def __str__(self) -> str:
+        suffix = "" if self.nullable else " NOT NULL"
+        return f"{self.name} {self.dtype.value.upper()}{suffix}"
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Ordered columns plus an optional primary key."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("table name must be non-empty")
+        names = [column.name for column in self.columns]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate column names in {self.name}: {sorted(duplicates)}")
+        for key_column in self.primary_key:
+            if key_column not in names:
+                raise SchemaError(
+                    f"primary key column {key_column!r} not in table {self.name}"
+                )
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        columns: list[Column] | list[tuple[str, DataType]],
+        primary_key: tuple[str, ...] | list[str] = (),
+    ) -> "TableSchema":
+        """Convenience constructor accepting ``(name, dtype)`` pairs."""
+        normalized: list[Column] = []
+        for item in columns:
+            if isinstance(item, Column):
+                normalized.append(item)
+            else:
+                col_name, dtype = item
+                normalized.append(Column(col_name, dtype))
+        return cls(name, tuple(normalized), tuple(primary_key))
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        for candidate in self.columns:
+            if candidate.name == name:
+                return candidate
+        raise SchemaError(f"table {self.name} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(column.name == name for column in self.columns)
+
+    def with_columns(self, extra: list[Column]) -> "TableSchema":
+        """A copy of this schema with ``extra`` columns appended."""
+        return TableSchema(self.name, self.columns + tuple(extra), self.primary_key)
+
+    def renamed(self, new_name: str) -> "TableSchema":
+        """A copy of this schema under a different table name."""
+        return TableSchema(new_name, self.columns, self.primary_key)
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(column) for column in self.columns)
+        pk = f", PRIMARY KEY ({', '.join(self.primary_key)})" if self.primary_key else ""
+        return f"{self.name}({cols}{pk})"

@@ -1,0 +1,90 @@
+"""Database snapshots: JSON save/load.
+
+The warehouse in the paper's architecture is a long-lived accumulation
+point; contributor extracts arrive "periodically".  Snapshots let a
+Database round-trip to a JSON document (schemas + rows, with dates in ISO
+form) so warehouses and temporary databases can persist between sessions
+and examples can ship fixture data.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+from pathlib import Path
+
+from repro.errors import RelationalError
+from repro.relational.database import Database
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+
+FORMAT_VERSION = 1
+
+
+def database_to_dict(db: Database) -> dict:
+    """The snapshot document for ``db``."""
+    tables = []
+    for name in db.table_names():
+        table = db.table(name)
+        schema = table.schema
+        tables.append(
+            {
+                "name": schema.name,
+                "columns": [
+                    {
+                        "name": column.name,
+                        "type": column.dtype.value,
+                        "nullable": column.nullable,
+                    }
+                    for column in schema.columns
+                ],
+                "primary_key": list(schema.primary_key),
+                "rows": [
+                    [_encode(row[column]) for column in schema.column_names]
+                    for row in table.rows()
+                ],
+            }
+        )
+    return {"format": FORMAT_VERSION, "database": db.name, "tables": tables}
+
+
+def database_from_dict(document: dict) -> Database:
+    """Rebuild a Database from a snapshot document."""
+    if document.get("format") != FORMAT_VERSION:
+        raise RelationalError(
+            f"unsupported snapshot format {document.get('format')!r}"
+        )
+    db = Database(document.get("database", "restored"))
+    for table_doc in document.get("tables", []):
+        columns = tuple(
+            Column(c["name"], DataType(c["type"]), c.get("nullable", True))
+            for c in table_doc["columns"]
+        )
+        schema = TableSchema(
+            table_doc["name"], columns, tuple(table_doc.get("primary_key", ()))
+        )
+        table = db.create_table(schema)
+        names = schema.column_names
+        for values in table_doc.get("rows", []):
+            table.insert(dict(zip(names, values)))
+    return db
+
+
+def save_database(db: Database, path: str | Path) -> None:
+    """Write a snapshot to ``path``."""
+    Path(path).write_text(json.dumps(database_to_dict(db), indent=1))
+
+
+def load_database(path: str | Path) -> Database:
+    """Read a snapshot from ``path``."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (ValueError, OSError) as exc:
+        raise RelationalError(f"cannot load snapshot {path}: {exc}") from exc
+    return database_from_dict(document)
+
+
+def _encode(value: object) -> object:
+    if isinstance(value, date):
+        return value.isoformat()
+    return value

@@ -1,0 +1,157 @@
+"""Row storage with schema enforcement, primary keys, and indexes."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import IntegrityError, SchemaError
+from repro.relational.index import HashIndex
+from repro.relational.schema import TableSchema
+
+Row = dict[str, object]
+
+
+class Table:
+    """One relation: a schema plus its extent.
+
+    Inserts coerce values through column types, reject unknown columns,
+    fill missing columns with ``None``, and enforce NOT NULL and primary-key
+    uniqueness.  Rows handed out by :meth:`rows` are copies; the extent can
+    only change through the table's own methods, which keep indexes fresh.
+    """
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self._rows: list[Row] = []
+        self._indexes: dict[tuple[str, ...], HashIndex] = {}
+        self._pk_index: HashIndex | None = None
+        if schema.primary_key:
+            self._pk_index = HashIndex(schema.primary_key)
+
+    # -- reading -------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def rows(self) -> list[Row]:
+        """A defensive copy of the extent, in insertion order."""
+        return [dict(row) for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows())
+
+    def find(self, predicate: Callable[[Row], bool]) -> list[Row]:
+        """Rows satisfying a Python predicate (copies)."""
+        return [dict(row) for row in self._rows if predicate(row)]
+
+    def lookup(self, columns: tuple[str, ...], key: tuple[object, ...]) -> list[Row]:
+        """Equality lookup, via an index when one exists on ``columns``."""
+        index = self._indexes.get(columns)
+        if index is None and self._pk_index is not None and columns == self.schema.primary_key:
+            index = self._pk_index
+        if index is not None:
+            return [dict(self._rows[pos]) for pos in index.lookup(key)]
+        return self.find(
+            lambda row: tuple(row.get(column) for column in columns) == key
+        )
+
+    # -- writing -------------------------------------------------------------
+
+    def insert(self, values: Mapping[str, object]) -> Row:
+        """Validate, coerce, store, and return the new row (as a copy)."""
+        row = self._validate(values)
+        if self._pk_index is not None:
+            key = self._pk_index.key_of(row)
+            if any(k is None for k in key):
+                raise IntegrityError(
+                    f"{self.name}: primary key columns {self.schema.primary_key} must not be NULL"
+                )
+            if self._pk_index.lookup(key):
+                raise IntegrityError(f"{self.name}: duplicate primary key {key}")
+        position = len(self._rows)
+        self._rows.append(row)
+        if self._pk_index is not None:
+            self._pk_index.add(row, position)
+        for index in self._indexes.values():
+            index.add(row, position)
+        return dict(row)
+
+    def insert_many(self, rows: Iterable[Mapping[str, object]]) -> int:
+        """Insert several rows; returns the count inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def update(
+        self,
+        predicate: Callable[[Row], bool],
+        changes: Mapping[str, object],
+    ) -> int:
+        """Apply ``changes`` to rows matching ``predicate``; returns count."""
+        for column in changes:
+            if not self.schema.has_column(column):
+                raise SchemaError(f"table {self.name} has no column {column!r}")
+        updated = 0
+        for row in self._rows:
+            if predicate(row):
+                for column, value in changes.items():
+                    row[column] = self.schema.column(column).dtype.coerce(value)
+                updated += 1
+        if updated:
+            self._rebuild_indexes()
+        return updated
+
+    def delete(self, predicate: Callable[[Row], bool]) -> int:
+        """Remove rows matching ``predicate``; returns count removed."""
+        before = len(self._rows)
+        self._rows = [row for row in self._rows if not predicate(row)]
+        removed = before - len(self._rows)
+        if removed:
+            self._rebuild_indexes()
+        return removed
+
+    def create_index(self, columns: tuple[str, ...] | list[str]) -> HashIndex:
+        """Add (or return an existing) equality index on ``columns``."""
+        key = tuple(columns)
+        for column in key:
+            if not self.schema.has_column(column):
+                raise SchemaError(f"table {self.name} has no column {column!r}")
+        if key in self._indexes:
+            return self._indexes[key]
+        index = HashIndex(key)
+        index.rebuild(self._rows)
+        self._indexes[key] = index
+        return index
+
+    # -- internals -------------------------------------------------------------
+
+    def _validate(self, values: Mapping[str, object]) -> Row:
+        unknown = set(values) - set(self.schema.column_names)
+        if unknown:
+            raise SchemaError(
+                f"table {self.name} has no column(s) {sorted(unknown)}"
+            )
+        row: Row = {}
+        for column in self.schema.columns:
+            value = column.dtype.coerce(values.get(column.name))
+            if value is None and not column.nullable:
+                raise IntegrityError(
+                    f"{self.name}.{column.name} is NOT NULL but got NULL"
+                )
+            row[column.name] = value
+        return row
+
+    def _rebuild_indexes(self) -> None:
+        if self._pk_index is not None:
+            self._pk_index.rebuild(self._rows)
+        for index in self._indexes.values():
+            index.rebuild(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name}, {len(self)} rows)"

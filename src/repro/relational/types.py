@@ -1,0 +1,120 @@
+"""Column data types and value coercion."""
+
+from __future__ import annotations
+
+import enum
+from datetime import date, datetime
+
+from repro.errors import TypeMismatchError
+
+
+class DataType(enum.Enum):
+    """The type system of the in-memory engine.
+
+    Deliberately small: the contributor databases the paper describes are
+    form-entry backends, and five scalar types cover every control's
+    storage (dates are kept as ISO-formatted ``datetime.date``).
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    DATE = "date"
+
+    def coerce(self, value: object) -> object:
+        """Coerce ``value`` to this type, or raise :class:`TypeMismatchError`.
+
+        ``None`` passes through unchanged (nullability is the column's
+        concern, not the type's).
+        """
+        if value is None:
+            return None
+        try:
+            return _COERCERS[self](value)
+        except (ValueError, TypeError) as exc:
+            raise TypeMismatchError(
+                f"cannot coerce {value!r} to {self.value}: {exc}"
+            ) from exc
+
+    def accepts(self, value: object) -> bool:
+        """True when ``value`` coerces cleanly to this type."""
+        try:
+            self.coerce(value)
+            return True
+        except TypeMismatchError:
+            return False
+
+
+def _coerce_integer(value: object) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        raise ValueError(f"{value} has a fractional part")
+    if isinstance(value, str):
+        return int(value.strip())
+    raise TypeError(f"unsupported source type {type(value).__name__}")
+
+
+def _coerce_float(value: object) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        return float(value.strip())
+    raise TypeError(f"unsupported source type {type(value).__name__}")
+
+
+def _coerce_text(value: object) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, date):
+        return value.isoformat()
+    raise TypeError(f"unsupported source type {type(value).__name__}")
+
+
+_TRUE_TEXT = frozenset({"true", "t", "yes", "y", "1"})
+_FALSE_TEXT = frozenset({"false", "f", "no", "n", "0"})
+
+
+def _coerce_boolean(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text in _TRUE_TEXT:
+            return True
+        if text in _FALSE_TEXT:
+            return False
+        raise ValueError(f"not a boolean literal: {value!r}")
+    raise TypeError(f"unsupported source type {type(value).__name__}")
+
+
+def _coerce_date(value: object) -> date:
+    if isinstance(value, datetime):
+        return value.date()
+    if isinstance(value, date):
+        return value
+    if isinstance(value, str):
+        return date.fromisoformat(value.strip())
+    raise TypeError(f"unsupported source type {type(value).__name__}")
+
+
+_COERCERS = {
+    DataType.INTEGER: _coerce_integer,
+    DataType.FLOAT: _coerce_float,
+    DataType.TEXT: _coerce_text,
+    DataType.BOOLEAN: _coerce_boolean,
+    DataType.DATE: _coerce_date,
+}

@@ -1,0 +1,42 @@
+"""Declarative model of clinical reporting-tool GUIs.
+
+The paper's data sources are *reporting tools*: GUIs whose primary purpose
+is data entry (the CORI endoscopy tool).  This package models those GUIs
+declaratively — controls with their exact question wording, answer options,
+defaults, required flags, and enablement conditions — and simulates
+clinicians entering data through them.  GUAVA derives g-trees from these
+definitions exactly as the paper's Visual Studio prototype derived them
+from form code.
+"""
+
+from repro.ui.controls import (
+    CheckBox,
+    CheckList,
+    Control,
+    DatePicker,
+    DropDown,
+    GroupBox,
+    NumericBox,
+    RadioGroup,
+    TextBox,
+)
+from repro.ui.form import Form, naive_schema
+from repro.ui.toolkit import ReportingTool
+from repro.ui.session import DataEntrySession, FormInstance
+
+__all__ = [
+    "CheckBox",
+    "CheckList",
+    "Control",
+    "DataEntrySession",
+    "DatePicker",
+    "DropDown",
+    "Form",
+    "FormInstance",
+    "GroupBox",
+    "NumericBox",
+    "RadioGroup",
+    "ReportingTool",
+    "TextBox",
+    "naive_schema",
+]

@@ -1,0 +1,101 @@
+"""Forms (screens) and the naive schema they imply.
+
+"Informally, we have noticed that reporting tools maintain an in-memory
+structure with a simple design: each screen of the tool corresponds to a
+table, and each control corresponds to a column.  We call this design the
+naïve schema for a tool."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ControlError
+from repro.expr.analysis import referenced_identifiers
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.ui.controls import Control
+
+#: Synthetic key column present in every naive-schema table: one row per
+#: saved screen (e.g. one endoscopy report).
+RECORD_ID = "record_id"
+
+
+@dataclass
+class Form:
+    """One screen of a reporting tool: a tree of controls."""
+
+    name: str
+    title: str
+    controls: list[Control] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ControlError(f"form name {self.name!r} must be a valid identifier")
+        names = [control.name for control in self.iter_controls()]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ControlError(
+                f"form {self.name}: duplicate control names {sorted(duplicates)}"
+            )
+        if RECORD_ID in names:
+            raise ControlError(f"form {self.name}: {RECORD_ID!r} is reserved")
+        self._by_name = {control.name: control for control in self.iter_controls()}
+        self._validate_enablement()
+
+    def _validate_enablement(self) -> None:
+        for control in self.iter_controls():
+            if control.enabled_when is None:
+                continue
+            for name in referenced_identifiers(control.enabled_when):
+                leaf = name.split(".")[-1]
+                if leaf not in self._by_name:
+                    raise ControlError(
+                        f"{self.name}.{control.name}: enablement references "
+                        f"unknown control {name!r}"
+                    )
+
+    # -- traversal -----------------------------------------------------------
+
+    def iter_controls(self) -> Iterator[Control]:
+        """Every control on the form, pre-order."""
+        for top in self.controls:
+            yield from top.iter_tree()
+
+    def data_controls(self) -> list[Control]:
+        """Controls that store data (one naive-schema column each)."""
+        return [control for control in self.iter_controls() if control.stores_data]
+
+    def control(self, name: str) -> Control:
+        """Look up a control by name."""
+        if name not in self._by_name:
+            raise ControlError(f"form {self.name} has no control {name!r}")
+        return self._by_name[name]
+
+    def has_control(self, name: str) -> bool:
+        return name in self._by_name
+
+    def enablement_parent(self, control: Control) -> Control | None:
+        """The control whose answer enables ``control``, if any.
+
+        When the enablement condition references several controls the first
+        reference (document order of the expression) is the g-tree parent;
+        the rest remain recorded in the condition itself.
+        """
+        if control.enabled_when is None:
+            return None
+        for name in sorted(referenced_identifiers(control.enabled_when)):
+            leaf = name.split(".")[-1]
+            if leaf in self._by_name and leaf != control.name:
+                return self._by_name[leaf]
+        return None
+
+
+def naive_schema(form: Form) -> TableSchema:
+    """The naive-schema table for one form: record key + column per control."""
+    columns = [Column(RECORD_ID, DataType.INTEGER, nullable=False)]
+    for control in form.data_controls():
+        assert control.data_type is not None
+        columns.append(Column(control.name, control.data_type, nullable=True))
+    return TableSchema(form.name, tuple(columns), primary_key=(RECORD_ID,))

@@ -1,0 +1,169 @@
+"""Simulated data-entry sessions.
+
+A :class:`DataEntrySession` plays the role of a clinician using the
+reporting tool: it opens forms, fills controls (respecting enablement and
+validation exactly as the real GUI would), and saves.  Saving produces a
+*naive row* — the in-memory screen state — which is handed to a writer
+callback; in a full source the writer is a design-pattern chain that lays
+the row out in the physical database.
+
+This is the substitution for the paper's Windows data-entry application:
+it exercises the identical semantics (defaults, required fields, disabled
+controls holding no data) that give g-tree nodes their meaning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import (
+    DataEntryError,
+    DisabledControlError,
+    RequiredControlError,
+)
+from repro.expr.evaluator import Evaluator
+from repro.ui.form import RECORD_ID, Form
+from repro.ui.toolkit import ReportingTool
+
+NaiveRow = dict[str, object]
+Writer = Callable[[str, NaiveRow], None]
+
+_EVALUATOR = Evaluator()
+
+
+class FormInstance:
+    """One open screen: current values plus enablement state."""
+
+    def __init__(self, form: Form, record_id: int):
+        self.form = form
+        self.record_id = record_id
+        self._values: dict[str, object] = {}
+        for control in form.data_controls():
+            self._values[control.name] = control.validate(control.default)
+        # Controls that open disabled hold no data, even if they declare a
+        # default — the GUI greys them out before anything is stored.
+        self._clear_disabled()
+
+    # -- state ----------------------------------------------------------------
+
+    def value(self, control_name: str) -> object:
+        """The current value of a control."""
+        control = self.form.control(control_name)
+        if not control.stores_data:
+            raise DataEntryError(f"{control_name} stores no data")
+        return self._values[control_name]
+
+    def values(self) -> NaiveRow:
+        """A copy of the current screen state (data controls only)."""
+        return dict(self._values)
+
+    def is_enabled(self, control_name: str) -> bool:
+        """Evaluate the control's enablement condition over current values.
+
+        A control with no condition is always enabled; a condition that
+        evaluates to NULL (because its inputs are unanswered) disables.
+        """
+        control = self.form.control(control_name)
+        if control.enabled_when is None:
+            return True
+        return _EVALUATOR.satisfied(control.enabled_when, self._values)
+
+    # -- interaction ------------------------------------------------------------
+
+    def set(self, control_name: str, value: object) -> None:
+        """Enter ``value`` into a control, as a user would.
+
+        Raises :class:`DisabledControlError` when the control is currently
+        disabled — the GUI would not let the user type there — and
+        :class:`DataEntryError` on invalid values.  Changing an answer
+        re-evaluates enablement; controls that become disabled are cleared,
+        mirroring how reporting tools blank out dependent questions.
+        """
+        control = self.form.control(control_name)
+        if not control.stores_data:
+            raise DataEntryError(f"cannot enter data into {control_name}")
+        if not self.is_enabled(control_name):
+            raise DisabledControlError(
+                f"{self.form.name}.{control_name} is disabled"
+            )
+        self._values[control_name] = control.validate(value)
+        self._clear_disabled()
+
+    def _clear_disabled(self) -> None:
+        # Iterate to a fixed point: clearing one control may disable another.
+        changed = True
+        while changed:
+            changed = False
+            for control in self.form.data_controls():
+                if self._values[control.name] is not None and not self.is_enabled(
+                    control.name
+                ):
+                    self._values[control.name] = None
+                    changed = True
+
+    def save(self) -> NaiveRow:
+        """Validate required fields and return the naive row.
+
+        Required controls must be answered *when enabled*; a required
+        control that is disabled is legitimately empty.
+        """
+        for control in self.form.data_controls():
+            if (
+                control.required
+                and self.is_enabled(control.name)
+                and self._values[control.name] is None
+            ):
+                raise RequiredControlError(
+                    f"{self.form.name}.{control.name} is required"
+                )
+        row: NaiveRow = {RECORD_ID: self.record_id}
+        row.update(self._values)
+        return row
+
+
+class DataEntrySession:
+    """A clinician's session with a reporting tool.
+
+    ``writer(form_name, naive_row)`` receives each saved screen; record ids
+    are assigned sequentially per form, starting from ``first_record_id``.
+    """
+
+    def __init__(
+        self,
+        tool: ReportingTool,
+        writer: Writer | None = None,
+        first_record_id: int = 1,
+    ):
+        self.tool = tool
+        self._writer = writer
+        self._next_id: dict[str, int] = {
+            form.name: first_record_id for form in tool.forms
+        }
+        self.saved_count = 0
+
+    def open_form(self, form_name: str) -> FormInstance:
+        """Open a fresh screen of ``form_name`` with defaults applied."""
+        form = self.tool.form(form_name)
+        record_id = self._next_id[form_name]
+        self._next_id[form_name] = record_id + 1
+        return FormInstance(form, record_id)
+
+    def save(self, instance: FormInstance) -> NaiveRow:
+        """Save a screen: validate, emit to the writer, return the row."""
+        row = instance.save()
+        if self._writer is not None:
+            self._writer(instance.form.name, row)
+        self.saved_count += 1
+        return row
+
+    def enter(self, form_name: str, values: Mapping[str, object]) -> NaiveRow:
+        """Convenience: open a form, enter ``values`` in order, save.
+
+        Values for currently disabled controls raise, exactly as
+        interactive entry would; order your mapping so enabling answers
+        come first (Python dicts preserve insertion order).
+        """
+        instance = self.open_form(form_name)
+        for control_name, value in values.items():
+            instance.set(control_name, value)
+        return self.save(instance)

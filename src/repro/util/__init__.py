@@ -1,0 +1,17 @@
+"""Shared utilities: deterministic ids, injectable clock, provenance."""
+
+from repro.util.clock import Clock, FixedClock, SystemClock, TickingClock
+from repro.util.ids import IdGenerator, slugify
+from repro.util.annotations import Annotation, AnnotationLog, Annotated
+
+__all__ = [
+    "Annotated",
+    "Annotation",
+    "AnnotationLog",
+    "Clock",
+    "FixedClock",
+    "IdGenerator",
+    "SystemClock",
+    "TickingClock",
+    "slugify",
+]

@@ -1,0 +1,87 @@
+"""Provenance annotations.
+
+Section 3 of the paper: "Anyone using the system can annotate and timestamp
+each of these artifacts, as well as the studies themselves, so that it is
+clear who generated them, when, and why."  :class:`Annotated` is the mixin
+that gives g-trees, classifiers, study schemas, and studies that capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Iterator
+
+from repro.util.clock import Clock, SystemClock
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One provenance record: who did what to an artifact, when, and why."""
+
+    author: str
+    action: str
+    rationale: str
+    timestamp: datetime
+
+    def __str__(self) -> str:
+        return f"[{self.timestamp.isoformat()}] {self.author}: {self.action} — {self.rationale}"
+
+
+class AnnotationLog:
+    """Append-only log of :class:`Annotation` records for one artifact."""
+
+    def __init__(self, clock: Clock | None = None):
+        self._clock = clock or SystemClock()
+        self._records: list[Annotation] = []
+
+    def add(self, author: str, action: str, rationale: str = "") -> Annotation:
+        """Record and return a new annotation stamped by the log's clock."""
+        record = Annotation(
+            author=author,
+            action=action,
+            rationale=rationale,
+            timestamp=self._clock.now(),
+        )
+        self._records.append(record)
+        return record
+
+    def by_author(self, author: str) -> list[Annotation]:
+        """All annotations written by ``author``, oldest first."""
+        return [record for record in self._records if record.author == author]
+
+    @property
+    def records(self) -> tuple[Annotation, ...]:
+        return tuple(self._records)
+
+    @property
+    def created(self) -> Annotation | None:
+        """The first annotation, conventionally the creation record."""
+        return self._records[0] if self._records else None
+
+    @property
+    def last_modified(self) -> Annotation | None:
+        """The most recent annotation."""
+        return self._records[-1] if self._records else None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Annotation]:
+        return iter(self._records)
+
+
+@dataclass
+class Annotated:
+    """Mixin giving an artifact an annotation log.
+
+    Subclasses call :meth:`annotate` whenever the artifact is created or
+    modified; analysts use the log to audit integration decisions from
+    prior studies before reusing them.
+    """
+
+    annotations: AnnotationLog = field(default_factory=AnnotationLog, kw_only=True)
+
+    def annotate(self, author: str, action: str, rationale: str = "") -> Annotation:
+        """Attach a provenance record to this artifact."""
+        return self.annotations.add(author, action, rationale)

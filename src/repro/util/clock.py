@@ -1,0 +1,62 @@
+"""Injectable clocks.
+
+The paper requires every artifact (g-tree, classifier, study schema, study)
+to be timestamped.  Tests need those timestamps to be reproducible, so all
+timestamping code receives a :class:`Clock` rather than calling
+``datetime.now`` directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from datetime import datetime, timedelta, timezone
+
+
+class Clock(abc.ABC):
+    """Source of timestamps for annotations and ETL run logs."""
+
+    @abc.abstractmethod
+    def now(self) -> datetime:
+        """Return the current instant as a timezone-aware datetime."""
+
+
+class SystemClock(Clock):
+    """Wall-clock time in UTC."""
+
+    def now(self) -> datetime:
+        return datetime.now(timezone.utc)
+
+
+class FixedClock(Clock):
+    """A clock frozen at one instant; every call returns the same value."""
+
+    def __init__(self, instant: datetime | None = None):
+        if instant is None:
+            instant = datetime(2006, 3, 26, 12, 0, 0, tzinfo=timezone.utc)
+        if instant.tzinfo is None:
+            instant = instant.replace(tzinfo=timezone.utc)
+        self._instant = instant
+
+    def now(self) -> datetime:
+        return self._instant
+
+
+class TickingClock(Clock):
+    """A deterministic clock that advances by a fixed step on every call.
+
+    Useful when tests need *distinct but reproducible* timestamps, e.g. to
+    check that annotation logs preserve ordering.
+    """
+
+    def __init__(self, start: datetime | None = None, step_seconds: float = 1.0):
+        if start is None:
+            start = datetime(2006, 3, 26, 12, 0, 0, tzinfo=timezone.utc)
+        if start.tzinfo is None:
+            start = start.replace(tzinfo=timezone.utc)
+        self._next = start
+        self._step = timedelta(seconds=step_seconds)
+
+    def now(self) -> datetime:
+        current = self._next
+        self._next = current + self._step
+        return current

@@ -1,0 +1,31 @@
+"""The study-schema warehouse (paper §4.2, Figure 7).
+
+"The naïve approach is to materialize the output of individual classifiers
+into relational tables ... one table per entity classifier per entity,
+with columns representing classifier output."  This package implements
+that full materialization plus the paper's two proposed alternatives —
+materializing only often-used classifiers, and deriving one classifier's
+output from another's via a simple algebraic relationship.
+"""
+
+from repro.warehouse.store import Warehouse
+from repro.warehouse.materialize import (
+    DerivationRule,
+    DerivedStrategy,
+    FullStrategy,
+    MaterializationJob,
+    MaterializationStrategy,
+    SelectiveStrategy,
+)
+from repro.warehouse.querying import StudyTableQuery
+
+__all__ = [
+    "DerivationRule",
+    "DerivedStrategy",
+    "FullStrategy",
+    "MaterializationJob",
+    "MaterializationStrategy",
+    "SelectiveStrategy",
+    "StudyTableQuery",
+    "Warehouse",
+]

@@ -1,0 +1,333 @@
+"""Materialization strategies for study schemas (paper §4.2).
+
+Figure 7 shows the *fully-materialized* study schema: one table per entity
+(per entity classifier), one column per classifier.  "If the
+classifiers/domains ratio is high, then a comprehensive materialized study
+schema may be too large to manage.  Alternatives include materializing
+only often-used classifiers or determining relationships between
+classifiers" — the three strategies below.
+
+All strategies share one contract:
+
+* :meth:`~MaterializationStrategy.build` — populate warehouse tables from
+  the sources;
+* :meth:`~MaterializationStrategy.fetch` — rows of (record_id, source,
+  requested classifier columns), recomputing whatever was not stored;
+* :meth:`~MaterializationStrategy.storage_cells` — the storage footprint.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import MaterializationError
+from repro.etl.compile import domain_data_type
+from repro.expr.ast import Expression
+from repro.expr.evaluator import Evaluator
+from repro.expr.parser import parse
+from repro.guava.query import GTreeQuery
+from repro.guava.source import GuavaSource
+from repro.multiclass.classifier import Classifier, EntityClassifier
+from repro.multiclass.study_schema import StudySchema
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.ui.form import RECORD_ID
+from repro.warehouse.store import Warehouse
+
+Row = dict[str, object]
+
+_EVALUATOR = Evaluator()
+
+
+@dataclass
+class MaterializationJob:
+    """What to materialize: one entity, its sources, and its classifiers.
+
+    ``entity_classifiers`` maps source name → the entity classifier that
+    identifies the entity's records in that source; ``classifiers`` are
+    the candidate columns (every classifier targeting the entity).
+    """
+
+    schema: StudySchema
+    entity: str
+    sources: list[GuavaSource]
+    entity_classifiers: Mapping[str, EntityClassifier]
+    classifiers: list[Classifier]
+
+    def __post_init__(self) -> None:
+        for source in self.sources:
+            if source.name not in self.entity_classifiers:
+                raise MaterializationError(
+                    f"no entity classifier for source {source.name!r}"
+                )
+        names = [classifier.name for classifier in self.classifiers]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise MaterializationError(
+                f"duplicate classifier names {sorted(duplicates)}"
+            )
+        for classifier in self.classifiers:
+            if classifier.target_entity != self.entity:
+                raise MaterializationError(
+                    f"classifier {classifier.name!r} targets "
+                    f"{classifier.target_entity!r}, not {self.entity!r}"
+                )
+
+    def classifier(self, name: str) -> Classifier:
+        for classifier in self.classifiers:
+            if classifier.name == name:
+                return classifier
+        raise MaterializationError(f"job has no classifier {name!r}")
+
+    def column_type(self, classifier: Classifier) -> DataType:
+        domain = self.schema.domain_of(*classifier.target)
+        return domain_data_type(domain)
+
+    def table_name(self) -> str:
+        return f"mat_{self.entity}".lower()
+
+    def base_records(self, source: GuavaSource) -> list[Row]:
+        """The source's qualifying records with all node values."""
+        ec = self.entity_classifiers[source.name]
+        query = GTreeQuery(source.gtree(ec.form)).where(ec.condition)
+        return source.execute(query)
+
+
+class MaterializationStrategy(abc.ABC):
+    """Shared contract; see module docstring."""
+
+    def __init__(self, job: MaterializationJob, warehouse: Warehouse):
+        self.job = job
+        self.warehouse = warehouse
+        self._built = False
+
+    @abc.abstractmethod
+    def build(self) -> None:
+        """Populate warehouse tables."""
+
+    @abc.abstractmethod
+    def fetch(self, classifier_names: list[str]) -> list[Row]:
+        """Rows of record_id, source, and the requested classifier columns."""
+
+    @abc.abstractmethod
+    def materialized_tables(self) -> list[str]:
+        """Warehouse tables this strategy owns."""
+
+    def storage_cells(self) -> int:
+        return self.warehouse.storage_cells(self.materialized_tables())
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise MaterializationError("strategy not built yet; call build()")
+
+    def _classify_row(self, record: Row, classifier: Classifier) -> object:
+        domain = self.job.schema.domain_of(*classifier.target)
+        return classifier.classify(record, domain)
+
+
+class FullStrategy(MaterializationStrategy):
+    """Figure 7: every classifier is a stored column."""
+
+    def build(self) -> None:
+        columns = [
+            Column(RECORD_ID, DataType.INTEGER, nullable=False),
+            Column("source", DataType.TEXT, nullable=False),
+        ]
+        for classifier in self.job.classifiers:
+            columns.append(Column(classifier.name, self.job.column_type(classifier)))
+        schema = TableSchema(self.job.table_name(), tuple(columns))
+        if self.warehouse.has_table(schema.name):
+            self.warehouse.db.drop_table(schema.name)
+        table = self.warehouse.ensure_table(schema)
+        for source in self.job.sources:
+            for record in self.job.base_records(source):
+                row: Row = {RECORD_ID: record[RECORD_ID], "source": source.name}
+                for classifier in self.job.classifiers:
+                    row[classifier.name] = self._classify_row(record, classifier)
+                table.insert(row)
+        self.warehouse.record_load(
+            "materializer", schema.name, len(table), "full materialization"
+        )
+        self._built = True
+
+    def fetch(self, classifier_names: list[str]) -> list[Row]:
+        self._require_built()
+        for name in classifier_names:
+            self.job.classifier(name)  # validate
+        columns = [RECORD_ID, "source"] + list(classifier_names)
+        return [
+            {column: row.get(column) for column in columns}
+            for row in self.warehouse.table(self.job.table_name()).rows()
+        ]
+
+    def materialized_tables(self) -> list[str]:
+        return [self.job.table_name()]
+
+
+class SelectiveStrategy(MaterializationStrategy):
+    """Materialize only often-used classifiers; recompute the rest.
+
+    Recomputation goes back through GUAVA to the sources, so cold
+    classifiers cost query time instead of storage — the trade-off the
+    ablation benchmark quantifies.
+    """
+
+    def __init__(
+        self,
+        job: MaterializationJob,
+        warehouse: Warehouse,
+        materialized: list[str],
+    ):
+        super().__init__(job, warehouse)
+        for name in materialized:
+            job.classifier(name)  # validate
+        self.materialized = list(materialized)
+
+    def build(self) -> None:
+        columns = [
+            Column(RECORD_ID, DataType.INTEGER, nullable=False),
+            Column("source", DataType.TEXT, nullable=False),
+        ]
+        for name in self.materialized:
+            classifier = self.job.classifier(name)
+            columns.append(Column(name, self.job.column_type(classifier)))
+        schema = TableSchema(self.job.table_name(), tuple(columns))
+        if self.warehouse.has_table(schema.name):
+            self.warehouse.db.drop_table(schema.name)
+        table = self.warehouse.ensure_table(schema)
+        for source in self.job.sources:
+            for record in self.job.base_records(source):
+                row: Row = {RECORD_ID: record[RECORD_ID], "source": source.name}
+                for name in self.materialized:
+                    row[name] = self._classify_row(record, self.job.classifier(name))
+                table.insert(row)
+        self.warehouse.record_load(
+            "materializer",
+            schema.name,
+            len(table),
+            f"selective materialization of {self.materialized}",
+        )
+        self._built = True
+
+    def fetch(self, classifier_names: list[str]) -> list[Row]:
+        self._require_built()
+        stored = [n for n in classifier_names if n in self.materialized]
+        cold = [n for n in classifier_names if n not in self.materialized]
+        for name in cold:
+            self.job.classifier(name)  # validate
+        base_columns = [RECORD_ID, "source"] + stored
+        rows = [
+            {column: row.get(column) for column in base_columns}
+            for row in self.warehouse.table(self.job.table_name()).rows()
+        ]
+        if not cold:
+            return rows
+        # Recompute cold classifiers straight from the sources.
+        recomputed: dict[tuple[object, str], Row] = {}
+        for source in self.job.sources:
+            for record in self.job.base_records(source):
+                key = (record[RECORD_ID], source.name)
+                recomputed[key] = {
+                    name: self._classify_row(record, self.job.classifier(name))
+                    for name in cold
+                }
+        for row in rows:
+            extra = recomputed.get((row[RECORD_ID], row["source"]), {})
+            for name in cold:
+                row[name] = extra.get(name)
+        return rows
+
+    def materialized_tables(self) -> list[str]:
+        return [self.job.table_name()]
+
+
+@dataclass(frozen=True)
+class DerivationRule:
+    """Derive one classifier's output from another's stored output.
+
+    ``expression`` references the identifier ``base`` (the stored value);
+    e.g. a coarsening ``IIF(base = 'Moderate', 'Heavy', base)`` or a unit
+    change ``base / 20``.
+    """
+
+    derived: str
+    base: str
+    expression: Expression
+
+    @classmethod
+    def of(cls, derived: str, base: str, expression: str | Expression) -> "DerivationRule":
+        return cls(
+            derived,
+            base,
+            parse(expression) if isinstance(expression, str) else expression,
+        )
+
+    def apply(self, base_value: object) -> object:
+        return _EVALUATOR.evaluate(self.expression, {"base": base_value})
+
+
+class DerivedStrategy(MaterializationStrategy):
+    """Materialize base classifiers; compute derived ones algebraically.
+
+    "if classifier A and classifier B share a simple algebraic
+    relationship, then we can materialize A's output and compute B as
+    needed."
+    """
+
+    def __init__(
+        self,
+        job: MaterializationJob,
+        warehouse: Warehouse,
+        derivations: list[DerivationRule],
+    ):
+        super().__init__(job, warehouse)
+        self.derivations = {rule.derived: rule for rule in derivations}
+        for rule in derivations:
+            self.job.classifier(rule.derived)  # validate
+            self.job.classifier(rule.base)
+            if rule.base in self.derivations:
+                raise MaterializationError(
+                    f"derivation base {rule.base!r} is itself derived"
+                )
+        self._bases = [
+            classifier.name
+            for classifier in job.classifiers
+            if classifier.name not in self.derivations
+        ]
+        self._inner = SelectiveStrategy(job, warehouse, self._bases)
+
+    def build(self) -> None:
+        self._inner.build()
+        self._built = True
+
+    def fetch(self, classifier_names: list[str]) -> list[Row]:
+        self._require_built()
+        needed_bases: list[str] = []
+        for name in classifier_names:
+            rule = self.derivations.get(name)
+            base = rule.base if rule else name
+            if base not in needed_bases:
+                needed_bases.append(base)
+        rows = self._inner.fetch(needed_bases)
+        out: list[Row] = []
+        for row in rows:
+            shaped: Row = {RECORD_ID: row[RECORD_ID], "source": row["source"]}
+            for name in classifier_names:
+                rule = self.derivations.get(name)
+                if rule is None:
+                    shaped[name] = row.get(name)
+                else:
+                    domain = self.job.schema.domain_of(
+                        *self.job.classifier(name).target
+                    )
+                    value = row.get(rule.base)
+                    shaped[name] = (
+                        domain.check(rule.apply(value)) if value is not None else None
+                    )
+            out.append(shaped)
+        return out
+
+    def materialized_tables(self) -> list[str]:
+        return self._inner.materialized_tables()

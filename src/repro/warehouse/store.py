@@ -1,0 +1,50 @@
+"""The warehouse: a database plus load provenance."""
+
+from __future__ import annotations
+
+from repro.errors import WarehouseError
+from repro.relational.database import Database
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+from repro.util.annotations import AnnotationLog
+from repro.util.clock import Clock
+
+
+class Warehouse:
+    """A central accumulation point for study and materialization tables.
+
+    Thin on purpose: the paper's warehouse is an ordinary database whose
+    value lies in what the ETL loads into it.  The warehouse records an
+    annotation per load so analysts can see who put what there, when.
+    """
+
+    def __init__(self, name: str = "warehouse", clock: Clock | None = None):
+        self.db = Database(name)
+        self.loads = AnnotationLog(clock)
+
+    def ensure_table(self, schema: TableSchema) -> Table:
+        return self.db.ensure_table(schema)
+
+    def table(self, name: str) -> Table:
+        return self.db.table(name)
+
+    def has_table(self, name: str) -> bool:
+        return self.db.has_table(name)
+
+    def record_load(self, author: str, table: str, rows: int, rationale: str = "") -> None:
+        """Annotate one load operation."""
+        self.loads.add(author, f"loaded {rows} row(s) into {table}", rationale)
+
+    def storage_cells(self, table_names: list[str] | None = None) -> int:
+        """Total cells across tables — the F7 storage metric."""
+        names = table_names if table_names is not None else self.db.table_names()
+        total = 0
+        for name in names:
+            if not self.db.has_table(name):
+                raise WarehouseError(f"no table {name!r} in warehouse")
+            table = self.db.table(name)
+            total += len(table) * len(table.schema.columns)
+        return total
+
+    def __repr__(self) -> str:
+        return f"Warehouse({self.db.name!r}, tables={self.db.table_names()})"

@@ -1,0 +1,100 @@
+"""Tests for dates flowing through the whole stack.
+
+Procedure dates exercise DataType.DATE through the EAV (CORI) and
+Merge+Encoding (MedScribe) chains, and the YEAR() classifier output.
+"""
+
+from datetime import date
+
+import pytest
+
+from repro.analysis import build_endoscopy_schema
+from repro.analysis.classifiers import vendor_classifiers_for
+from repro.expr import evaluate, parse
+from repro.multiclass import EntityClassifier, Study
+
+
+class TestDateFunctions:
+    def test_year_month_day(self):
+        env = {"d": date(2005, 7, 14)}
+        assert evaluate(parse("YEAR(d)"), env) == 2005
+        assert evaluate(parse("MONTH(d)"), env) == 7
+        assert evaluate(parse("DAY(d)"), env) == 14
+
+    def test_iso_text_accepted(self):
+        assert evaluate(parse("YEAR(d)"), {"d": "2006-01-02"}) == 2006
+
+    def test_days_between(self):
+        env = {"a": date(2005, 1, 1), "b": date(2005, 1, 31)}
+        assert evaluate(parse("DAYS_BETWEEN(a, b)"), env) == 30
+
+    def test_null_propagates(self):
+        assert evaluate(parse("YEAR(d)"), {"d": None}) is None
+
+    def test_bad_date_raises(self):
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            evaluate(parse("YEAR(d)"), {"d": "not a date"})
+
+
+class TestDatesThroughChains:
+    def test_cori_date_roundtrips_through_eav(self, world):
+        source = world.source("cori_warehouse_feed")
+        rows = source.chain.read_naive(source.db, "procedure")
+        for row in rows:
+            truth = world.truth_for(source.name, row["record_id"])
+            assert row["procedure_date"] == truth.performed_on
+            assert isinstance(row["procedure_date"], date)
+
+    def test_medscribe_date_roundtrips_through_merge(self, world):
+        source = world.source("medscribe_clinic")
+        rows = source.chain.read_naive(source.db, "visit")
+        for row in rows:
+            truth = world.truth_for(source.name, row["record_id"])
+            assert row["visit_date"] == truth.performed_on
+
+    def test_date_condition_in_gtree_query(self, world):
+        source = world.source("cori_warehouse_feed")
+        rows = (
+            source.query("procedure")
+            .where("YEAR(procedure_date) = 2005")
+            .select("procedure_date")
+            .run()
+        )
+        assert rows
+        assert all(row["procedure_date"].year == 2005 for row in rows)
+
+
+class TestYearClassifier:
+    def test_study_with_procedure_year(self, world):
+        """A two-source study classifying dates into the year domain."""
+        schema = build_endoscopy_schema()
+        study = Study("by_year", schema)
+        study.add_element("Procedure", "ProcedureYear", "year")
+        for source_name in ("cori_warehouse_feed", "medscribe_clinic"):
+            source = world.source(source_name)
+            vendor = vendor_classifiers_for(source)
+            year_classifier = next(
+                c for c in vendor.base if c.target_attribute == "ProcedureYear"
+            )
+            study.bind(source, [vendor.entity_classifier], [year_classifier])
+        result = study.run()
+        expected = len(world.truths_by_source["cori_warehouse_feed"]) + len(
+            world.truths_by_source["medscribe_clinic"]
+        )
+        assert result.count("Procedure") == expected
+        years = {row["ProcedureYear_year"] for row in result.rows("Procedure")}
+        assert years <= {2005, 2006}
+
+    def test_year_matches_truth(self, world):
+        source = world.source("cori_warehouse_feed")
+        vendor = vendor_classifiers_for(source)
+        year_classifier = next(
+            c for c in vendor.base if c.target_attribute == "ProcedureYear"
+        )
+        from repro.guava.query import GTreeQuery
+
+        for record in source.execute(GTreeQuery(source.gtree("procedure"))):
+            truth = world.truth_for(source.name, record["record_id"])
+            assert year_classifier.classify(record) == truth.performed_on.year

@@ -1,0 +1,85 @@
+"""Tests for evaluation metrics and the Table 2 translation report."""
+
+import pytest
+
+from repro.analysis import domain_translation_report, precision_recall
+from repro.analysis.metrics import translation_is_lossless
+from repro.analysis.schema import HABITS4, PACKS_PER_DAY, STATUS3
+from repro.multiclass import Domain
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        pr = precision_recall({1, 2, 3}, {1, 2, 3})
+        assert pr.precision == 1.0 and pr.recall == 1.0 and pr.f1 == 1.0
+
+    def test_false_positives_hurt_precision(self):
+        pr = precision_recall({1, 2, 3, 4}, {1, 2})
+        assert pr.precision == 0.5
+        assert pr.recall == 1.0
+
+    def test_false_negatives_hurt_recall(self):
+        pr = precision_recall({1}, {1, 2})
+        assert pr.precision == 1.0
+        assert pr.recall == 0.5
+
+    def test_empty_sets(self):
+        pr = precision_recall([], [])
+        assert pr.precision == 1.0 and pr.recall == 1.0
+
+    def test_f1_zero_when_nothing_found(self):
+        pr = precision_recall([], [1, 2])
+        assert pr.f1 == 0.0
+
+    def test_str(self):
+        assert "P=0.500" in str(precision_recall({1, 2}, {1, 3}))
+
+
+class TestTable2Losslessness:
+    """Table 2: no smoking domain translates into another losslessly."""
+
+    def test_packs_to_categories_is_lossy(self):
+        # Any finite mapping out of an unbounded numeric domain loses.
+        assert not translation_is_lossless(
+            PACKS_PER_DAY, HABITS4, {0: "None", 1: "Light"}
+        )
+
+    def test_status3_to_habits4_noninjective_is_lossy(self):
+        mapping = {"None": "None", "Current": "Light", "Previous": "Light"}
+        assert not translation_is_lossless(STATUS3, HABITS4, mapping)
+
+    def test_habits4_to_status3_cannot_be_total_and_injective(self):
+        # 4 categories into 3: injectivity must fail somewhere.
+        mapping = {
+            "None": "None",
+            "Light": "Current",
+            "Moderate": "Current",
+            "Heavy": "Previous",
+        }
+        assert not translation_is_lossless(HABITS4, STATUS3, mapping)
+
+    def test_partial_mapping_is_lossy(self):
+        mapping = {"None": "None"}
+        assert not translation_is_lossless(STATUS3, HABITS4, mapping)
+
+    def test_genuinely_lossless_translation_recognized(self):
+        # A renaming between same-size categorical domains IS lossless —
+        # the check must not be vacuously false.
+        src = Domain.categorical("ab", ["a", "b"])
+        dst = Domain.categorical("xy", ["x", "y"])
+        assert translation_is_lossless(src, dst, {"a": "x", "b": "y"})
+
+    def test_image_must_lie_in_target(self):
+        src = Domain.categorical("ab", ["a", "b"])
+        dst = Domain.categorical("xy", ["x", "y"])
+        assert not translation_is_lossless(src, dst, {"a": "x", "b": "zz"})
+
+    def test_report_covers_all_ordered_pairs(self):
+        domains = {
+            "packs_per_day": PACKS_PER_DAY,
+            "status3": STATUS3,
+            "habits4": HABITS4,
+        }
+        rows = domain_translation_report(domains, {})
+        assert len(rows) == 6
+        assert all(row["lossless"] is False for row in rows)

@@ -1,0 +1,155 @@
+"""Tests for the paper's studies and baselines (S1, S2, H2, A3)."""
+
+import pytest
+
+from repro.analysis import (
+    build_endoscopy_schema,
+    compare_smoking_extraction,
+    global_etl_ex_smokers,
+    run_study1,
+    run_study2,
+    study1_truth_funnel,
+    study2_truth,
+)
+from repro.analysis.classifiers import vendor_classifiers_for
+
+
+class TestEndoscopySchema:
+    def test_structure(self):
+        schema = build_endoscopy_schema()
+        assert schema.primary.name == "Procedure"
+        assert {e.name for e in schema.entities()} == {
+            "Procedure",
+            "Finding",
+            "NewMedication",
+        }
+
+    def test_smoking_has_three_domains(self):
+        schema = build_endoscopy_schema()
+        smoking = schema.entity("Procedure").attribute("Smoking")
+        assert set(smoking.domains) == {"packs_per_day", "status3", "habits4"}
+
+
+class TestVendorClassifierValidity:
+    def test_every_classifier_validates_against_its_gtree(self, world):
+        for source in world.sources:
+            vendor = vendor_classifiers_for(source)
+            tree = source.gtree(vendor.entity_classifier.form)
+            assert vendor.entity_classifier.validate_against(tree) == []
+            everything = vendor.base + [
+                vendor.habits_cancer,
+                vendor.habits_chemistry,
+                vendor.ex_smoker_1y,
+                vendor.ex_smoker_10y,
+                vendor.ex_smoker_ever,
+            ]
+            for classifier in everything:
+                assert classifier.validate_against(tree) == [], classifier.name
+
+    def test_every_guard_is_union_of_conjunctions(self, world):
+        """Hypothesis 3's expressiveness claim holds for the real
+        classifier corpus, not just toy examples."""
+        for source in world.sources:
+            vendor = vendor_classifiers_for(source)
+            for classifier in vendor.base:
+                assert classifier.is_union_of_conjunctions(), classifier.name
+
+
+class TestStudy1:
+    def test_funnel_matches_ground_truth(self, world):
+        measured = run_study1(world)
+        truth = study1_truth_funnel(world)
+        assert measured.as_rows() == truth.as_rows()
+
+    def test_funnel_is_monotone(self, world):
+        funnel = run_study1(world)
+        assert (
+            funnel.upper_gi
+            >= funnel.with_indication
+            >= funnel.clean_history_and_exams
+            >= funnel.transient_hypoxia
+        )
+
+    def test_funnel_nonempty(self, world):
+        funnel = run_study1(world)
+        assert funnel.transient_hypoxia > 0
+
+    def test_intervention_counts_bounded_by_stage(self, world):
+        funnel = run_study1(world)
+        for count in funnel.interventions.values():
+            assert 0 <= count <= funnel.transient_hypoxia
+
+
+class TestStudy2:
+    @pytest.mark.parametrize("definition", ["1y", "10y", "ever"])
+    def test_matches_ground_truth(self, world, definition):
+        measured = run_study2(world, definition)
+        truth = study2_truth(world, definition)
+        assert measured.ex_smokers == truth.ex_smokers
+        assert measured.ex_smokers_with_hypoxia == truth.ex_smokers_with_hypoxia
+
+    def test_definitions_are_nested(self, world):
+        one = run_study2(world, "1y")
+        ten = run_study2(world, "10y")
+        ever = run_study2(world, "ever")
+        assert one.ex_smokers <= ten.ex_smokers <= ever.ex_smokers
+
+    def test_definition_changes_the_answer(self, world):
+        """The paper's motivation: the ex-smoker definition materially
+        changes the cohort, so it must be a per-study choice."""
+        assert run_study2(world, "1y").ex_smokers < run_study2(world, "ever").ex_smokers
+
+
+class TestHypothesis2:
+    def test_guava_is_perfect(self, world):
+        comparisons = {c.method: c for c in compare_smoking_extraction(world)}
+        guava = comparisons["guava+multiclass"]
+        for pr in (guava.current, guava.ex, guava.never):
+            assert pr.precision == 1.0 and pr.recall == 1.0
+
+    def test_context_blind_degrades_on_the_trap(self, world):
+        comparisons = {c.method: c for c in compare_smoking_extraction(world)}
+        blind = comparisons["context-blind"]
+        # MedScribe ex-smokers read as current: precision on current drops,
+        # recall on ex drops.
+        assert blind.current.precision < 1.0
+        assert blind.ex.recall < 1.0
+
+    def test_context_blind_correct_where_names_are_honest(self, world):
+        comparisons = {c.method: c for c in compare_smoking_extraction(world)}
+        blind = comparisons["context-blind"]
+        # Never-smokers are recorded consistently everywhere.
+        assert blind.never.precision == 1.0 and blind.never.recall == 1.0
+
+    def test_error_count_matches_medscribe_ex_smokers(self, world):
+        comparisons = {c.method: c for c in compare_smoking_extraction(world)}
+        blind = comparisons["context-blind"]
+        medscribe_ex = sum(
+            1
+            for t in world.truths_by_source["medscribe_clinic"]
+            if t.patient.smoking.status == "ex"
+        )
+        assert blind.current.false_positives == medscribe_ex
+        assert blind.ex.false_negatives == medscribe_ex
+
+
+class TestGlobalETLBaseline:
+    def test_multiclass_never_mislabels(self, world):
+        for comparison in global_etl_ex_smokers(world):
+            assert comparison.multiclass_errors == 0
+
+    def test_global_etl_fails_on_differing_definitions(self, world):
+        rows = {c.definition: c for c in global_etl_ex_smokers(world)}
+        assert rows["ever"].global_etl_errors == 0  # matches the frozen choice
+        assert rows["1y"].global_etl_errors > 0
+        assert rows["10y"].global_etl_errors > 0
+
+    def test_errors_equal_definition_gap(self, world):
+        rows = {c.definition: c for c in global_etl_ex_smokers(world)}
+        ever = sum(
+            1 for t in world.truths if t.patient.smoking.is_ex_smoker(None)
+        )
+        one_year = sum(
+            1 for t in world.truths if t.patient.smoking.is_ex_smoker(1.0)
+        )
+        assert rows["1y"].global_etl_errors == ever - one_year

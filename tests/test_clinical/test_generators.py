@@ -1,0 +1,170 @@
+"""Tests for the synthetic clinical world generators."""
+
+import pytest
+
+from repro.clinical import (
+    ClinicalWorld,
+    build_world,
+    generate_patients,
+    generate_truths,
+)
+from repro.clinical.ground_truth import ordered_subset
+from repro.clinical.patients import SmokingHistory
+from repro.clinical.vocabulary import INTERVENTIONS
+
+
+class TestPatients:
+    def test_deterministic(self):
+        assert generate_patients(50, seed=3) == generate_patients(50, seed=3)
+
+    def test_seed_changes_output(self):
+        assert generate_patients(50, seed=3) != generate_patients(50, seed=4)
+
+    def test_all_statuses_present(self):
+        statuses = {p.smoking.status for p in generate_patients(200, seed=1)}
+        assert statuses == {"never", "current", "ex"}
+
+    def test_ex_smokers_have_quit_years(self):
+        for patient in generate_patients(200, seed=1):
+            if patient.smoking.status == "ex":
+                assert patient.smoking.quit_years_ago is not None
+
+    def test_smoking_history_validation(self):
+        with pytest.raises(ValueError):
+            SmokingHistory("sometimes")
+        with pytest.raises(ValueError):
+            SmokingHistory("ex")  # missing quit_years_ago
+
+    def test_is_ex_smoker_definitions(self):
+        recent = SmokingHistory("ex", 1.0, quit_years_ago=0.5)
+        old = SmokingHistory("ex", 1.0, quit_years_ago=15.0)
+        current = SmokingHistory("current", 2.0)
+        assert recent.is_ex_smoker(1.0) and recent.is_ex_smoker()
+        assert not old.is_ex_smoker(1.0) and old.is_ex_smoker()
+        assert not current.is_ex_smoker()
+
+    def test_some_recent_quitters_exist(self):
+        patients = generate_patients(300, seed=1)
+        assert any(p.smoking.is_ex_smoker(1.0) for p in patients)
+
+
+class TestTruths:
+    def test_deterministic(self):
+        a = generate_truths(100, seed=5)
+        b = generate_truths(100, seed=5)
+        assert a == b
+
+    def test_sequential_ids(self):
+        truths = generate_truths(20, seed=5)
+        assert [t.procedure_id for t in truths] == list(range(1, 21))
+
+    def test_hypoxia_flags_consistent(self):
+        for truth in generate_truths(300, seed=5):
+            assert truth.had_transient_hypoxia == (
+                "Transient hypoxia" in truth.complications
+            )
+            if truth.had_transient_hypoxia:
+                assert truth.had_any_hypoxia
+
+    def test_surgery_flag_matches_interventions(self):
+        for truth in generate_truths(300, seed=5):
+            assert truth.surgery_performed == ("Surgery" in truth.interventions)
+
+    def test_complications_usually_get_interventions(self):
+        truths = [t for t in generate_truths(300, seed=5) if t.complications]
+        assert all(t.interventions for t in truths)
+
+    def test_study1_funnel_nonempty(self):
+        """The generator must keep every Study 1 stage populated."""
+        truths = generate_truths(300, seed=5)
+        stage = [
+            t
+            for t in truths
+            if t.procedure_type == "Upper GI endoscopy"
+            and t.indication == "Asthma-specific ENT/Pulmonary Reflux symptoms"
+            and not t.patient.renal_failure_history
+            and t.cardio_exam_normal
+            and t.abdominal_exam_normal
+            and t.had_transient_hypoxia
+        ]
+        assert stage
+
+    def test_ordered_subset(self):
+        chosen = ("Oxygen administration", "Surgery")
+        assert ordered_subset(INTERVENTIONS, chosen) == [
+            "Surgery",
+            "Oxygen administration",
+        ]
+
+
+class TestWorld:
+    def test_sources_partition_truths(self, world: ClinicalWorld):
+        routed = sum(len(v) for v in world.truths_by_source.values())
+        assert routed == world.procedure_count
+        assert set(world.assignment.values()) <= set(world.truths_by_source)
+
+    def test_every_source_nonempty(self, world: ClinicalWorld):
+        assert all(world.truths_by_source[s.name] for s in world.sources)
+
+    def test_truth_for_alignment(self, world: ClinicalWorld):
+        """Record k of a source must describe the k-th truth routed there —
+        checked via the patient id stored in each tool."""
+        id_nodes = {
+            "cori_warehouse_feed": "patient_id",
+            "endopro_clinic": "patient_ref",
+            "medscribe_clinic": "pt_num",
+        }
+        for source in world.sources:
+            form = source.tool.forms[0].name
+            rows = source.chain.read_naive(source.db, form)
+            for row in rows:
+                truth = world.truth_for(source.name, row["record_id"])
+                assert row[id_nodes[source.name]] == truth.patient.patient_id
+
+    def test_build_world_deterministic(self):
+        a = build_world(60, seed=3)
+        b = build_world(60, seed=3)
+        assert a.assignment == b.assignment
+
+    def test_unknown_source_raises(self, world: ClinicalWorld):
+        with pytest.raises(KeyError):
+            world.source("ghost")
+
+
+class TestVendorSemantics:
+    """The §1 trap must hold in the data itself."""
+
+    def test_endopro_smoker_means_current(self, world: ClinicalWorld):
+        source = world.source("endopro_clinic")
+        rows = source.chain.read_naive(source.db, "endoscopy_report")
+        for row in rows:
+            truth = world.truth_for(source.name, row["record_id"])
+            assert row["smoker"] == truth.patient.smoking.currently_smokes
+
+    def test_medscribe_smoker_means_ever(self, world: ClinicalWorld):
+        source = world.source("medscribe_clinic")
+        rows = source.chain.read_naive(source.db, "visit")
+        for row in rows:
+            truth = world.truth_for(source.name, row["record_id"])
+            assert row["smoker"] == truth.patient.smoking.ever_smoked
+
+    def test_cori_radio_is_three_valued(self, world: ClinicalWorld):
+        source = world.source("cori_warehouse_feed")
+        rows = source.chain.read_naive(source.db, "procedure")
+        mapping = {"never": "Never", "current": "Current", "ex": "Previous"}
+        for row in rows:
+            truth = world.truth_for(source.name, row["record_id"])
+            assert row["smoking"] == mapping[truth.patient.smoking.status]
+
+    def test_cori_findings_linked_to_procedures(self, world: ClinicalWorld):
+        source = world.source("cori_warehouse_feed")
+        procedures = {
+            r["record_id"]
+            for r in source.chain.read_naive(source.db, "procedure")
+        }
+        findings = source.chain.read_naive(source.db, "finding")
+        assert all(f["procedure_id"] in procedures for f in findings)
+
+    def test_physical_layouts_differ(self, world: ClinicalWorld):
+        layouts = [tuple(s.db.table_names()) for s in world.sources]
+        assert len(set(layouts)) == 3

@@ -1,0 +1,88 @@
+"""Tests for the NewMedication entity (Figure 4's third entity) end to end."""
+
+import pytest
+
+from repro.analysis import (
+    build_endoscopy_schema,
+    cori_medication_classifiers,
+)
+from repro.analysis.classifiers import vendor_classifiers_for
+from repro.clinical.vocabulary import MEDICATIONS
+from repro.etl import compile_study
+from repro.multiclass import Study
+from repro.relational import Database
+
+
+class TestMedicationData:
+    def test_truths_carry_medications(self, world):
+        assert any(truth.medications for truth in world.truths)
+
+    def test_reflux_procedures_always_medicated(self, world):
+        reflux = [
+            t
+            for t in world.truths
+            if t.indication == "Asthma-specific ENT/Pulmonary Reflux symptoms"
+        ]
+        assert reflux and all(t.medications for t in reflux)
+
+    def test_medication_rows_roundtrip_through_eav(self, world):
+        source = world.source("cori_warehouse_feed")
+        rows = source.chain.read_naive(source.db, "medication")
+        expected = sum(
+            len(t.medications)
+            for t in world.truths_by_source["cori_warehouse_feed"]
+        )
+        assert len(rows) == expected
+        assert all(row["drug"] in MEDICATIONS for row in rows)
+
+    def test_medication_gtree_derived(self, world):
+        tree = world.source("cori_warehouse_feed").gtree("medication")
+        assert tree.node("drug").options
+        assert tree.node("dosage_mg").data_type.value == "integer"
+
+
+class TestMedicationStudy:
+    @pytest.fixture()
+    def study(self, world) -> Study:
+        schema = build_endoscopy_schema()
+        study = Study("medications", schema)
+        study.add_element("NewMedication", "Drug", "name")
+        study.add_element("NewMedication", "DosageMg", "mg")
+        study.add_element("NewMedication", "PillsPerDay", "per_day")
+        cori = world.source("cori_warehouse_feed")
+        vendor = vendor_classifiers_for(cori)
+        entity, classifiers = cori_medication_classifiers()
+        study.bind(cori, [entity], classifiers)
+        return study
+
+    def test_counts_match_truth(self, study, world):
+        result = study.run()
+        expected = sum(
+            len(t.medications)
+            for t in world.truths_by_source["cori_warehouse_feed"]
+        )
+        assert result.count("NewMedication") == expected
+
+    def test_values_match_truth(self, study, world):
+        result = study.run()
+        by_parent: dict[int, list] = {}
+        for row in result.rows("NewMedication"):
+            by_parent.setdefault(row["parent_record_id"], []).append(row)
+        for parent_id, rows in by_parent.items():
+            truth = world.truth_for("cori_warehouse_feed", parent_id)
+            assert sorted(r["Drug_name"] for r in rows) == sorted(
+                m.drug for m in truth.medications
+            )
+
+    def test_compiles_to_etl(self, study):
+        outputs, _ = compile_study(study, Database("wh")).run()
+        direct = study.run().rows("NewMedication")
+        key = lambda r: (r["record_id"],)
+        assert sorted(outputs["NewMedication__load"], key=key) == sorted(
+            direct, key=key
+        )
+
+    def test_filter_on_dosage(self, study):
+        study.where("NewMedication", "DosageMg_mg >= 40")
+        rows = study.run().rows("NewMedication")
+        assert all(row["DosageMg_mg"] >= 40 for row in rows)

@@ -1,0 +1,152 @@
+"""Tests for expression evaluation and SQL-style null semantics."""
+
+import pytest
+
+from repro.errors import EvaluationError, UnknownIdentifierError
+from repro.expr import Evaluator, evaluate, parse
+
+
+def ev(source: str, **env):
+    return evaluate(parse(source), env)
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert ev("1 + 2 * 3") == 7
+
+    def test_division_is_float(self):
+        assert ev("5 / 2") == 2.5
+
+    def test_modulo(self):
+        assert ev("7 % 3") == 1
+
+    def test_division_by_zero_yields_null(self):
+        assert ev("1 / 0") is None
+
+    def test_unary_minus(self):
+        assert ev("-x", x=4) == -4
+
+    def test_string_concat_with_plus(self):
+        assert ev("'a' + 'b'") == "ab"
+
+    def test_non_numeric_arithmetic_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("'a' * 2")
+
+
+class TestComparison:
+    def test_numbers(self):
+        assert ev("2 < 3") is True
+        assert ev("2 >= 3") is False
+
+    def test_int_float_compare(self):
+        assert ev("2 = 2.0") is True
+
+    def test_strings(self):
+        assert ev("'abc' < 'abd'") is True
+
+    def test_equality_across_types_is_false(self):
+        assert ev("1 = TRUE") is False  # bool is not the number 1 here
+
+    def test_ordering_across_types_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("'a' < 1")
+
+    def test_like(self):
+        assert ev("name LIKE '%hypox%'", name="Transient Hypoxia") is True
+        assert ev("name LIKE 'hypo%'", name="Transient Hypoxia") is False
+
+    def test_like_underscore(self):
+        assert ev("x LIKE 'a_c'", x="abc") is True
+
+    def test_like_escapes_regex_metacharacters(self):
+        # A '(' in the pattern is a literal, never a regex group.
+        assert ev("x LIKE '%(mg)%'", x="dosage (mg) daily") is True
+        assert ev("x LIKE 'a.c'", x="abc") is False
+        assert ev("x LIKE 'a.c'", x="a.c") is True
+
+    def test_like_matches_whole_string(self):
+        assert ev("x LIKE 'hyp'", x="hypoxia") is False
+
+
+class TestNullSemantics:
+    def test_arithmetic_propagates_null(self):
+        assert ev("x + 1", x=None) is None
+
+    def test_comparison_with_null_is_null(self):
+        assert ev("x > 0", x=None) is None
+
+    def test_kleene_and(self):
+        assert ev("x > 0 AND TRUE", x=None) is None
+        assert ev("x > 0 AND FALSE", x=None) is False
+
+    def test_kleene_or(self):
+        assert ev("x > 0 OR TRUE", x=None) is True
+        assert ev("x > 0 OR FALSE", x=None) is None
+
+    def test_not_null_is_null(self):
+        assert ev("NOT (x = 1)", x=None) is None
+
+    def test_is_null(self):
+        assert ev("x IS NULL", x=None) is True
+        assert ev("x IS NOT NULL", x=None) is False
+
+    def test_in_with_null_operand(self):
+        assert ev("x IN (1, 2)", x=None) is None
+
+    def test_in_with_null_item_no_match(self):
+        assert ev("x IN (1, NULL)", x=2) is None
+
+    def test_in_match_beats_null_item(self):
+        assert ev("x IN (2, NULL)", x=2) is True
+
+    def test_satisfied_treats_null_as_false(self):
+        evaluator = Evaluator()
+        assert evaluator.satisfied(parse("x > 0"), {"x": None}) is False
+
+
+class TestInList:
+    def test_member(self):
+        assert ev("x IN ('a', 'b')", x="a") is True
+
+    def test_not_member(self):
+        assert ev("x IN ('a', 'b')", x="c") is False
+
+    def test_negated(self):
+        assert ev("x NOT IN (1, 2)", x=3) is True
+        assert ev("x NOT IN (1, 2)", x=1) is False
+
+
+class TestIdentifierResolution:
+    def test_exact_match(self):
+        assert ev("smoking", smoking="Current") == "Current"
+
+    def test_leaf_fallback(self):
+        expr = parse("Smoking")
+        assert evaluate(expr, {"Smoking": "x"}) == "x"
+
+    def test_suffix_match_on_dotted_keys(self):
+        expr = parse("smoking")
+        assert evaluate(expr, {"history.smoking": "Never"}) == "Never"
+
+    def test_ambiguous_suffix_raises(self):
+        expr = parse("smoking")
+        with pytest.raises(EvaluationError):
+            evaluate(expr, {"a.smoking": 1, "b.smoking": 2})
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownIdentifierError):
+            ev("missing")
+
+
+class TestBooleans:
+    def test_literal_logic(self):
+        assert ev("TRUE AND FALSE") is False
+        assert ev("TRUE OR FALSE") is True
+
+    def test_boolean_column(self):
+        assert ev("hypoxia = TRUE", hypoxia=True) is True
+
+    def test_non_boolean_in_logic_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("1 AND 2")

@@ -1,0 +1,119 @@
+"""Tests for the built-in function library."""
+
+import pytest
+
+from repro.errors import EvaluationError, UnknownFunctionError
+from repro.expr import default_registry, evaluate, parse
+from repro.expr.functions import FunctionRegistry
+
+
+def ev(source: str, **env):
+    return evaluate(parse(source), env)
+
+
+class TestNumeric:
+    def test_abs(self):
+        assert ev("ABS(-3)") == 3
+
+    def test_round_digits(self):
+        assert ev("ROUND(2.567, 1)") == 2.6
+
+    def test_floor_ceil(self):
+        assert ev("FLOOR(2.9)") == 2
+        assert ev("CEIL(2.1)") == 3
+
+    def test_sqrt_power(self):
+        assert ev("SQRT(16)") == 4
+        assert ev("POWER(2, 10)") == 1024
+
+    def test_least_greatest(self):
+        assert ev("LEAST(3, 1, 2)") == 1
+        assert ev("GREATEST(3, 1, 2)") == 3
+
+    def test_num_parses_text(self):
+        assert ev("NUM('2.5')") == 2.5
+        assert ev("NUM('42')") == 42
+
+    def test_num_bad_text_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("NUM('abc')")
+
+    def test_null_propagates(self):
+        assert ev("ABS(x)", x=None) is None
+
+
+class TestText:
+    def test_length_upper_lower_trim(self):
+        assert ev("LENGTH('abc')") == 3
+        assert ev("UPPER('ab')") == "AB"
+        assert ev("LOWER('AB')") == "ab"
+        assert ev("TRIM('  x ')") == "x"
+
+    def test_substring_one_based(self):
+        assert ev("SUBSTRING('hypoxia', 1, 4)") == "hypo"
+        assert ev("SUBSTRING('hypoxia', 5)") == "xia"
+
+    def test_concat_skips_nulls(self):
+        assert ev("CONCAT('a', x, 'b')", x=None) == "ab"
+
+    def test_contains_case_insensitive(self):
+        assert ev("CONTAINS('Transient Hypoxia', 'hypoxia')") is True
+        assert ev("CONTAINS('abc', 'z')") is False
+
+    def test_startswith(self):
+        assert ev("STARTSWITH('None reported', 'none')") is True
+
+
+class TestConditional:
+    def test_coalesce(self):
+        assert ev("COALESCE(x, y, 9)", x=None, y=None) == 9
+        assert ev("COALESCE(x, 9)", x=5) == 5
+
+    def test_ifnull(self):
+        assert ev("IFNULL(x, 0)", x=None) == 0
+
+    def test_iif(self):
+        assert ev("IIF(a > 1, 'big', 'small')", a=5) == "big"
+        assert ev("IIF(a > 1, 'big', 'small')", a=0) == "small"
+
+    def test_iif_null_condition_takes_false_branch(self):
+        assert ev("IIF(a > 1, 'big', 'small')", a=None) == "small"
+
+    def test_isnumeric(self):
+        assert ev("ISNUMERIC('2.5')") is True
+        assert ev("ISNUMERIC('abc')") is False
+        assert ev("ISNUMERIC(x)", x=None) is False
+
+
+class TestJsonGet:
+    def test_extracts_key(self):
+        assert ev("JSON_GET(doc, 'a')", doc='{"a": 1}') == 1
+
+    def test_missing_key_is_null(self):
+        assert ev("JSON_GET(doc, 'b')", doc='{"a": 1}') is None
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(EvaluationError):
+            ev("JSON_GET('not json', 'a')")
+
+
+class TestRegistry:
+    def test_unknown_function_raises(self):
+        with pytest.raises(UnknownFunctionError):
+            ev("NOPE(1)")
+
+    def test_arity_enforced(self):
+        with pytest.raises(EvaluationError):
+            ev("ABS(1, 2)")
+
+    def test_copy_is_independent(self):
+        base = default_registry()
+        clone = base.copy()
+        clone.register("CUSTOM", lambda: 1)
+        assert "CUSTOM" in clone.names()
+        assert "CUSTOM" not in base.names()
+
+    def test_register_and_call(self):
+        registry = FunctionRegistry()
+        registry.register("TWICE", lambda x: x * 2, 1, 1)
+        assert registry.call("twice", [4]) == 8

@@ -1,0 +1,110 @@
+"""Tests for the expression tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.expr import Token, TokenType, tokenize
+
+
+def kinds(source: str) -> list[TokenType]:
+    return [token.type for token in tokenize(source)]
+
+
+def values(source: str) -> list[str]:
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestNumbers:
+    def test_integer(self):
+        tokens = tokenize("42")
+        assert tokens[0].type is TokenType.NUMBER
+        assert tokens[0].value == "42"
+
+    def test_float(self):
+        assert tokenize("3.14")[0].value == "3.14"
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].value == ".5"
+
+    def test_dot_after_number_is_path_when_not_digit(self):
+        # "2.x" lexes as NUMBER(2) DOT IDENT(x) — never a malformed float.
+        assert kinds("2.x")[:3] == [TokenType.NUMBER, TokenType.DOT, TokenType.IDENTIFIER]
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        assert tokenize("'abc'")[0].value == "abc"
+
+    def test_double_quoted(self):
+        assert tokenize('"abc"')[0].value == "abc"
+
+    def test_escaped_quote_doubles(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+
+class TestWordsAndKeywords:
+    def test_keyword_case_insensitive(self):
+        assert tokenize("and")[0].type is TokenType.KEYWORD
+        assert tokenize("AND")[0].value == "AND"
+
+    def test_identifier(self):
+        token = tokenize("PacksPerDay")[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "PacksPerDay"
+
+    def test_identifier_with_underscore_digits(self):
+        assert tokenize("quit_years_2")[0].value == "quit_years_2"
+
+    def test_dotted_path_tokens(self):
+        assert kinds("a.b") == [
+            TokenType.IDENTIFIER,
+            TokenType.DOT,
+            TokenType.IDENTIFIER,
+            TokenType.EOF,
+        ]
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/", "%"])
+    def test_each_operator(self, op):
+        token = tokenize(op)[0]
+        assert token.type is TokenType.OPERATOR
+        assert token.value == op
+
+    def test_sql_inequality_normalizes(self):
+        assert tokenize("<>")[0].value == "!="
+
+    def test_unknown_character_raises_with_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2
+
+
+class TestStructure:
+    def test_ends_with_eof(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+    def test_whitespace_ignored(self):
+        assert values("  1   +   2  ") == ["1", "+", "2"]
+
+    def test_parens_and_commas(self):
+        assert kinds("f(a, b)") == [
+            TokenType.IDENTIFIER,
+            TokenType.LPAREN,
+            TokenType.IDENTIFIER,
+            TokenType.COMMA,
+            TokenType.IDENTIFIER,
+            TokenType.RPAREN,
+            TokenType.EOF,
+        ]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab + cd")
+        assert [t.position for t in tokens[:-1]] == [0, 3, 5]

@@ -1,0 +1,66 @@
+"""Tests for g-tree XML serialization."""
+
+import pytest
+
+from repro.errors import GTreeError
+from repro.guava import derive_gtree, gtree_from_xml, gtree_to_xml
+
+
+class TestRoundTrip:
+    def test_fig2_tree_roundtrips(self, fig2_tool):
+        tree = derive_gtree(fig2_tool, "procedure")
+        restored = gtree_from_xml(gtree_to_xml(tree))
+        assert restored.root == tree.root
+        assert restored.tool_name == tree.tool_name
+        assert restored.tool_version == tree.tool_version
+
+    def test_all_world_trees_roundtrip(self, world):
+        for source in world.sources:
+            for form_name, tree in source.gtrees.items():
+                restored = gtree_from_xml(gtree_to_xml(tree))
+                assert restored.root == tree.root, (source.name, form_name)
+
+    def test_options_and_defaults_preserved(self, fig2_tool):
+        tree = derive_gtree(fig2_tool, "procedure")
+        restored = gtree_from_xml(gtree_to_xml(tree))
+        assert restored.node("smoking").options == tree.node("smoking").options
+        assert restored.node("hypoxia").default is False
+
+    def test_enablement_preserved(self, fig2_tool):
+        tree = derive_gtree(fig2_tool, "procedure")
+        restored = gtree_from_xml(gtree_to_xml(tree))
+        assert (
+            restored.node("frequency").enablement.to_source()
+            == tree.node("frequency").enablement.to_source()
+        )
+
+    def test_xml_mimics_hierarchy(self, fig2_tool):
+        xml = gtree_to_xml(derive_gtree(fig2_tool, "procedure"))
+        # The frequency node is nested inside the smoking node element.
+        assert xml.index('name="smoking"') < xml.index('name="frequency"')
+
+
+class TestErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(GTreeError):
+            gtree_from_xml("<not closed")
+
+    def test_wrong_root_tag(self):
+        with pytest.raises(GTreeError):
+            gtree_from_xml("<other/>")
+
+    def test_missing_node(self):
+        with pytest.raises(GTreeError):
+            gtree_from_xml('<gtree tool="t" version="1"></gtree>')
+
+    def test_node_missing_name(self):
+        with pytest.raises(GTreeError):
+            gtree_from_xml('<gtree tool="t" version="1"><node type="Form"/></gtree>')
+
+    def test_unexpected_element(self):
+        xml = (
+            '<gtree tool="t" version="1">'
+            '<node name="f" type="Form" form="true"><mystery/></node></gtree>'
+        )
+        with pytest.raises(GTreeError):
+            gtree_from_xml(xml)

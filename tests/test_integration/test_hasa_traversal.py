@@ -1,0 +1,115 @@
+"""Integration: traversing the has-a edge in the warehouse.
+
+Figure 4's dashed has-a lines become queryable: child-entity study tables
+carry ``parent_record_id`` (from the entity classifier's parent link), so
+Finding rows join back to their Procedure rows with ordinary SPJ.
+"""
+
+import pytest
+
+from repro.analysis import (
+    build_endoscopy_schema,
+    cori_finding_classifiers,
+)
+from repro.analysis.classifiers import vendor_classifiers_for
+from repro.etl import compile_study
+from repro.multiclass import Study
+from repro.warehouse import StudyTableQuery, Warehouse
+
+
+@pytest.fixture(scope="module")
+def linked_study(world):
+    """One study with both Procedure and Finding elements, CORI only."""
+    schema = build_endoscopy_schema()
+    study = Study("linked", schema)
+    study.add_element("Procedure", "Smoking", "status3")
+    study.add_element("Procedure", "TransientHypoxia", "flag")
+    study.add_element("Finding", "FindingType", "finding_type")
+    study.add_element("Finding", "SizeMm", "mm")
+    cori = world.source("cori_warehouse_feed")
+    vendor = vendor_classifiers_for(cori)
+    finding_ec, finding_classifiers = cori_finding_classifiers()
+    wanted = [
+        c
+        for c in vendor.base
+        if (c.target_attribute, c.target_domain)
+        in {("Smoking", "status3"), ("TransientHypoxia", "flag")}
+    ]
+    study.bind(
+        cori,
+        [vendor.entity_classifier, finding_ec],
+        wanted + finding_classifiers[:2],
+    )
+    return study
+
+
+class TestParentLink:
+    def test_child_rows_carry_parent_record_id(self, linked_study, world):
+        result = linked_study.run()
+        findings = result.rows("Finding")
+        assert findings
+        procedures = {row["record_id"] for row in result.rows("Procedure")}
+        for row in findings:
+            assert row["parent_record_id"] in procedures
+
+    def test_parent_rows_do_not_carry_link(self, linked_study):
+        result = linked_study.run()
+        assert "parent_record_id" not in result.rows("Procedure")[0]
+
+    def test_link_matches_ground_truth(self, linked_study, world):
+        """Findings attach to the procedure whose truth generated them."""
+        result = linked_study.run()
+        by_parent: dict[int, list] = {}
+        for row in result.rows("Finding"):
+            by_parent.setdefault(row["parent_record_id"], []).append(row)
+        for parent_id, rows in by_parent.items():
+            truth = world.truth_for("cori_warehouse_feed", parent_id)
+            assert len(rows) == len(truth.findings)
+
+    def test_compiled_etl_carries_link(self, linked_study):
+        from repro.relational import Database
+
+        direct = linked_study.run().rows("Finding")
+        outputs, _ = compile_study(linked_study, Database("wh")).run()
+        key = lambda r: (r["source"], r["record_id"])
+        assert sorted(outputs["Finding__load"], key=key) == sorted(direct, key=key)
+
+
+class TestWarehouseJoin:
+    def test_findings_join_procedures(self, linked_study, world):
+        warehouse = Warehouse()
+        compile_study(linked_study, warehouse.db).run()
+        joined = (
+            StudyTableQuery(warehouse, "study_linked_finding")
+            .join_entity(
+                "study_linked_procedure",
+                prefix="proc",
+                on=(("parent_record_id", "record_id"), ("source", "source")),
+            )
+            .run()
+        )
+        direct = linked_study.run()
+        assert len(joined) == direct.count("Finding")
+        # Every joined row pairs a finding with its procedure's columns.
+        assert all("proc_Smoking_status3" in row for row in joined)
+
+    def test_analytical_question_across_the_edge(self, linked_study, world):
+        """Findings on procedures of current smokers — a real has-a query."""
+        warehouse = Warehouse()
+        compile_study(linked_study, warehouse.db).run()
+        smoker_findings = (
+            StudyTableQuery(warehouse, "study_linked_finding")
+            .join_entity(
+                "study_linked_procedure",
+                prefix="proc",
+                on=(("parent_record_id", "record_id"), ("source", "source")),
+            )
+            .where("proc_Smoking_status3 = 'Current'")
+            .run()
+        )
+        expected = sum(
+            len(truth.findings)
+            for truth in world.truths_by_source["cori_warehouse_feed"]
+            if truth.patient.smoking.status == "current"
+        )
+        assert len(smoker_findings) == expected

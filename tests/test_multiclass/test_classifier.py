@@ -1,0 +1,199 @@
+"""Tests for classifiers and entity classifiers (Figure 5)."""
+
+import pytest
+
+from repro.errors import ClassifierError, DomainError
+from repro.guava import derive_gtree
+from repro.multiclass import Classifier, Domain, EntityClassifier, Rule
+
+HABITS = Domain.categorical("habits", ["None", "Light", "Moderate", "Heavy"])
+
+
+def habits_cancer() -> Classifier:
+    """Figure 5a, cancer-study cutoffs."""
+    return Classifier(
+        name="Habits (Cancer)",
+        target_entity="Procedure",
+        target_attribute="Smoking",
+        target_domain="habits",
+        rules=[
+            Rule.of("'None'", "PacksPerDay = 0"),
+            Rule.of("'Light'", "0 < PacksPerDay AND PacksPerDay < 2"),
+            Rule.of("'Moderate'", "2 <= PacksPerDay AND PacksPerDay < 5"),
+            Rule.of("'Heavy'", "PacksPerDay >= 5"),
+        ],
+        description="per conversations with cancer study on 5/3/02",
+    )
+
+
+def habits_chemistry() -> Classifier:
+    """Figure 5a, chemistry-flier cutoffs."""
+    return Classifier(
+        name="Habits (Chemistry)",
+        target_entity="Procedure",
+        target_attribute="Smoking",
+        target_domain="habits",
+        rules=[
+            Rule.of("'None'", "PacksPerDay = 0"),
+            Rule.of("'Light'", "0 < PacksPerDay AND PacksPerDay < 1"),
+            Rule.of("'Moderate'", "1 <= PacksPerDay AND PacksPerDay < 2"),
+            Rule.of("'Heavy'", "PacksPerDay >= 2"),
+        ],
+        description="per flier from chemical studies",
+    )
+
+
+class TestClassification:
+    def test_first_matching_rule_wins(self):
+        assert habits_cancer().classify({"PacksPerDay": 0}) == "None"
+        assert habits_cancer().classify({"PacksPerDay": 1.5}) == "Light"
+        assert habits_cancer().classify({"PacksPerDay": 3}) == "Moderate"
+        assert habits_cancer().classify({"PacksPerDay": 7}) == "Heavy"
+
+    def test_unanswered_input_is_unclassified(self):
+        assert habits_cancer().classify({"PacksPerDay": None}) is None
+
+    def test_no_matching_rule_is_unclassified(self):
+        negative = {"PacksPerDay": -1}
+        assert habits_cancer().classify(negative) is None
+
+    def test_domain_check_enforced(self):
+        bad = Classifier(
+            name="bad",
+            target_entity="P",
+            target_attribute="S",
+            target_domain="habits",
+            rules=[Rule.of("'NotACategory'", "TRUE")],
+        )
+        with pytest.raises(DomainError):
+            bad.classify({}, HABITS)
+
+    def test_explain_reports_rule_index(self):
+        value, index = habits_cancer().explain({"PacksPerDay": 3})
+        assert (value, index) == ("Moderate", 2)
+        value, index = habits_cancer().explain({"PacksPerDay": None})
+        assert (value, index) == (None, None)
+
+    def test_two_classifiers_same_domain_disagree_in_the_gap(self):
+        """The paper's point: both are valid; they disagree on [1, 5)."""
+        cancer, chemistry = habits_cancer(), habits_chemistry()
+        assert cancer.classify({"PacksPerDay": 1.5}) == "Light"
+        assert chemistry.classify({"PacksPerDay": 1.5}) == "Moderate"
+        assert cancer.classify({"PacksPerDay": 3}) == "Moderate"
+        assert chemistry.classify({"PacksPerDay": 3}) == "Heavy"
+        # And agree outside it.
+        for packs in (0, 0.5, 6):
+            if packs < 1 or packs >= 5:
+                assert cancer.classify({"PacksPerDay": packs}) == chemistry.classify(
+                    {"PacksPerDay": packs}
+                )
+
+    def test_arithmetic_output(self):
+        """Figure 5b: tumor volume from three dimensions."""
+        volume = Classifier(
+            name="Tumor Size",
+            target_entity="Finding",
+            target_attribute="TumorVolume",
+            target_domain="cubic_mm",
+            rules=[
+                Rule.of(
+                    "TumorX * TumorY * TumorZ * 0.52",
+                    "TumorX > 0 AND TumorY > 0 AND TumorZ > 0",
+                )
+            ],
+            description="assumes 52% occupancy from sphere-to-cube ratio",
+        )
+        assert volume.classify({"TumorX": 2, "TumorY": 3, "TumorZ": 4}) == pytest.approx(12.48)
+        assert volume.classify({"TumorX": 0, "TumorY": 3, "TumorZ": 4}) is None
+
+    def test_needs_rules(self):
+        with pytest.raises(ClassifierError):
+            Classifier(
+                name="empty",
+                target_entity="P",
+                target_attribute="A",
+                target_domain="d",
+                rules=[],
+            )
+
+
+class TestStaticAnalysis:
+    def test_input_nodes(self):
+        assert habits_cancer().input_nodes() == {"PacksPerDay"}
+
+    def test_input_nodes_cover_outputs_and_guards(self):
+        classifier = Classifier(
+            name="c",
+            target_entity="P",
+            target_attribute="A",
+            target_domain="d",
+            rules=[Rule.of("a + b", "c = 1")],
+        )
+        assert classifier.input_nodes() == {"a", "b", "c"}
+
+    def test_validate_against_gtree(self, fig2_tool):
+        tree = derive_gtree(fig2_tool, "procedure")
+        ok = Classifier(
+            name="ok",
+            target_entity="P",
+            target_attribute="A",
+            target_domain="d",
+            rules=[Rule.of("frequency", "smoking = 'Current'")],
+        )
+        assert ok.validate_against(tree) == []
+        bad = Classifier(
+            name="bad",
+            target_entity="P",
+            target_attribute="A",
+            target_domain="d",
+            rules=[Rule.of("ghost", "TRUE")],
+        )
+        assert bad.validate_against(tree) == ["ghost"]
+
+    def test_union_of_conjunctions(self):
+        assert habits_cancer().is_union_of_conjunctions()
+
+    def test_target_tuple(self):
+        assert habits_cancer().target == ("Procedure", "Smoking", "habits")
+
+
+class TestEntityClassifier:
+    def build(self) -> EntityClassifier:
+        """Figure 5c: Relevant Procedures."""
+        return EntityClassifier(
+            name="Relevant Procedures",
+            target_entity="Procedure",
+            form="procedure",
+            condition="surgeon_consulted = TRUE",
+            description="Only consider procedures where surgery was performed",
+        )
+
+    def test_admits(self):
+        ec = self.build()
+        assert ec.admits({"surgeon_consulted": True})
+        assert not ec.admits({"surgeon_consulted": False})
+        assert not ec.admits({"surgeon_consulted": None})
+
+    def test_default_condition_admits_all(self):
+        ec = EntityClassifier(name="all", target_entity="P", form="f")
+        assert ec.admits({})
+
+    def test_must_reference_form_node(self, fig2_tool):
+        tree = derive_gtree(fig2_tool, "procedure")
+        good = self.build()
+        assert good.validate_against(tree) == []
+        wrong_form = EntityClassifier(
+            name="x", target_entity="P", form="other_form"
+        )
+        problems = wrong_form.validate_against(tree)
+        assert problems and "form node" in problems[0]
+
+    def test_unknown_condition_node_flagged(self, fig2_tool):
+        tree = derive_gtree(fig2_tool, "procedure")
+        ec = EntityClassifier(
+            name="x", target_entity="P", form="procedure", condition="ghost = 1"
+        )
+        assert any("ghost" in p for p in ec.validate_against(tree))
+
+    def test_input_nodes_include_form(self):
+        assert "procedure" in self.build().input_nodes()

@@ -1,0 +1,97 @@
+"""Tests for domains (Table 2)."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.multiclass import Domain
+from repro.multiclass.domain import DomainKind
+
+
+class TestConstruction:
+    def test_categorical(self):
+        domain = Domain.categorical("status", ["None", "Current", "Previous"])
+        assert domain.kind is DomainKind.CATEGORICAL
+        assert domain.categories == ("None", "Current", "Previous")
+
+    def test_categorical_needs_categories(self):
+        with pytest.raises(DomainError):
+            Domain.categorical("empty", [])
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(DomainError):
+            Domain.categorical("d", ["a", "a"])
+
+    def test_numeric_kinds(self):
+        assert Domain.integer("packs").kind is DomainKind.INTEGER
+        assert Domain.real("volume").kind is DomainKind.FLOAT
+
+    def test_non_categorical_cannot_have_categories(self):
+        with pytest.raises(DomainError):
+            Domain("bad", DomainKind.INTEGER, categories=("a",))
+
+
+class TestMembership:
+    def test_categorical_contains(self):
+        domain = Domain.categorical("status", ["None", "Current"])
+        assert domain.contains("Current")
+        assert not domain.contains("Sometimes")
+        assert not domain.contains(None)
+
+    def test_integer_bounds(self):
+        domain = Domain.integer("packs", minimum=0, maximum=10)
+        assert domain.contains(5)
+        assert not domain.contains(-1)
+        assert not domain.contains(11)
+        assert not domain.contains(2.5)
+
+    def test_integer_accepts_whole_float(self):
+        assert Domain.integer("n").contains(5.0)
+
+    def test_float_domain(self):
+        domain = Domain.real("packs", minimum=0)
+        assert domain.contains(2.5)
+        assert not domain.contains(-0.1)
+        assert not domain.contains("2.5")
+
+    def test_boolean(self):
+        domain = Domain.boolean("flag")
+        assert domain.contains(True)
+        assert not domain.contains(1)  # int is not a flag
+
+    def test_text(self):
+        assert Domain.text("name").contains("abc")
+        assert not Domain.text("name").contains(5)
+
+    def test_bool_is_not_numeric(self):
+        assert not Domain.integer("n").contains(True)
+
+
+class TestCheck:
+    def test_in_domain_passes(self):
+        assert Domain.integer("n").check(5) == 5
+
+    def test_none_is_unclassified_not_error(self):
+        assert Domain.integer("n").check(None) is None
+
+    def test_out_of_domain_raises(self):
+        with pytest.raises(DomainError):
+            Domain.categorical("d", ["a"]).check("b")
+
+
+class TestCardinality:
+    def test_categorical(self):
+        assert Domain.categorical("d", ["a", "b", "c"]).cardinality == 3
+
+    def test_boolean(self):
+        assert Domain.boolean("f").cardinality == 2
+
+    def test_bounded_integer(self):
+        assert Domain.integer("n", minimum=1, maximum=10).cardinality == 10
+
+    def test_unbounded_is_infinite(self):
+        assert Domain.integer("n").cardinality == float("inf")
+        assert Domain.real("x", minimum=0, maximum=1).cardinality == float("inf")
+
+    def test_str_rendering(self):
+        assert "None" in str(Domain.categorical("d", ["None", "Light"]))
+        assert "integer" in str(Domain.integer("n", minimum=0))

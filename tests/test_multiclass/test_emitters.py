@@ -1,0 +1,101 @@
+"""Tests for the Datalog and XQuery emitters (Hypothesis 3 evidence)."""
+
+from repro.multiclass import (
+    Classifier,
+    Rule,
+    classifier_to_datalog,
+    study_to_datalog,
+    study_to_xquery,
+)
+from repro.multiclass.datalog import entity_classifier_to_datalog
+from repro.multiclass.classifier import EntityClassifier
+
+
+def habits() -> Classifier:
+    return Classifier(
+        name="Habits",
+        target_entity="Procedure",
+        target_attribute="Smoking",
+        target_domain="habits",
+        rules=[
+            Rule.of("'None'", "packs = 0"),
+            Rule.of("'Light'", "packs > 0 AND packs < 2"),
+        ],
+        description="cutoffs",
+    )
+
+
+class TestDatalogEmission:
+    def test_head_predicate_from_target(self):
+        program = classifier_to_datalog(habits())
+        assert "procedure_smoking_habits(Id, 'None')" in program
+
+    def test_one_rule_per_dnf_clause(self):
+        classifier = Classifier(
+            name="c",
+            target_entity="P",
+            target_attribute="A",
+            target_domain="d",
+            rules=[Rule.of("1", "a = 1 OR b = 2")],
+        )
+        program = classifier_to_datalog(classifier)
+        assert program.count("p_a_d(Id, 1) :-") == 2
+
+    def test_first_match_encoded_with_negation(self):
+        program = classifier_to_datalog(habits())
+        # The second rule must negate the first rule's guard.
+        light_rules = [line for line in program.splitlines() if "'Light'" in line]
+        assert light_rules and "\\+" in light_rules[0]
+
+    def test_node_bindings_emitted(self):
+        program = classifier_to_datalog(habits())
+        assert "packs(Id, Packs)" in program
+
+    def test_entity_classifier(self):
+        ec = EntityClassifier(
+            name="relevant",
+            target_entity="Procedure",
+            form="procedure",
+            condition="surgery = TRUE",
+        )
+        program = entity_classifier_to_datalog(ec)
+        assert "procedure(Id) :-" in program
+        assert "Surgery = true" in program
+
+    def test_in_list_expands(self):
+        classifier = Classifier(
+            name="c",
+            target_entity="P",
+            target_attribute="A",
+            target_domain="d",
+            rules=[Rule.of("1", "x IN (1, 2)")],
+        )
+        program = classifier_to_datalog(classifier)
+        assert program.count("p_a_d(Id, 1) :-") == 2
+
+
+class TestStudyEmission:
+    def _study(self, world):
+        from repro.analysis import build_study1
+
+        return build_study1(world)
+
+    def test_datalog_covers_all_sources(self, world):
+        program = study_to_datalog(self._study(world))
+        for source in world.sources:
+            assert f"% --- source {source.name}" in program
+        assert "study_procedure(" in program
+
+    def test_xquery_structure(self, world):
+        program = study_to_xquery(self._study(world))
+        # One FLWOR per source (entity classifiers as for-each).
+        assert program.count("for $r in") == len(world.sources)
+        # Domain classifiers as variable assignments.
+        assert "let $" in program
+        # Rules as conditionals.
+        assert "if (" in program and "else" in program
+
+    def test_xquery_references_forms(self, world):
+        program = study_to_xquery(self._study(world))
+        assert "//procedure" in program
+        assert "//visit" in program

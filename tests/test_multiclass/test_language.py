@@ -1,0 +1,103 @@
+"""Tests for the classifier mini-language."""
+
+import pytest
+
+from repro.errors import ClassifierError
+from repro.multiclass import (
+    format_classifier,
+    format_entity_classifier,
+    parse_classifier,
+    parse_entity_classifier,
+)
+
+HABITS_TEXT = """
+CLASSIFIER Habits_Cancer
+TARGET Procedure.Smoking
+DOMAIN habits4
+FORM procedure
+DESCRIPTION per cancer-study conversation 2002-05-03
+RULE 'None' <- PacksPerDay = 0
+RULE 'Light' <- PacksPerDay > 0 AND PacksPerDay < 2
+RULE 'Moderate' <- PacksPerDay >= 2 AND PacksPerDay < 5
+RULE 'Heavy' <- PacksPerDay >= 5
+"""
+
+ENTITY_TEXT = """
+ENTITY CLASSIFIER Relevant_Procedures
+TARGET Procedure
+FORM procedure
+DESCRIPTION Only consider procedures where surgery was performed
+WHERE SurgeryPerformed = TRUE
+"""
+
+
+class TestParseClassifier:
+    def test_header_fields(self):
+        classifier = parse_classifier(HABITS_TEXT)
+        assert classifier.name == "Habits_Cancer"
+        assert classifier.target == ("Procedure", "Smoking", "habits4")
+        assert classifier.source_form == "procedure"
+        assert "cancer-study" in classifier.description
+
+    def test_rules_parsed_in_order(self):
+        classifier = parse_classifier(HABITS_TEXT)
+        assert len(classifier.rules) == 4
+        assert classifier.classify({"PacksPerDay": 3}) == "Moderate"
+
+    def test_roundtrip(self):
+        classifier = parse_classifier(HABITS_TEXT)
+        again = parse_classifier(format_classifier(classifier))
+        assert again.name == classifier.name
+        assert again.rules == classifier.rules
+        assert again.target == classifier.target
+
+    @pytest.mark.parametrize(
+        "broken",
+        [
+            "",
+            "CLASSIFIER x\nDOMAIN d\nRULE 1 <- TRUE",  # missing TARGET
+            "CLASSIFIER x\nTARGET noDot\nDOMAIN d\nRULE 1 <- TRUE",
+            "CLASSIFIER x\nTARGET A.B\nRULE 1 <- TRUE",  # missing DOMAIN
+            "CLASSIFIER x\nTARGET A.B\nDOMAIN d",  # no rules
+            "CLASSIFIER x\nTARGET A.B\nDOMAIN d\nRULE no arrow",
+            "CLASSIFIER x\nTARGET A.B\nDOMAIN d\nBOGUS line\nRULE 1 <- TRUE",
+            "CLASSIFIER x\nTARGET A.B\nTARGET C.D\nDOMAIN d\nRULE 1 <- TRUE",
+        ],
+    )
+    def test_malformed_rejected(self, broken):
+        with pytest.raises(ClassifierError):
+            parse_classifier(broken)
+
+    def test_wrong_header(self):
+        with pytest.raises(ClassifierError):
+            parse_classifier(ENTITY_TEXT)
+
+
+class TestParseEntityClassifier:
+    def test_fields(self):
+        ec = parse_entity_classifier(ENTITY_TEXT)
+        assert ec.name == "Relevant_Procedures"
+        assert ec.target_entity == "Procedure"
+        assert ec.form == "procedure"
+        assert ec.admits({"SurgeryPerformed": True})
+        assert not ec.admits({"SurgeryPerformed": False})
+
+    def test_where_optional(self):
+        ec = parse_entity_classifier(
+            "ENTITY CLASSIFIER All\nTARGET Procedure\nFORM f"
+        )
+        assert ec.admits({})
+
+    def test_roundtrip(self):
+        ec = parse_entity_classifier(ENTITY_TEXT)
+        again = parse_entity_classifier(format_entity_classifier(ec))
+        assert again.name == ec.name
+        assert again.condition == ec.condition
+
+    def test_missing_form_rejected(self):
+        with pytest.raises(ClassifierError):
+            parse_entity_classifier("ENTITY CLASSIFIER x\nTARGET P")
+
+    def test_to_source_on_classifier(self):
+        classifier = parse_classifier(HABITS_TEXT)
+        assert "CLASSIFIER Habits_Cancer" in classifier.to_source()

@@ -1,0 +1,166 @@
+"""Tests for classifier coverage linting."""
+
+import pytest
+
+from repro.guava import derive_gtree
+from repro.multiclass import Classifier, Rule, lint_all, lint_classifier
+from repro.ui import CheckBox, DropDown, Form, NumericBox, RadioGroup, ReportingTool
+
+
+def gtree():
+    form = Form(
+        "visit",
+        "Visit",
+        controls=[
+            RadioGroup("status", "Status", choices=["Never", "Current", "Previous"]),
+            NumericBox("packs", "Packs", integer=False, minimum=0),
+            CheckBox("flag", "Flag"),
+            DropDown("free", "Free", choices=["a"], free_text=True),
+        ],
+    )
+    return derive_gtree(ReportingTool("t", "1", forms=[form]), "visit")
+
+
+def classifier(rules) -> Classifier:
+    return Classifier(
+        name="lintee",
+        target_entity="P",
+        target_attribute="A",
+        target_domain="d",
+        rules=[Rule.of(output, guard) for output, guard in rules],
+    )
+
+
+class TestCategoricalCoverage:
+    def test_total_classifier_has_no_gaps(self):
+        total = classifier(
+            [
+                ("'x'", "status = 'Never'"),
+                ("'y'", "status = 'Current'"),
+                ("'z'", "status = 'Previous'"),
+            ]
+        )
+        report = lint_classifier(total, gtree())
+        assert report.is_exhaustive
+        # 3 options; the fully-unanswered screen is legitimately NULL and
+        # not counted as a gap candidate.
+        assert report.checked_combinations == 3
+
+    def test_missing_option_reported(self):
+        gappy = classifier(
+            [("'x'", "status = 'Never'"), ("'y'", "status = 'Current'")]
+        )
+        report = lint_classifier(gappy, gtree())
+        assert not report.is_exhaustive
+        assert any(
+            ("status", "Previous") in gap.inputs for gap in report.gaps
+        )
+
+    def test_null_only_combination_not_reported(self):
+        gappy = classifier([("'x'", "status = 'Never'")])
+        report = lint_classifier(gappy, gtree())
+        assert all(
+            any(value is not None for _, value in gap.inputs)
+            for gap in report.gaps
+        )
+
+
+class TestNumericProbing:
+    def test_gap_between_cutoffs_found(self):
+        # Nothing classifies packs in [2, 5): the probe at 2.0/2.5 hits it.
+        gappy = classifier(
+            [("'low'", "packs < 2"), ("'high'", "packs >= 5")]
+        )
+        report = lint_classifier(gappy, gtree())
+        assert not report.is_exhaustive
+        gap_values = {
+            value for gap in report.gaps for name, value in gap.inputs if name == "packs"
+        }
+        assert any(2 <= value < 5 for value in gap_values if value is not None)
+
+    def test_closed_cutoffs_have_no_gap(self):
+        total = classifier(
+            [("'low'", "packs < 2"), ("'high'", "packs >= 2")]
+        )
+        assert lint_classifier(total, gtree()).is_exhaustive
+
+
+class TestBooleanAndMixed:
+    def test_boolean_coverage(self):
+        gappy = classifier([("'on'", "flag = TRUE")])
+        report = lint_classifier(gappy, gtree())
+        assert any(("flag", False) in gap.inputs for gap in report.gaps)
+
+    def test_multi_node_cross_product(self):
+        mixed = classifier(
+            [
+                ("'a'", "status = 'Never' AND flag = TRUE"),
+            ]
+        )
+        report = lint_classifier(mixed, gtree())
+        # status: 3 options + NULL; flag: True/False only (checkbox with a
+        # default and no gate is never NULL) => 8 reachable screens.
+        assert report.checked_combinations == 8
+        assert not report.is_exhaustive
+
+
+class TestNonEnumerable:
+    def test_free_text_node_skipped(self):
+        text_based = classifier([("free", "free = 'a'")])
+        report = lint_classifier(text_based, gtree())
+        assert "free" in report.skipped_nodes
+        assert report.checked_combinations == 0
+
+    def test_summary_renders(self):
+        report = lint_classifier(
+            classifier([("'x'", "status = 'Never'")]), gtree()
+        )
+        assert "lintee" in report.summary()
+
+
+class TestRealCorpus:
+    def test_cori_status3_is_exhaustive(self, world):
+        """CORI's radio-list classifier covers every reachable screen."""
+        from repro.analysis.classifiers import vendor_classifiers_for
+
+        source = world.source("cori_warehouse_feed")
+        vendor = vendor_classifiers_for(source)
+        status3 = next(c for c in vendor.base if c.target_domain == "status3")
+        report = lint_classifier(status3, source.gtree("procedure"))
+        assert report.is_exhaustive, report.summary()
+
+    def test_linter_finds_the_unanswered_quit_gap(self, world):
+        """A genuine finding: a MedScribe smoker whose 'Has the patient
+        quit?' box was left unanswered stays unclassified.  The generator
+        always answers it, so H2 stayed perfect — but the linter warns the
+        analyst before real data hits the gap."""
+        from repro.analysis.classifiers import vendor_classifiers_for
+
+        source = world.source("medscribe_clinic")
+        vendor = vendor_classifiers_for(source)
+        status3 = next(c for c in vendor.base if c.target_domain == "status3")
+        report = lint_classifier(status3, source.gtree("visit"))
+        assert len(report.gaps) == 1
+        assert report.gaps[0].inputs == (("quit", None), ("smoker", True))
+
+    def test_impossible_screens_not_reported(self, world):
+        """Combinations the GUI cannot save (a checkbox NULL with no
+        enablement gate, data behind a closed gate) are pruned."""
+        from repro.analysis.classifiers import vendor_classifiers_for
+
+        source = world.source("medscribe_clinic")
+        vendor = vendor_classifiers_for(source)
+        status3 = next(c for c in vendor.base if c.target_domain == "status3")
+        report = lint_classifier(status3, source.gtree("visit"))
+        for gap in report.gaps:
+            values = dict(gap.inputs)
+            assert values.get("smoker") is not None  # checkbox, no gate
+
+    def test_lint_all_shape(self, world):
+        from repro.analysis.classifiers import vendor_classifiers_for
+
+        source = world.source("cori_warehouse_feed")
+        vendor = vendor_classifiers_for(source)
+        tree = source.gtree("procedure")
+        reports = lint_all(vendor.base, tree)
+        assert len(reports) == len(vendor.base)

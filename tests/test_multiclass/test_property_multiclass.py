@@ -1,0 +1,128 @@
+"""Property-based tests for MultiClass (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.multiclass import (
+    Classifier,
+    Domain,
+    Rule,
+    format_classifier,
+    parse_classifier,
+)
+from repro.multiclass.cleaning import CleaningRule, Quarantine, apply_rules
+
+# -- strategies -----------------------------------------------------------------
+
+_categories = ("None", "Light", "Moderate", "Heavy")
+
+
+def _cutoffs():
+    return st.lists(
+        st.floats(min_value=0.125, max_value=10, allow_nan=False, width=32),
+        min_size=3,
+        max_size=3,
+        unique=True,
+    ).map(sorted)
+
+
+def _threshold_classifier(cutoffs):
+    low, mid, high = cutoffs
+    return Classifier(
+        name="habits_prop",
+        target_entity="Procedure",
+        target_attribute="Smoking",
+        target_domain="habits",
+        rules=[
+            Rule.of("'None'", "packs = 0"),
+            Rule.of("'Light'", f"packs > 0 AND packs < {low}"),
+            Rule.of("'Moderate'", f"packs >= {low} AND packs < {mid}"),
+            Rule.of("'Heavy'", f"packs >= {mid}"),
+        ],
+    )
+
+
+_packs = st.one_of(
+    st.floats(min_value=0, max_value=20, allow_nan=False, width=32),
+    st.just(0),
+    st.none(),
+)
+
+
+class TestClassifierProperties:
+    @given(_cutoffs(), _packs)
+    @settings(max_examples=200)
+    def test_total_on_answered_inputs(self, cutoffs, packs):
+        """Threshold classifiers classify every non-NULL input."""
+        classifier = _threshold_classifier(cutoffs)
+        domain = Domain.categorical("habits", list(_categories))
+        label = classifier.classify({"packs": packs}, domain)
+        if packs is None:
+            assert label is None
+        else:
+            assert label in _categories
+
+    @given(_cutoffs(), _packs)
+    @settings(max_examples=200)
+    def test_deterministic(self, cutoffs, packs):
+        classifier = _threshold_classifier(cutoffs)
+        env = {"packs": packs}
+        assert classifier.classify(env) == classifier.classify(env)
+
+    @given(_cutoffs(), st.floats(min_value=0.01, max_value=20, allow_nan=False))
+    @settings(max_examples=200)
+    def test_monotone_in_input(self, cutoffs, packs):
+        """More packs never yields a *lighter* category."""
+        classifier = _threshold_classifier(cutoffs)
+        rank = {c: i for i, c in enumerate(_categories)}
+        lighter = classifier.classify({"packs": packs})
+        heavier = classifier.classify({"packs": packs * 1.5 + 0.01})
+        assert rank[heavier] >= rank[lighter]
+
+    @given(_cutoffs())
+    @settings(max_examples=100)
+    def test_language_roundtrip(self, cutoffs):
+        classifier = _threshold_classifier(cutoffs)
+        again = parse_classifier(format_classifier(classifier))
+        assert again.rules == classifier.rules
+        assert again.target == classifier.target
+
+    @given(_cutoffs())
+    @settings(max_examples=100)
+    def test_guards_are_ucq(self, cutoffs):
+        assert _threshold_classifier(cutoffs).is_union_of_conjunctions()
+
+
+_rows = st.lists(
+    st.fixed_dictionaries(
+        {"a": st.one_of(st.integers(-5, 5), st.none()), "b": st.booleans()}
+    ),
+    max_size=20,
+)
+
+
+class TestCleaningProperties:
+    @given(_rows, st.integers(-5, 5))
+    @settings(max_examples=150)
+    def test_kept_plus_quarantined_is_total(self, rows, cutoff):
+        quarantine = Quarantine()
+        rules = [CleaningRule.of("r", f"a >= {cutoff}")]
+        kept = apply_rules(rules, list(rows), "s", "record", quarantine)
+        assert len(kept) + len(quarantine) == len(rows)
+
+    @given(_rows, st.integers(-5, 5))
+    @settings(max_examples=150)
+    def test_idempotent(self, rows, cutoff):
+        rules = [CleaningRule.of("r", f"a >= {cutoff}")]
+        first = apply_rules(rules, list(rows), "s", "record", Quarantine())
+        second = apply_rules(rules, list(first), "s", "record", Quarantine())
+        assert first == second
+
+    @given(_rows)
+    @settings(max_examples=100)
+    def test_null_never_discarded(self, rows):
+        """An unanswered value must not satisfy a discard condition."""
+        rules = [CleaningRule.of("r", "a > 0")]
+        quarantine = Quarantine()
+        kept = apply_rules(rules, list(rows), "s", "record", quarantine)
+        null_rows = [row for row in rows if row["a"] is None]
+        assert all(row in kept for row in null_rows)

@@ -1,0 +1,78 @@
+"""Tests for registry text export/import."""
+
+import pytest
+
+from repro.analysis.classifiers import vendor_classifiers_for
+from repro.errors import ClassifierError, MultiClassError
+from repro.multiclass import Registry
+
+
+def _filled_registry(world) -> Registry:
+    registry = Registry()
+    for source in world.sources:
+        vendor = vendor_classifiers_for(source)
+        for classifier in vendor.base:
+            registry.add_classifier(classifier)
+        registry.add_entity_classifier(vendor.entity_classifier)
+    return registry
+
+
+class TestExportImport:
+    def test_roundtrip_counts(self, world):
+        registry = _filled_registry(world)
+        text = registry.export_text()
+        restored = Registry()
+        imported = restored.import_text(text)
+        assert imported["classifiers"] == registry.counts()["classifiers"]
+        assert (
+            imported["entity_classifiers"]
+            == registry.counts()["entity_classifiers"]
+        )
+
+    def test_roundtrip_preserves_rules(self, world):
+        registry = _filled_registry(world)
+        restored = Registry()
+        restored.import_text(registry.export_text())
+        original = registry.classifier("cori_status3")
+        again = restored.classifier("cori_status3")
+        assert again.rules == original.rules
+        assert again.target == original.target
+        assert again.description == original.description
+
+    def test_roundtrip_preserves_entity_classifiers(self, world):
+        registry = _filled_registry(world)
+        restored = Registry()
+        restored.import_text(registry.export_text())
+        original = registry.entity_classifier("medscribe_visits")
+        again = restored.entity_classifier("medscribe_visits")
+        assert again.form == original.form
+        assert again.condition == original.condition
+
+    def test_export_is_diffable_text(self, world):
+        text = _filled_registry(world).export_text()
+        assert "CLASSIFIER cori_status3" in text
+        assert "ENTITY CLASSIFIER cori_all_procedures" in text
+        assert "\n---\n" in text
+
+    def test_empty_registry_exports_empty(self):
+        assert Registry().export_text() == ""
+
+    def test_import_skips_blank_blocks(self):
+        registry = Registry()
+        counts = registry.import_text("\n---\n\n---\n")
+        assert counts == {"classifiers": 0, "entity_classifiers": 0}
+
+    def test_malformed_block_raises(self):
+        with pytest.raises(ClassifierError):
+            Registry().import_text("CLASSIFIER broken\nno target here")
+
+    def test_duplicate_import_raises(self, world):
+        registry = _filled_registry(world)
+        with pytest.raises(MultiClassError):
+            registry.import_text(registry.export_text())
+
+    def test_double_roundtrip_is_stable(self, world):
+        first = _filled_registry(world).export_text()
+        restored = Registry()
+        restored.import_text(first)
+        assert restored.export_text() == first

@@ -1,0 +1,93 @@
+"""Tests for study schemas (Figure 4)."""
+
+import pytest
+
+from repro.errors import StudySchemaError
+from repro.multiclass import Domain, Entity, StudySchema
+
+
+def small_schema() -> StudySchema:
+    procedure = Entity("Procedure")
+    procedure.add_attribute(
+        "Smoking",
+        Domain.real("packs_per_day", minimum=0),
+        Domain.categorical("status3", ["None", "Current", "Previous"]),
+    )
+    finding = Entity("Finding")
+    finding.add_attribute("SizeMm", Domain.integer("mm", minimum=0))
+    procedure.add_child(finding)
+    return StudySchema("endoscopy", procedure)
+
+
+class TestStructure:
+    def test_primary_on_top(self):
+        schema = small_schema()
+        assert schema.primary.name == "Procedure"
+        assert schema.parent_of("Finding").name == "Procedure"
+        assert schema.parent_of("Procedure") is None
+
+    def test_entities_preorder(self):
+        assert [e.name for e in small_schema().entities()] == ["Procedure", "Finding"]
+
+    def test_duplicate_entity_names_rejected(self):
+        a = Entity("X")
+        a.add_child(Entity("X"))
+        with pytest.raises(StudySchemaError):
+            StudySchema("s", a)
+
+    def test_shared_entity_object_rejected(self):
+        shared = Entity("Leaf")
+        root = Entity("Root")
+        mid = Entity("Mid")
+        root.add_child(shared)
+        root.add_child(mid)
+        mid.add_child(shared)
+        with pytest.raises(StudySchemaError):
+            StudySchema("s", root)
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(StudySchemaError):
+            small_schema().entity("Ghost")
+
+
+class TestAttributesAndDomains:
+    def test_multiple_domains_per_attribute(self):
+        schema = small_schema()
+        attribute = schema.entity("Procedure").attribute("Smoking")
+        assert set(attribute.domains) == {"packs_per_day", "status3"}
+
+    def test_domain_of_resolves(self):
+        domain = small_schema().domain_of("Procedure", "Smoking", "status3")
+        assert domain.categories == ("None", "Current", "Previous")
+
+    def test_unknown_domain_raises(self):
+        with pytest.raises(StudySchemaError):
+            small_schema().domain_of("Procedure", "Smoking", "nope")
+
+    def test_duplicate_attribute_rejected(self):
+        entity = Entity("E")
+        entity.add_attribute("A", Domain.boolean("f"))
+        with pytest.raises(StudySchemaError):
+            entity.add_attribute("A", Domain.boolean("f"))
+
+    def test_duplicate_domain_rejected(self):
+        entity = Entity("E")
+        attribute = entity.add_attribute("A", Domain.boolean("f"))
+        with pytest.raises(StudySchemaError):
+            attribute.add_domain(Domain.boolean("f"))
+
+    def test_schema_grows_for_new_studies(self):
+        """Analysts can expand the study schema as needed."""
+        schema = small_schema()
+        schema.entity("Procedure").add_attribute("Alcohol", Domain.boolean("any"))
+        assert schema.domain_of("Procedure", "Alcohol", "any") is not None
+
+    def test_counts(self):
+        schema = small_schema()
+        assert schema.attribute_count() == 2
+        assert schema.domain_count() == 3
+
+    def test_render_mentions_entities_and_domains(self):
+        text = small_schema().render()
+        assert "Entity: Procedure" in text
+        assert "status3" in text

@@ -1,0 +1,115 @@
+"""Tests for vocabulary-assisted classifier suggestions (§3.1)."""
+
+import pytest
+
+from repro.analysis import build_endoscopy_schema
+from repro.guava import derive_gtree
+from repro.multiclass import Domain, Entity, StudySchema, suggest_all, suggest_classifiers
+from repro.ui import CheckBox, DropDown, Form, NumericBox, ReportingTool
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return build_endoscopy_schema()
+
+
+class TestSuggestionsOnClinicalWorld:
+    def test_medscribe_hypoxia_top_suggestion_is_right_node(self, world, schema):
+        tree = world.source("medscribe_clinic").gtree("visit")
+        suggestions = suggest_classifiers(
+            tree, schema, "Procedure", "TransientHypoxia", "flag"
+        )
+        assert suggestions
+        top = suggestions[0]
+        assert top.classifier.input_nodes() == {"c_hypoxia_transient"}
+        assert top.confidence > suggestions[-1].confidence or len(suggestions) == 1
+
+    def test_cori_status3_suggestion_maps_options(self, world, schema):
+        tree = world.source("cori_warehouse_feed").gtree("procedure")
+        suggestions = suggest_classifiers(
+            tree, schema, "Procedure", "Smoking", "status3"
+        )
+        assert suggestions
+        rules = suggestions[0].classifier.rules
+        rendered = " ".join(rule.to_source() for rule in rules)
+        assert "'Current' <- (smoking = 'Current')" in rendered
+
+    def test_draft_marked_for_review(self, world, schema):
+        tree = world.source("cori_warehouse_feed").gtree("procedure")
+        suggestions = suggest_classifiers(
+            tree, schema, "Procedure", "RenalFailureHistory", "flag"
+        )
+        assert suggestions
+        assert "DRAFT" in suggestions[0].classifier.description
+
+    def test_no_resembling_node_means_no_suggestion(self, world, schema):
+        tree = world.source("cori_warehouse_feed").gtree("procedure")
+        # DosageMg lives on NewMedication; nothing in the procedure form fits.
+        schema.entity("Procedure")
+        suggestions = suggest_classifiers(
+            tree, schema, "NewMedication", "DosageMg", "mg"
+        )
+        assert suggestions == []
+
+    def test_suggest_all_covers_many_targets(self, world, schema):
+        tree = world.source("cori_warehouse_feed").gtree("procedure")
+        found = suggest_all(tree, schema, "Procedure")
+        # At least half the procedure targets should get a draft on CORI,
+        # whose vocabulary matches the study schema closely.
+        total = sum(
+            len(attribute.domains)
+            for attribute in schema.entity("Procedure").attributes.values()
+        )
+        assert len(found) >= total // 2
+
+    def test_suggested_classifiers_validate_against_gtree(self, world, schema):
+        tree = world.source("cori_warehouse_feed").gtree("procedure")
+        for suggestions in suggest_all(tree, schema, "Procedure").values():
+            for suggestion in suggestions:
+                assert suggestion.classifier.validate_against(tree) == []
+
+
+class TestShapeRules:
+    def _tree(self, *controls):
+        form = Form("f", "F", controls=list(controls))
+        return derive_gtree(ReportingTool("t", "1", forms=[form]), "f")
+
+    def _schema(self, domain):
+        entity = Entity("E")
+        entity.add_attribute("Target", domain)
+        return StudySchema("s", entity)
+
+    def test_boolean_needs_checkbox(self):
+        tree = self._tree(NumericBox("target", "Target value"))
+        schema = self._schema(Domain.boolean("flag"))
+        assert suggest_classifiers(tree, schema, "E", "Target", "flag") == []
+
+    def test_numeric_accepts_numeric(self):
+        tree = self._tree(NumericBox("target", "Target value", integer=False))
+        schema = self._schema(Domain.real("amount"))
+        suggestions = suggest_classifiers(tree, schema, "E", "Target", "amount")
+        assert suggestions and suggestions[0].classifier.input_nodes() == {"target"}
+
+    def test_categorical_requires_option_overlap(self):
+        tree = self._tree(
+            DropDown("target", "Target choice", choices=["Alpha", "Beta"])
+        )
+        schema = self._schema(Domain.categorical("d", ["Gamma", "Delta"]))
+        assert suggest_classifiers(tree, schema, "E", "Target", "d") == []
+
+    def test_categorical_partial_overlap_lowers_confidence(self):
+        full = self._tree(DropDown("target", "Target", choices=["Hot", "Cold"]))
+        partial = self._tree(DropDown("target", "Target", choices=["Hot", "Tepid"]))
+        schema = self._schema(Domain.categorical("d", ["Hot", "Cold"]))
+        full_suggestion = suggest_classifiers(full, schema, "E", "Target", "d")[0]
+        partial_suggestion = suggest_classifiers(partial, schema, "E", "Target", "d")[0]
+        assert full_suggestion.confidence > partial_suggestion.confidence
+
+    def test_limit_respected(self):
+        tree = self._tree(
+            CheckBox("target_one", "Target one"),
+            CheckBox("target_two", "Target two"),
+            CheckBox("target_three", "Target three"),
+        )
+        schema = self._schema(Domain.boolean("flag"))
+        assert len(suggest_classifiers(tree, schema, "E", "Target", "flag", limit=2)) == 2

@@ -1,0 +1,211 @@
+"""Tests for the Table 1 patterns: naive, merge, split, generic, audit."""
+
+import pytest
+
+from repro.errors import PatternConfigError
+from repro.patterns import (
+    AuditPattern,
+    GenericPattern,
+    MergePattern,
+    NaivePattern,
+    PatternChain,
+    SplitPattern,
+)
+from repro.relational import Database, DataType, TableSchema
+
+SCHEMAS = {
+    "visit": TableSchema.build(
+        "visit",
+        [
+            ("record_id", DataType.INTEGER),
+            ("smoker", DataType.BOOLEAN),
+            ("packs", DataType.FLOAT),
+            ("notes", DataType.TEXT),
+        ],
+        primary_key=["record_id"],
+    ),
+    "lab": TableSchema.build(
+        "lab",
+        [("record_id", DataType.INTEGER), ("result", DataType.TEXT)],
+        primary_key=["record_id"],
+    ),
+}
+
+ROWS = [
+    {"record_id": 1, "smoker": True, "packs": 2.5, "notes": "a"},
+    {"record_id": 2, "smoker": False, "packs": 0.0, "notes": None},
+    {"record_id": 3, "smoker": None, "packs": None, "notes": "unknown"},
+]
+
+
+def roundtrip(chain: PatternChain, rows=ROWS, form="visit"):
+    db = Database("t")
+    chain.deploy(db)
+    for row in rows:
+        chain.write(db, form, row)
+    back = chain.read_naive(db, form)
+    return db, sorted(back, key=lambda r: r["record_id"])
+
+
+class TestNaive:
+    def test_identity_schema(self):
+        chain = PatternChain(SCHEMAS, [NaivePattern()])
+        assert chain.physical_schemas == SCHEMAS
+
+    def test_roundtrip(self):
+        _, back = roundtrip(PatternChain(SCHEMAS, [NaivePattern()]))
+        assert back == ROWS
+
+
+class TestMerge:
+    def chain(self):
+        return PatternChain(
+            SCHEMAS, [MergePattern("all_records", ["visit", "lab"])]
+        )
+
+    def test_single_physical_table(self):
+        assert set(self.chain().physical_schemas) == {"all_records"}
+
+    def test_discriminator_column(self):
+        schema = self.chain().physical_schemas["all_records"]
+        assert schema.has_column("form_name")
+
+    def test_roundtrip_both_forms(self):
+        chain = self.chain()
+        db = Database("t")
+        chain.deploy(db)
+        for row in ROWS:
+            chain.write(db, "visit", row)
+        chain.write(db, "lab", {"record_id": 1, "result": "ok"})
+        assert sorted(
+            chain.read_naive(db, "visit"), key=lambda r: r["record_id"]
+        ) == ROWS
+        assert chain.read_naive(db, "lab") == [{"record_id": 1, "result": "ok"}]
+
+    def test_needs_two_forms(self):
+        with pytest.raises(PatternConfigError):
+            MergePattern("m", ["only_one"])
+
+    def test_type_conflict_rejected(self):
+        schemas = {
+            "a": TableSchema.build("a", [("x", DataType.TEXT)]),
+            "b": TableSchema.build("b", [("x", DataType.INTEGER)]),
+        }
+        with pytest.raises(PatternConfigError):
+            MergePattern("m", ["a", "b"]).apply_schema(schemas)
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(PatternConfigError):
+            MergePattern("m", ["visit", "ghost"]).apply_schema(SCHEMAS)
+
+
+class TestSplit:
+    def chain(self):
+        return PatternChain(
+            SCHEMAS,
+            [
+                SplitPattern(
+                    "visit",
+                    {"visit_flags": ["smoker", "packs"], "visit_text": ["notes"]},
+                )
+            ],
+        )
+
+    def test_part_tables_created(self):
+        assert set(self.chain().physical_schemas) == {
+            "visit_flags",
+            "visit_text",
+            "lab",
+        }
+
+    def test_roundtrip(self):
+        _, back = roundtrip(self.chain())
+        assert back == ROWS
+
+    def test_must_cover_all_columns(self):
+        with pytest.raises(PatternConfigError):
+            PatternChain(
+                SCHEMAS,
+                [SplitPattern("visit", {"a": ["smoker"], "b": ["packs"]})],
+            )
+
+    def test_column_in_two_parts_rejected(self):
+        with pytest.raises(PatternConfigError):
+            SplitPattern("visit", {"a": ["smoker"], "b": ["smoker", "packs", "notes"]})
+
+    def test_locate_covers_all_parts(self):
+        chain = self.chain()
+        located = chain.locate_physical("visit", 1)
+        assert {table for table, _ in located} == {"visit_flags", "visit_text"}
+
+
+class TestGeneric:
+    def chain(self):
+        return PatternChain(SCHEMAS, [GenericPattern(["visit", "lab"])])
+
+    def test_single_eav_table(self):
+        assert set(self.chain().physical_schemas) == {"eav"}
+
+    def test_roundtrip_restores_types(self):
+        _, back = roundtrip(self.chain())
+        assert back == ROWS
+        assert isinstance(back[0]["smoker"], bool)
+        assert isinstance(back[0]["packs"], float)
+
+    def test_nulls_not_stored(self):
+        chain = self.chain()
+        db = Database("t")
+        chain.deploy(db)
+        chain.write(db, "visit", ROWS[1])  # has a NULL note
+        attributes = {r["attribute"] for r in db.table("eav").rows()}
+        assert "notes" not in attributes
+
+    def test_all_null_screen_still_readable(self):
+        chain = self.chain()
+        db = Database("t")
+        chain.deploy(db)
+        chain.write(db, "visit", {"record_id": 7, "smoker": None, "packs": None, "notes": None})
+        back = chain.read_naive(db, "visit")
+        assert back == [{"record_id": 7, "smoker": None, "packs": None, "notes": None}]
+
+    def test_two_forms_share_table(self):
+        chain = self.chain()
+        db = Database("t")
+        chain.deploy(db)
+        chain.write(db, "visit", ROWS[0])
+        chain.write(db, "lab", {"record_id": 1, "result": "ok"})
+        entities = {r["entity"] for r in db.table("eav").rows()}
+        assert entities == {"visit", "lab"}
+
+
+class TestAudit:
+    def chain(self):
+        return PatternChain(SCHEMAS, [AuditPattern()])
+
+    def test_sentinel_column_added(self):
+        schema = self.chain().physical_schemas["visit"]
+        assert schema.has_column("is_deleted")
+
+    def test_roundtrip(self):
+        _, back = roundtrip(self.chain())
+        assert back == ROWS
+
+    def test_soft_delete_hides_but_keeps_row(self):
+        chain = self.chain()
+        db, _ = roundtrip(chain)
+        chain.soft_delete(db, "visit", 2)
+        visible = chain.read_naive(db, "visit")
+        assert {r["record_id"] for r in visible} == {1, 3}
+        assert len(db.table("visit")) == 3  # nothing physically removed
+
+    def test_soft_delete_without_audit_removes_rows(self):
+        chain = PatternChain(SCHEMAS, [NaivePattern()])
+        db, _ = roundtrip(chain)
+        chain.soft_delete(db, "visit", 2)
+        assert len(db.table("visit")) == 2
+
+    def test_scoped_tables(self):
+        pattern = AuditPattern(tables=["visit"])
+        out = pattern.apply_schema(SCHEMAS)
+        assert out["visit"].has_column("is_deleted")
+        assert not out["lab"].has_column("is_deleted")

@@ -1,0 +1,149 @@
+"""Tests for the fluent query builder and the optimizer."""
+
+import pytest
+
+from repro.expr import parse
+from repro.relational import (
+    Database,
+    DataType,
+    Join,
+    Project,
+    Query,
+    Scan,
+    Select,
+    TableSchema,
+    Union,
+    optimize,
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database("q")
+    database.create_table(
+        TableSchema.build(
+            "people",
+            [("id", DataType.INTEGER), ("name", DataType.TEXT), ("age", DataType.INTEGER)],
+        )
+    )
+    database.insert(
+        "people",
+        [
+            {"id": 1, "name": "ann", "age": 60},
+            {"id": 2, "name": "bob", "age": 30},
+            {"id": 3, "name": "cal", "age": 70},
+        ],
+    )
+    database.create_table(
+        TableSchema.build(
+            "visits", [("person_id", DataType.INTEGER), ("kind", DataType.TEXT)]
+        )
+    )
+    database.insert(
+        "visits",
+        [
+            {"person_id": 1, "kind": "egd"},
+            {"person_id": 2, "kind": "colo"},
+            {"person_id": 1, "kind": "colo"},
+        ],
+    )
+    return database
+
+
+class TestBuilder:
+    def test_where_select(self, db):
+        rows = Query.table("people").where("age >= 60").select("name").execute(db)
+        assert {r["name"] for r in rows} == {"ann", "cal"}
+
+    def test_compute(self, db):
+        rows = Query.table("people").compute(next_age="age + 1").execute(db)
+        assert rows[0]["next_age"] == 61
+
+    def test_rename(self, db):
+        rows = Query.table("people").rename(name="full_name").execute(db)
+        assert "full_name" in rows[0]
+
+    def test_join(self, db):
+        rows = (
+            Query.table("people")
+            .join(Query.table("visits"), on=[("id", "person_id")])
+            .execute(db)
+        )
+        assert len(rows) == 3
+
+    def test_union(self, db):
+        q = Query.table("people")
+        assert len(q.union(q).execute(db)) == 6
+
+    def test_distinct(self, db):
+        rows = (
+            Query.table("visits").select("person_id").distinct().execute(db)
+        )
+        assert len(rows) == 2
+
+    def test_order_by_desc_prefix(self, db):
+        rows = Query.table("people").order_by("-age").execute(db)
+        assert rows[0]["name"] == "cal"
+
+    def test_limit_and_count(self, db):
+        assert Query.table("people").limit(2).count(db) == 2
+
+    def test_immutable_builder(self, db):
+        base = Query.table("people")
+        filtered = base.where("age > 65")
+        assert base.count(db) == 3
+        assert filtered.count(db) == 1
+
+
+class TestOptimizer:
+    def test_merges_consecutive_selects(self):
+        plan = Select(Select(Scan("t"), parse("a = 1")), parse("b = 2"))
+        optimized = optimize(plan)
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, Scan)
+        assert optimized.predicate.op == "AND"
+
+    def test_pushes_select_below_union(self):
+        plan = Select(Union((Scan("a"), Scan("b"))), parse("x = 1"))
+        optimized = optimize(plan)
+        assert isinstance(optimized, Union)
+        assert all(isinstance(branch, Select) for branch in optimized.inputs)
+
+    def test_pushes_select_into_join_side(self):
+        join = Join(
+            Project(Scan("l"), ("id", "a")),
+            Project(Scan("r"), ("id", "b")),
+            on=(("id", "id"),),
+        )
+        optimized = optimize(Select(join, parse("a = 1")))
+        assert isinstance(optimized, Join)
+        assert isinstance(optimized.left, Select)
+
+    def test_leaves_cross_side_predicate_above_join(self):
+        join = Join(
+            Project(Scan("l"), ("id", "a")),
+            Project(Scan("r"), ("id", "b")),
+            on=(("id", "id"),),
+        )
+        optimized = optimize(Select(join, parse("a = b")))
+        assert isinstance(optimized, Select)
+
+    def test_no_push_into_left_join(self):
+        join = Join(
+            Project(Scan("l"), ("id", "a")),
+            Project(Scan("r"), ("id", "b")),
+            on=(("id", "id"),),
+            how="left",
+        )
+        optimized = optimize(Select(join, parse("b = 1")))
+        assert isinstance(optimized, Select)
+
+    def test_optimized_equals_naive(self, db):
+        query = (
+            Query.table("people")
+            .join(Query.table("visits"), on=[("id", "person_id")])
+            .where("age >= 50")
+            .where("kind = 'colo'")
+            .select("name", "kind")
+        )
+        assert query.execute(db, optimized=True) == query.execute(db, optimized=False)

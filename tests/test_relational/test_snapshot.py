@@ -1,0 +1,105 @@
+"""Tests for database snapshots."""
+
+from datetime import date
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational import Database, DataType, TableSchema
+from repro.relational.snapshot import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database("wh")
+    database.create_table(
+        TableSchema.build(
+            "visits",
+            [
+                ("id", DataType.INTEGER),
+                ("name", DataType.TEXT),
+                ("seen", DataType.DATE),
+                ("flag", DataType.BOOLEAN),
+                ("score", DataType.FLOAT),
+            ],
+            primary_key=["id"],
+        )
+    )
+    database.insert(
+        "visits",
+        [
+            {"id": 1, "name": "ann", "seen": date(2006, 3, 26), "flag": True, "score": 1.5},
+            {"id": 2, "name": None, "seen": None, "flag": False, "score": None},
+        ],
+    )
+    return database
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, db):
+        restored = database_from_dict(database_to_dict(db))
+        assert restored.name == db.name
+        assert restored.table_names() == db.table_names()
+        assert restored.table("visits").rows() == db.table("visits").rows()
+
+    def test_types_restored(self, db):
+        restored = database_from_dict(database_to_dict(db))
+        row = restored.table("visits").rows()[0]
+        assert isinstance(row["seen"], date)
+        assert isinstance(row["flag"], bool)
+        assert isinstance(row["score"], float)
+
+    def test_schema_restored(self, db):
+        restored = database_from_dict(database_to_dict(db))
+        assert restored.table("visits").schema == db.table("visits").schema
+
+    def test_file_roundtrip(self, db, tmp_path):
+        path = tmp_path / "wh.json"
+        save_database(db, path)
+        restored = load_database(path)
+        assert restored.table("visits").rows() == db.table("visits").rows()
+
+    def test_pk_enforced_after_restore(self, db):
+        restored = database_from_dict(database_to_dict(db))
+        with pytest.raises(Exception):
+            restored.table("visits").insert({"id": 1})
+
+    def test_empty_database(self):
+        restored = database_from_dict(database_to_dict(Database("empty")))
+        assert restored.table_names() == []
+
+
+class TestErrors:
+    def test_bad_format_version(self):
+        with pytest.raises(RelationalError):
+            database_from_dict({"format": 99})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(RelationalError):
+            load_database(tmp_path / "nope.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(RelationalError):
+            load_database(path)
+
+
+class TestWarehouseScenario:
+    def test_loaded_study_table_survives_snapshot(self, world, tmp_path):
+        from repro.analysis import build_study1
+        from repro.etl import compile_study
+
+        study = build_study1(world)
+        warehouse = Database("wh")
+        compile_study(study, warehouse).run()
+        path = tmp_path / "warehouse.json"
+        save_database(warehouse, path)
+        restored = load_database(path)
+        table = f"study_{study.name}_procedure"
+        assert len(restored.table(table)) == len(warehouse.table(table))

@@ -1,0 +1,98 @@
+"""Tests for the SQL renderer (documentation output)."""
+
+from repro.expr import parse
+from repro.relational import (
+    Aggregate,
+    AggregateSpec,
+    Coerce,
+    Compute,
+    DataType,
+    Distinct,
+    Join,
+    Limit,
+    Pivot,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    Sort,
+    Union,
+    Unpivot,
+    Values,
+    to_sql,
+)
+
+
+class TestRendering:
+    def test_scan(self):
+        assert to_sql(Scan("t")) == "SELECT * FROM t"
+
+    def test_select_where(self):
+        sql = to_sql(Select(Scan("t"), parse("a = 1")))
+        assert "WHERE (a = 1)" in sql
+
+    def test_project(self):
+        sql = to_sql(Project(Scan("t"), ("a", "b")))
+        assert sql.startswith("SELECT a, b FROM")
+
+    def test_compute(self):
+        sql = to_sql(Compute(Scan("t"), (("double_a", parse("a * 2")),)))
+        assert "(a * 2) AS double_a" in sql
+
+    def test_rename(self):
+        sql = to_sql(Rename(Scan("t"), (("old", "new"),)))
+        assert "old AS new" in sql
+
+    def test_join_kinds(self):
+        inner = to_sql(Join(Scan("l"), Scan("r"), on=(("a", "b"),)))
+        assert "INNER JOIN" in inner and "l.a = r.b" in inner
+        left = to_sql(Join(Scan("l"), Scan("r"), on=(("a", "b"),), how="left"))
+        assert "LEFT OUTER JOIN" in left
+
+    def test_union(self):
+        sql = to_sql(Union((Scan("a"), Scan("b"))))
+        assert "UNION ALL" in sql
+
+    def test_distinct(self):
+        assert "SELECT DISTINCT" in to_sql(Distinct(Scan("t")))
+
+    def test_sort_limit(self):
+        assert "ORDER BY a ASC" in to_sql(Sort(Scan("t"), (("a", True),)))
+        assert "LIMIT 5" in to_sql(Limit(Scan("t"), 5))
+
+    def test_aggregate(self):
+        sql = to_sql(
+            Aggregate(Scan("t"), ("g",), (AggregateSpec("COUNT", None, "n"),))
+        )
+        assert "COUNT(*) AS n" in sql and "GROUP BY g" in sql
+
+    def test_count_distinct(self):
+        sql = to_sql(
+            Aggregate(Scan("t"), (), (AggregateSpec("COUNT_DISTINCT", "x", "n"),))
+        )
+        assert "COUNT(DISTINCT x)" in sql
+
+    def test_unpivot_is_union_of_projections(self):
+        sql = to_sql(
+            Unpivot(Scan("t"), id_columns=("id",), value_columns=("a", "b"))
+        )
+        assert sql.count("UNION ALL") == 1
+        assert "'a' AS attribute" in sql
+
+    def test_pivot_is_case_group(self):
+        sql = to_sql(
+            Pivot(Scan("t"), ("id",), "attr", "val", ("a", "b"))
+        )
+        assert "CASE WHEN attr = 'a'" in sql and "GROUP BY id" in sql
+
+    def test_values(self):
+        sql = to_sql(Values(("a",), ((1,), (None,))))
+        assert "VALUES (1), (NULL)" in sql
+
+    def test_values_escapes_strings(self):
+        sql = to_sql(Values(("a",), (("it's",),)))
+        assert "'it''s'" in sql
+
+    def test_coerce_renders_cast(self):
+        sql = to_sql(Coerce(Scan("t"), (("a", DataType.INTEGER),)))
+        assert "CAST(a AS INTEGER)" in sql

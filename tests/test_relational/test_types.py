@@ -1,0 +1,106 @@
+"""Tests for column types and coercion."""
+
+from datetime import date, datetime
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.relational import DataType
+
+
+class TestInteger:
+    def test_int_passthrough(self):
+        assert DataType.INTEGER.coerce(5) == 5
+
+    def test_bool_becomes_int(self):
+        assert DataType.INTEGER.coerce(True) == 1
+
+    def test_whole_float_accepted(self):
+        assert DataType.INTEGER.coerce(5.0) == 5
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.INTEGER.coerce(5.5)
+
+    def test_numeric_string(self):
+        assert DataType.INTEGER.coerce(" 42 ") == 42
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.INTEGER.coerce("abc")
+
+    def test_none_passes_through(self):
+        assert DataType.INTEGER.coerce(None) is None
+
+
+class TestFloat:
+    def test_int_widens(self):
+        assert DataType.FLOAT.coerce(2) == 2.0
+        assert isinstance(DataType.FLOAT.coerce(2), float)
+
+    def test_string(self):
+        assert DataType.FLOAT.coerce("2.5") == 2.5
+
+    def test_bad_value(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.FLOAT.coerce([1])
+
+
+class TestText:
+    def test_string_passthrough(self):
+        assert DataType.TEXT.coerce("abc") == "abc"
+
+    def test_number_renders(self):
+        assert DataType.TEXT.coerce(3) == "3"
+
+    def test_bool_renders_lowercase(self):
+        assert DataType.TEXT.coerce(True) == "true"
+
+    def test_date_renders_iso(self):
+        assert DataType.TEXT.coerce(date(2006, 3, 26)) == "2006-03-26"
+
+
+class TestBoolean:
+    @pytest.mark.parametrize("text", ["true", "Yes", "Y", "1", "t"])
+    def test_truthy_strings(self, text):
+        assert DataType.BOOLEAN.coerce(text) is True
+
+    @pytest.mark.parametrize("text", ["false", "No", "n", "0", "F"])
+    def test_falsy_strings(self, text):
+        assert DataType.BOOLEAN.coerce(text) is False
+
+    def test_int_zero_one(self):
+        assert DataType.BOOLEAN.coerce(1) is True
+        assert DataType.BOOLEAN.coerce(0) is False
+
+    def test_other_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.BOOLEAN.coerce(2)
+
+    def test_arbitrary_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.BOOLEAN.coerce("maybe")
+
+
+class TestDate:
+    def test_iso_string(self):
+        assert DataType.DATE.coerce("2006-03-26") == date(2006, 3, 26)
+
+    def test_date_passthrough(self):
+        d = date(2006, 1, 1)
+        assert DataType.DATE.coerce(d) is d
+
+    def test_datetime_truncates(self):
+        assert DataType.DATE.coerce(datetime(2006, 1, 1, 12, 30)) == date(2006, 1, 1)
+
+    def test_bad_string(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.DATE.coerce("yesterday")
+
+
+class TestAccepts:
+    def test_accepts_true(self):
+        assert DataType.INTEGER.accepts("5")
+
+    def test_accepts_false(self):
+        assert not DataType.INTEGER.accepts("abc")

@@ -1,0 +1,164 @@
+"""Tests for GUI control definitions and validation."""
+
+import pytest
+
+from repro.errors import ControlError, DataEntryError
+from repro.relational import DataType
+from repro.ui import (
+    CheckBox,
+    CheckList,
+    DatePicker,
+    DropDown,
+    GroupBox,
+    NumericBox,
+    RadioGroup,
+    TextBox,
+)
+
+
+class TestControlBasics:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ControlError):
+            TextBox("has space", "Q")
+
+    def test_enablement_string_parses(self):
+        box = TextBox("t", "Q", enabled_when="other = TRUE")
+        assert box.enabled_when is not None
+        assert box.enabled_when.to_source() == "(other = TRUE)"
+
+    def test_groupbox_stores_no_data(self):
+        assert GroupBox("g", "Group").stores_data is False
+        assert GroupBox("g", "Group").data_type is None
+
+    def test_groupbox_rejects_data(self):
+        with pytest.raises(DataEntryError):
+            GroupBox("g", "Group").validate("x")
+
+    def test_iter_tree(self):
+        group = GroupBox("g", "G", children=[TextBox("a", "A"), TextBox("b", "B")])
+        assert [c.name for c in group.iter_tree()] == ["g", "a", "b"]
+
+    def test_describe(self):
+        assert "TextBox" in TextBox("t", "Q").describe()
+
+
+class TestTextBox:
+    def test_type(self):
+        assert TextBox("t", "Q").data_type is DataType.TEXT
+
+    def test_allows_free_text(self):
+        assert TextBox("t", "Q").allows_free_text
+
+    def test_max_length(self):
+        box = TextBox("t", "Q", max_length=3)
+        assert box.validate("abc") == "abc"
+        with pytest.raises(DataEntryError):
+            box.validate("abcd")
+
+
+class TestNumericBox:
+    def test_integer_type(self):
+        assert NumericBox("n", "Q").data_type is DataType.INTEGER
+
+    def test_float_type(self):
+        assert NumericBox("n", "Q", integer=False).data_type is DataType.FLOAT
+
+    def test_bounds(self):
+        box = NumericBox("n", "Q", minimum=0, maximum=10)
+        assert box.validate(5) == 5
+        with pytest.raises(DataEntryError):
+            box.validate(-1)
+        with pytest.raises(DataEntryError):
+            box.validate(11)
+
+    def test_none_allowed(self):
+        assert NumericBox("n", "Q").validate(None) is None
+
+
+class TestCheckBox:
+    def test_default_is_false_not_null(self):
+        assert CheckBox("c", "Q").default is False
+
+    def test_explicit_default_kept(self):
+        assert CheckBox("c", "Q", default=True).default is True
+
+    def test_validates_boolean(self):
+        assert CheckBox("c", "Q").validate("yes") is True
+
+
+class TestRadioGroup:
+    def test_needs_options(self):
+        with pytest.raises(ControlError):
+            RadioGroup("r", "Q", choices=[])
+
+    def test_duplicate_options_rejected(self):
+        with pytest.raises(ControlError):
+            RadioGroup("r", "Q", choices=["a", "a"])
+
+    def test_validates_membership(self):
+        radio = RadioGroup("r", "Q", choices=["Never", "Current"])
+        assert radio.validate("Never") == "Never"
+        with pytest.raises(DataEntryError):
+            radio.validate("Sometimes")
+
+    def test_unselected_is_none(self):
+        radio = RadioGroup("r", "Q", choices=["a"])
+        assert radio.validate(None) is None
+        assert radio.default is None
+
+    def test_options_pairs(self):
+        radio = RadioGroup("r", "Q", choices=["a", "b"])
+        assert radio.options == (("a", "a"), ("b", "b"))
+
+
+class TestDropDown:
+    def test_strict_by_default(self):
+        drop = DropDown("d", "Q", choices=["x"])
+        with pytest.raises(DataEntryError):
+            drop.validate("free text")
+
+    def test_free_text_mode(self):
+        drop = DropDown("d", "Q", choices=["x"], free_text=True)
+        assert drop.validate("anything at all") == "anything at all"
+        assert drop.allows_free_text
+
+
+class TestDatePicker:
+    def test_type(self):
+        assert DatePicker("d", "Q").data_type is DataType.DATE
+
+    def test_validates_iso(self):
+        from datetime import date
+
+        assert DatePicker("d", "Q").validate("2006-03-26") == date(2006, 3, 26)
+
+
+class TestCheckList:
+    def test_needs_options(self):
+        with pytest.raises(ControlError):
+            CheckList("c", "Q", choices=[])
+
+    def test_canonical_order(self):
+        checklist = CheckList("c", "Q", choices=["a", "b", "c"])
+        assert checklist.validate(["c", "a"]) == "a;c"
+
+    def test_string_input(self):
+        checklist = CheckList("c", "Q", choices=["a", "b"])
+        assert checklist.validate("b;a") == "a;b"
+
+    def test_unknown_option_rejected(self):
+        checklist = CheckList("c", "Q", choices=["a"])
+        with pytest.raises(DataEntryError):
+            checklist.validate(["z"])
+
+    def test_empty_selection_is_null(self):
+        checklist = CheckList("c", "Q", choices=["a"])
+        assert checklist.validate([]) is None
+
+    def test_split_round_trip(self):
+        checklist = CheckList("c", "Q", choices=["a", "b"])
+        stored = checklist.validate(["b", "a"])
+        assert CheckList.split(stored) == ["a", "b"]
+
+    def test_split_null(self):
+        assert CheckList.split(None) == []

@@ -1,0 +1,80 @@
+"""Property-based tests for data-entry sessions (hypothesis).
+
+The invariant that gives g-trees their meaning: a saved screen never
+contains data in a control whose enablement condition is not satisfied by
+the rest of the screen — the GUI would not have let the user type there.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DataEntryError
+from repro.expr.evaluator import Evaluator
+from repro.ui import CheckBox, DataEntrySession, Form, NumericBox, RadioGroup, ReportingTool
+
+_EVALUATOR = Evaluator()
+
+
+def _tool() -> ReportingTool:
+    form = Form(
+        "screen",
+        "Screen",
+        controls=[
+            RadioGroup("status", "Status", choices=["A", "B", "C"]),
+            NumericBox("detail", "Detail", enabled_when="status = 'A'"),
+            CheckBox("extra", "Extra", enabled_when="detail IS NOT NULL"),
+            NumericBox("amount", "Amount"),
+        ],
+    )
+    return ReportingTool("t", "1", forms=[form])
+
+
+_actions = st.lists(
+    st.tuples(
+        st.sampled_from(["status", "detail", "extra", "amount"]),
+        st.one_of(
+            st.sampled_from(["A", "B", "C"]),
+            st.integers(0, 100),
+            st.booleans(),
+        ),
+    ),
+    max_size=15,
+)
+
+
+class TestEnablementInvariant:
+    @given(_actions)
+    @settings(max_examples=200)
+    def test_saved_screen_respects_enablement(self, actions):
+        session = DataEntrySession(_tool())
+        instance = session.open_form("screen")
+        for control_name, value in actions:
+            try:
+                instance.set(control_name, value)
+            except DataEntryError:
+                # Invalid value or disabled control: the GUI refuses; the
+                # screen state must stay consistent regardless.
+                pass
+        row = instance.save()
+        form = _tool().form("screen")
+        for control in form.data_controls():
+            if control.enabled_when is None:
+                continue
+            if row[control.name] is not None:
+                assert (
+                    _EVALUATOR.satisfied(control.enabled_when, row) is True
+                ), f"{control.name} holds data while disabled: {row}"
+
+    @given(_actions)
+    @settings(max_examples=100)
+    def test_save_is_reproducible(self, actions):
+        def run():
+            session = DataEntrySession(_tool())
+            instance = session.open_form("screen")
+            for control_name, value in actions:
+                try:
+                    instance.set(control_name, value)
+                except DataEntryError:
+                    pass
+            return instance.save()
+
+        assert run() == run()

@@ -1,0 +1,61 @@
+"""Tests for provenance annotations."""
+
+from dataclasses import dataclass
+
+from repro.util import Annotated, AnnotationLog, TickingClock
+
+
+class TestAnnotationLog:
+    def test_add_records_author_action_rationale(self):
+        log = AnnotationLog(TickingClock())
+        record = log.add("lois", "created", "initial study setup")
+        assert record.author == "lois"
+        assert record.action == "created"
+        assert record.rationale == "initial study setup"
+
+    def test_order_preserved(self):
+        log = AnnotationLog(TickingClock())
+        log.add("a", "first")
+        log.add("b", "second")
+        assert [r.action for r in log] == ["first", "second"]
+
+    def test_timestamps_increase(self):
+        log = AnnotationLog(TickingClock())
+        log.add("a", "x")
+        log.add("a", "y")
+        records = log.records
+        assert records[0].timestamp < records[1].timestamp
+
+    def test_by_author(self):
+        log = AnnotationLog(TickingClock())
+        log.add("lois", "one")
+        log.add("jim", "two")
+        log.add("lois", "three")
+        assert [r.action for r in log.by_author("lois")] == ["one", "three"]
+
+    def test_created_and_last_modified(self):
+        log = AnnotationLog(TickingClock())
+        assert log.created is None
+        log.add("a", "create")
+        log.add("a", "edit")
+        assert log.created.action == "create"
+        assert log.last_modified.action == "edit"
+
+    def test_str_includes_fields(self):
+        log = AnnotationLog(TickingClock())
+        record = log.add("jim", "edited", "why not")
+        assert "jim" in str(record)
+        assert "edited" in str(record)
+
+
+class TestAnnotatedMixin:
+    def test_artifact_accumulates_annotations(self):
+        @dataclass
+        class Artifact(Annotated):
+            name: str = "x"
+
+        artifact = Artifact()
+        artifact.annotate("jim", "created")
+        artifact.annotate("lois", "revised", "tighter cutoffs")
+        assert len(artifact.annotations) == 2
+        assert artifact.annotations.last_modified.author == "lois"

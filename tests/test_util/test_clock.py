@@ -1,0 +1,41 @@
+"""Tests for the injectable clocks."""
+
+from datetime import datetime, timezone
+
+from repro.util import FixedClock, SystemClock, TickingClock
+
+
+class TestFixedClock:
+    def test_returns_same_instant(self):
+        clock = FixedClock()
+        assert clock.now() == clock.now()
+
+    def test_custom_instant(self):
+        instant = datetime(2006, 3, 1, tzinfo=timezone.utc)
+        assert FixedClock(instant).now() == instant
+
+    def test_naive_instant_becomes_utc(self):
+        clock = FixedClock(datetime(2006, 3, 1))
+        assert clock.now().tzinfo is timezone.utc
+
+
+class TestTickingClock:
+    def test_advances_each_call(self):
+        clock = TickingClock(step_seconds=2.0)
+        first = clock.now()
+        second = clock.now()
+        assert (second - first).total_seconds() == 2.0
+
+    def test_deterministic_sequence(self):
+        a = TickingClock()
+        b = TickingClock()
+        assert [a.now() for _ in range(3)] == [b.now() for _ in range(3)]
+
+
+class TestSystemClock:
+    def test_is_timezone_aware(self):
+        assert SystemClock().now().tzinfo is not None
+
+    def test_moves_forward(self):
+        clock = SystemClock()
+        assert clock.now() <= clock.now()

@@ -1,0 +1,35 @@
+"""Tests for id generation and slugs."""
+
+from repro.util import IdGenerator, slugify
+
+
+class TestSlugify:
+    def test_basic(self):
+        assert slugify("Packs Per Day?") == "packs_per_day"
+
+    def test_collapses_runs(self):
+        assert slugify("a  --  b") == "a_b"
+
+    def test_empty_becomes_unnamed(self):
+        assert slugify("!!!") == "unnamed"
+
+    def test_already_clean(self):
+        assert slugify("smoking") == "smoking"
+
+
+class TestIdGenerator:
+    def test_sequential_per_prefix(self):
+        gen = IdGenerator()
+        assert gen.next("proc") == "proc_1"
+        assert gen.next("proc") == "proc_2"
+
+    def test_prefixes_independent(self):
+        gen = IdGenerator()
+        gen.next("a")
+        assert gen.next("b") == "b_1"
+
+    def test_reset(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.reset()
+        assert gen.next("a") == "a_1"

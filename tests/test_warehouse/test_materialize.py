@@ -1,0 +1,240 @@
+"""Tests for warehouse materialization strategies (Figure 7, §4.2)."""
+
+import pytest
+
+from repro.analysis.classifiers import vendor_classifiers_for
+from repro.analysis.schema import build_endoscopy_schema
+from repro.errors import MaterializationError, WarehouseError
+from repro.warehouse import (
+    DerivationRule,
+    DerivedStrategy,
+    FullStrategy,
+    MaterializationJob,
+    SelectiveStrategy,
+    StudyTableQuery,
+    Warehouse,
+)
+
+
+@pytest.fixture
+def job(world) -> MaterializationJob:
+    schema = build_endoscopy_schema()
+    sources = list(world.sources)
+    entity_classifiers = {}
+    classifiers = []
+    seen_targets = set()
+    for source in sources:
+        vendor = vendor_classifiers_for(source)
+        entity_classifiers[source.name] = vendor.entity_classifier
+    # Columns: CORI's set of classifiers only works on CORI rows, so the
+    # job uses per-source classification through fetch-time recompute; for
+    # a shared-table test we use the CORI variants as the column set and
+    # restrict sources to CORI.
+    vendor = vendor_classifiers_for(sources[0])
+    classifiers = [vendor.habits_cancer, vendor.habits_chemistry, vendor.ex_smoker_ever]
+    return MaterializationJob(
+        schema=schema,
+        entity="Procedure",
+        sources=[sources[0]],
+        entity_classifiers=entity_classifiers,
+        classifiers=classifiers,
+    )
+
+
+class TestJobValidation:
+    def test_missing_entity_classifier_rejected(self, world):
+        schema = build_endoscopy_schema()
+        with pytest.raises(MaterializationError):
+            MaterializationJob(
+                schema=schema,
+                entity="Procedure",
+                sources=[world.sources[0]],
+                entity_classifiers={},
+                classifiers=[],
+            )
+
+    def test_wrong_entity_classifier_rejected(self, world, job):
+        bad = vendor_classifiers_for(world.sources[0]).habits_cancer
+        bad.target_entity = "Finding"  # classifier now targets another entity
+        with pytest.raises(MaterializationError):
+            MaterializationJob(
+                schema=job.schema,
+                entity="Procedure",
+                sources=job.sources,
+                entity_classifiers=job.entity_classifiers,
+                classifiers=[bad],
+            )
+
+
+class TestFullStrategy:
+    def test_one_column_per_classifier(self, job):
+        warehouse = Warehouse()
+        strategy = FullStrategy(job, warehouse)
+        strategy.build()
+        schema = warehouse.table("mat_procedure").schema
+        assert set(schema.column_names) == {
+            "record_id",
+            "source",
+            "cori_habits_cancer",
+            "cori_habits_chemistry",
+            "cori_ex_smoker_ever",
+        }
+
+    def test_rows_per_source_record(self, job, world):
+        warehouse = Warehouse()
+        FullStrategy(job, warehouse).build()
+        expected = len(world.truths_by_source["cori_warehouse_feed"])
+        assert len(warehouse.table("mat_procedure")) == expected
+
+    def test_fetch(self, job):
+        warehouse = Warehouse()
+        strategy = FullStrategy(job, warehouse)
+        strategy.build()
+        rows = strategy.fetch(["cori_habits_cancer"])
+        assert rows and set(rows[0]) == {"record_id", "source", "cori_habits_cancer"}
+
+    def test_fetch_before_build_rejected(self, job):
+        with pytest.raises(MaterializationError):
+            FullStrategy(job, Warehouse()).fetch(["cori_habits_cancer"])
+
+    def test_load_annotated(self, job):
+        warehouse = Warehouse()
+        FullStrategy(job, warehouse).build()
+        assert len(warehouse.loads) == 1
+
+    def test_storage_cells(self, job):
+        warehouse = Warehouse()
+        strategy = FullStrategy(job, warehouse)
+        strategy.build()
+        table = warehouse.table("mat_procedure")
+        assert strategy.storage_cells() == len(table) * 5
+
+
+class TestSelectiveStrategy:
+    def test_stores_only_chosen_columns(self, job):
+        warehouse = Warehouse()
+        strategy = SelectiveStrategy(job, warehouse, ["cori_habits_cancer"])
+        strategy.build()
+        schema = warehouse.table("mat_procedure").schema
+        assert "cori_habits_chemistry" not in schema.column_names
+
+    def test_cold_fetch_recomputes(self, job):
+        warehouse = Warehouse()
+        strategy = SelectiveStrategy(job, warehouse, ["cori_habits_cancer"])
+        strategy.build()
+        rows = strategy.fetch(["cori_habits_cancer", "cori_habits_chemistry"])
+        full = FullStrategy(job, Warehouse())
+        full.build()
+        expected = full.fetch(["cori_habits_cancer", "cori_habits_chemistry"])
+        key = lambda r: (r["source"], r["record_id"])
+        assert sorted(rows, key=key) == sorted(expected, key=key)
+
+    def test_smaller_footprint_than_full(self, job):
+        full = FullStrategy(job, Warehouse())
+        full.build()
+        selective = SelectiveStrategy(job, Warehouse(), ["cori_habits_cancer"])
+        selective.build()
+        assert selective.storage_cells() < full.storage_cells()
+
+    def test_unknown_materialized_name_rejected(self, job):
+        with pytest.raises(MaterializationError):
+            SelectiveStrategy(job, Warehouse(), ["ghost"])
+
+
+class TestDerivedStrategy:
+    def _coarsen_rule(self) -> DerivationRule:
+        # chemistry labels derive from cancer labels?  They do not in
+        # general; the valid algebraic relationship here is identity on
+        # the ex-smoker flag, so use a simple one for mechanics.
+        return DerivationRule.of(
+            "cori_habits_chemistry",
+            "cori_habits_cancer",
+            "base",
+        )
+
+    def test_derived_column_not_stored(self, job):
+        warehouse = Warehouse()
+        strategy = DerivedStrategy(job, warehouse, [self._coarsen_rule()])
+        strategy.build()
+        schema = warehouse.table("mat_procedure").schema
+        assert "cori_habits_chemistry" not in schema.column_names
+        assert "cori_habits_cancer" in schema.column_names
+
+    def test_fetch_computes_derived(self, job):
+        warehouse = Warehouse()
+        strategy = DerivedStrategy(job, warehouse, [self._coarsen_rule()])
+        strategy.build()
+        rows = strategy.fetch(["cori_habits_cancer", "cori_habits_chemistry"])
+        for row in rows:
+            assert row["cori_habits_chemistry"] == row["cori_habits_cancer"]
+
+    def test_expression_derivation(self, job):
+        rule = DerivationRule.of(
+            "cori_habits_chemistry",
+            "cori_habits_cancer",
+            "IIF(base = 'Moderate', 'Heavy', base)",
+        )
+        warehouse = Warehouse()
+        strategy = DerivedStrategy(job, warehouse, [rule])
+        strategy.build()
+        rows = strategy.fetch(["cori_habits_chemistry"])
+        assert all(row["cori_habits_chemistry"] != "Moderate" for row in rows)
+
+    def test_chained_derivation_rejected(self, job):
+        rules = [
+            DerivationRule.of("cori_habits_chemistry", "cori_habits_cancer", "base"),
+            DerivationRule.of("cori_ex_smoker_ever", "cori_habits_chemistry", "base"),
+        ]
+        with pytest.raises(MaterializationError):
+            DerivedStrategy(job, Warehouse(), rules)
+
+
+class TestWarehouseAndQuerying:
+    def test_storage_cells_unknown_table(self):
+        with pytest.raises(WarehouseError):
+            Warehouse().storage_cells(["ghost"])
+
+    def test_spj_query(self, job):
+        warehouse = Warehouse()
+        FullStrategy(job, warehouse).build()
+        heavy = (
+            StudyTableQuery(warehouse, "mat_procedure")
+            .where("cori_habits_cancer = 'Heavy'")
+            .select("record_id", "cori_habits_cancer")
+            .run()
+        )
+        assert all(r["cori_habits_cancer"] == "Heavy" for r in heavy)
+
+    def test_spj_join(self, job):
+        warehouse = Warehouse()
+        FullStrategy(job, warehouse).build()
+        # Join the table to itself under a prefix: a smoke test for the
+        # SPJ join plumbing study tables rely on.
+        joined = (
+            StudyTableQuery(warehouse, "mat_procedure")
+            .join_entity("mat_procedure", prefix="again")
+            .run()
+        )
+        assert len(joined) == len(warehouse.table("mat_procedure"))
+        assert all(
+            r["cori_habits_cancer"] == r["again_cori_habits_cancer"] for r in joined
+        )
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(WarehouseError):
+            StudyTableQuery(Warehouse(), "ghost")
+
+    def test_aggregate(self, job):
+        from repro.relational import AggregateSpec
+
+        warehouse = Warehouse()
+        FullStrategy(job, warehouse).build()
+        rows = (
+            StudyTableQuery(warehouse, "mat_procedure")
+            .aggregate(
+                ["cori_habits_cancer"], AggregateSpec("COUNT", None, "n")
+            )
+            .run()
+        )
+        total = sum(row["n"] for row in rows)
+        assert total == len(warehouse.table("mat_procedure"))
