@@ -25,6 +25,7 @@ from repro.expr.ast import (
 from repro.expr.lexer import Token, TokenType, tokenize
 from repro.expr.parser import parse
 from repro.expr.evaluator import Evaluator, evaluate
+from repro.expr.compile import compile_expression, compile_predicate
 from repro.expr.functions import FunctionRegistry, default_registry
 from repro.expr.analysis import (
     atoms,
@@ -48,6 +49,8 @@ __all__ = [
     "TokenType",
     "UnaryOp",
     "atoms",
+    "compile_expression",
+    "compile_predicate",
     "default_registry",
     "evaluate",
     "is_conjunctive",

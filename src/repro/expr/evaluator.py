@@ -10,6 +10,7 @@ unanswered question must never silently satisfy a cohort condition.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Mapping
 
 from repro.errors import EvaluationError, UnknownIdentifierError
@@ -28,6 +29,48 @@ from repro.expr.functions import FunctionRegistry, default_registry
 Environment = Mapping[str, object]
 
 _DEFAULT_REGISTRY = default_registry()
+
+# Suffix-fallback identifier resolution is pure in (environment key-set,
+# identifier name), so the scan over all keys is memoized per key-set.  The
+# cache is bounded: key-sets correspond to table/plan schemas, of which a
+# process sees few, but a hard cap guards against adversarial churn.
+_SUFFIX_CACHE: dict[tuple[frozenset[str], str], object] = {}
+_SUFFIX_CACHE_LIMIT = 4096
+_UNKNOWN = object()
+
+
+def resolve_suffix_key(name: str, leaf: str, env: Environment) -> str:
+    """The environment key a dotted identifier resolves to by suffix match.
+
+    Callers try the full name and leaf segment directly first; this handles
+    (and memoizes) only the slow fallback that scans every key.  Raises
+    :class:`UnknownIdentifierError` on no match and :class:`EvaluationError`
+    on an ambiguous one, like inline resolution always has.
+    """
+    cache_key = (frozenset(env), name)
+    outcome = _SUFFIX_CACHE.get(cache_key)
+    if outcome is None:
+        matches = [
+            key
+            for key in cache_key[0]
+            if key.endswith("." + name) or key.endswith("." + leaf)
+        ]
+        if len(matches) == 1:
+            outcome = matches[0]
+        elif matches:
+            outcome = tuple(sorted(matches))
+        else:
+            outcome = _UNKNOWN
+        if len(_SUFFIX_CACHE) >= _SUFFIX_CACHE_LIMIT:
+            _SUFFIX_CACHE.clear()
+        _SUFFIX_CACHE[cache_key] = outcome
+    if outcome is _UNKNOWN:
+        raise UnknownIdentifierError(name)
+    if isinstance(outcome, tuple):
+        raise EvaluationError(
+            f"ambiguous identifier {name!r}: matches {list(outcome)}"
+        )
+    return outcome  # type: ignore[return-value]
 
 
 class Evaluator:
@@ -78,14 +121,7 @@ class Evaluator:
         # Fall back to a suffix match on dotted environment keys, so an
         # expression written against a short node name still resolves when
         # the environment is keyed by full g-tree paths.
-        matches = [key for key in env if key.endswith("." + name) or key.endswith("." + leaf)]
-        if len(matches) == 1:
-            return env[matches[0]]
-        if len(matches) > 1:
-            raise EvaluationError(
-                f"ambiguous identifier {name!r}: matches {sorted(matches)}"
-            )
-        raise UnknownIdentifierError(name)
+        return env[resolve_suffix_key(name, leaf, env)]
 
     def _unary(self, expr: UnaryOp, env: Environment) -> object:
         value = self.evaluate(expr.operand, env)
@@ -238,12 +274,28 @@ def _compare(op: str, left: object, right: object) -> bool | None:
     raise EvaluationError(f"unknown comparison operator {op!r}")
 
 
-def _like(value: str, pattern: str) -> bool:
-    """SQL LIKE with ``%`` (any run) and ``_`` (single char), case-insensitive."""
+@lru_cache(maxsize=1024)
+def _like_regex(pattern: str) -> "re.Pattern[str]":
     # re.escape leaves % and _ untouched (they are not regex-special), so
     # they can be swapped for their regex equivalents directly.
     regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
-    return re.fullmatch(regex, value, flags=re.IGNORECASE | re.DOTALL) is not None
+    return re.compile(regex, flags=re.IGNORECASE | re.DOTALL)
+
+
+def _like(value: str, pattern: str) -> bool:
+    """SQL LIKE with ``%`` (any run) and ``_`` (single char), case-insensitive."""
+    return _like_regex(pattern).fullmatch(value) is not None
+
+
+def sql_equal(left: object, right: object) -> bool:
+    """SQL ``=`` forced to a boolean: NULL never matches, no type coercion.
+
+    Index probes use this as their post-filter so hash-equal keys that SQL
+    distinguishes (``1`` vs ``TRUE``) cannot leak through a bucket.
+    """
+    if left is None or right is None:
+        return False
+    return _compare("=", left, right) is True
 
 
 def evaluate(expr: Expression, env: Environment) -> object:

@@ -40,6 +40,26 @@ class FunctionRegistry:
             raise UnknownFunctionError(name)
         return self._functions[key]
 
+    def bind(self, name: str, arg_count: int) -> FunctionImpl:
+        """Resolve ``name`` and validate a static argument count once.
+
+        Compiled expressions know their argument count at lowering time, so
+        the arity check need not be repeated per row; the raised errors are
+        identical to :meth:`call`'s.
+        """
+        impl = self.lookup(name)
+        min_args, max_args = self._arity[name.upper()]
+        if arg_count < min_args or (max_args is not None and arg_count > max_args):
+            expected = (
+                f"exactly {min_args}"
+                if max_args == min_args
+                else f"between {min_args} and {max_args or 'unbounded'}"
+            )
+            raise EvaluationError(
+                f"{name} expects {expected} argument(s), got {arg_count}"
+            )
+        return impl
+
     def call(self, name: str, args: list[object]) -> object:
         """Invoke a registered function, enforcing its declared arity."""
         impl = self.lookup(name)

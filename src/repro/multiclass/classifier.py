@@ -13,13 +13,11 @@ from dataclasses import dataclass, field
 from repro.errors import ClassifierError
 from repro.expr.analysis import is_union_of_conjunctions, referenced_identifiers
 from repro.expr.ast import Expression, Literal
-from repro.expr.evaluator import Evaluator
+from repro.expr.compile import compile_expression, compile_predicate
 from repro.expr.parser import parse
 from repro.guava.gtree import GTree
 from repro.multiclass.domain import Domain
 from repro.util.annotations import Annotated
-
-_EVALUATOR = Evaluator()
 
 Environment = dict[str, object]
 
@@ -75,9 +73,12 @@ class Classifier(Annotated):
         self, env: Environment, domain: Domain | None = None
     ) -> tuple[object, int | None]:
         """Like :meth:`classify` but also reports which rule fired (index)."""
+        # Guards and outputs compile to closures once per distinct expression
+        # (memoized in repro.expr.compile), so classifying N records walks
+        # each rule's AST once, not N times.
         for index, rule in enumerate(self.rules):
-            if _EVALUATOR.satisfied(rule.guard, env):
-                value = _EVALUATOR.evaluate(rule.output, env)
+            if compile_predicate(rule.guard)(env):
+                value = compile_expression(rule.output)(env)
                 if domain is not None:
                     value = domain.check(value)
                 return value, index
@@ -147,7 +148,7 @@ class EntityClassifier(Annotated):
 
     def admits(self, env: Environment) -> bool:
         """True when a record qualifies as an instance of the entity."""
-        return _EVALUATOR.satisfied(self.condition, env)
+        return compile_predicate(self.condition)(env)
 
     def input_nodes(self) -> set[str]:
         names = referenced_identifiers(self.condition)

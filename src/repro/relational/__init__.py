@@ -16,6 +16,8 @@ from repro.relational.algebra import (
     Coerce,
     Compute,
     Distinct,
+    ExecContext,
+    IndexLookup,
     Join,
     Limit,
     Pivot,
@@ -25,10 +27,12 @@ from repro.relational.algebra import (
     Scan,
     Select,
     Sort,
+    TopK,
     Union,
     Unpivot,
     Values,
 )
+from repro.relational.interpret import execute_interpreted
 from repro.relational.query import Query, optimize
 from repro.relational.snapshot import load_database, save_database
 from repro.relational.sql import to_sql
@@ -42,7 +46,9 @@ __all__ = [
     "DataType",
     "Database",
     "Distinct",
+    "ExecContext",
     "HashIndex",
+    "IndexLookup",
     "Join",
     "Limit",
     "Pivot",
@@ -55,9 +61,11 @@ __all__ = [
     "Sort",
     "Table",
     "TableSchema",
+    "TopK",
     "Union",
     "Unpivot",
     "Values",
+    "execute_interpreted",
     "load_database",
     "optimize",
     "save_database",

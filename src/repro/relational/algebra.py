@@ -1,10 +1,22 @@
-"""Logical plans and their executor.
+"""Logical plans and their streaming executor.
 
 Plans are immutable trees of operator nodes; ``Plan.execute(db)`` runs the
 tree against a :class:`~repro.relational.database.Database` and returns a
 list of row dicts.  Predicates and computed columns use the shared
 expression language, so the same conditions analysts write in classifiers
 run here unchanged.
+
+Execution is *streaming*: every operator implements :meth:`Plan.stream`,
+yielding rows through iterators instead of materializing a list at each
+node.  ``Scan`` (and the index-backed ``IndexLookup``) yield the table's
+internal row dicts without copying; operators never mutate rows they
+receive, and ``Plan.execute`` restores the defensive-copy contract at the
+API boundary — only for plans whose output can still alias table storage
+(see :meth:`Plan.shares_storage`).  Predicates and derivations are lowered
+once per plan node via :mod:`repro.expr.compile` rather than tree-walked
+per row; ``repro.relational.interpret`` keeps the original materializing
+interpreter as the executable specification both paths are property-tested
+against.
 
 ``Unpivot`` and ``Pivot`` are first-class because the paper's *Generic*
 design pattern (EAV layouts) hinges on them: "Execute an un-pivot
@@ -13,18 +25,48 @@ operation, either in code or SQL if the operator exists in the DBMS".
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from itertools import islice
+from typing import Iterable, Iterator, Sequence
 
 from repro.errors import QueryError
 from repro.expr.ast import Expression
-from repro.expr.evaluator import Evaluator
+from repro.expr.compile import compile_expression, compile_predicate
+from repro.expr.evaluator import sql_equal
 from repro.relational.database import Database
 from repro.relational.types import DataType
 
 Row = dict[str, object]
 
-_EVALUATOR = Evaluator()
+
+class ExecContext:
+    """Per-execution memo shared across one plan tree.
+
+    ``output_columns`` of a node is O(depth) to compute; operators that
+    consult child schemas (Project, Join, Union, Distinct) would otherwise
+    each trigger a full recursion, turning deep pattern chains into
+    O(depth²) schema work (ablation A6).  The context memoizes columns by
+    node identity so one execute computes each node's schema exactly once.
+    """
+
+    __slots__ = ("db", "_columns")
+
+    def __init__(self, db: Database):
+        self.db = db
+        # Keyed by node identity; the entry pins the node so a recycled id()
+        # of a garbage-collected plan can never alias a stale cache hit.
+        self._columns: dict[int, tuple["Plan", tuple[str, ...]]] = {}
+
+    def columns(self, plan: "Plan") -> tuple[str, ...]:
+        """Memoized ``plan.output_columns`` against this context's database."""
+        key = id(plan)
+        cached = self._columns.get(key)
+        if cached is not None and cached[0] is plan:
+            return cached[1]
+        columns = plan._columns(self)
+        self._columns[key] = (plan, columns)
+        return columns
 
 
 @dataclass(frozen=True)
@@ -35,11 +77,31 @@ class Plan:
         return ()
 
     def execute(self, db: Database) -> list[Row]:
-        """Run the plan against ``db``."""
+        """Run the plan against ``db`` and materialize the result."""
+        rows = self.stream(ExecContext(db))
+        if self.shares_storage():
+            # The stream may yield dicts owned by table storage; copy at the
+            # boundary so callers can mutate results freely.
+            return [dict(row) for row in rows]
+        return list(rows)
+
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        """Yield result rows lazily.
+
+        Rows may alias table storage when :meth:`shares_storage` is true;
+        treat streamed rows as read-only unless that method returns False.
+        """
         raise NotImplementedError
+
+    def shares_storage(self) -> bool:
+        """True when streamed rows may be the backing table's own dicts."""
+        return False
 
     def output_columns(self, db: Database) -> tuple[str, ...]:
         """Column names this node produces, in order."""
+        return ExecContext(db).columns(self)
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
         raise NotImplementedError
 
     def walk(self) -> Iterable["Plan"]:
@@ -51,15 +113,55 @@ class Plan:
 
 @dataclass(frozen=True)
 class Scan(Plan):
-    """Read a base table's full extent."""
+    """Read a base table's full extent (zero-copy; see ``shares_storage``)."""
 
     table: str
 
-    def execute(self, db: Database) -> list[Row]:
-        return db.table(self.table).rows()
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        return ctx.db.table(self.table).iter_rows()
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
-        return db.table(self.table).schema.column_names
+    def shares_storage(self) -> bool:
+        return True
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return ctx.db.table(self.table).schema.column_names
+
+
+@dataclass(frozen=True)
+class IndexLookup(Plan):
+    """Conjunctive equality probe on a base table, via a hash index.
+
+    Produced by the optimizer from ``Select(Scan(t), col = literal AND …)``
+    when the table has a covering :class:`~repro.relational.index.HashIndex`.
+    Falls back to a filtered scan when no index matches at execution time,
+    so the node is always executable; the equality post-filter keeps SQL
+    semantics exact even across hash-equal keys (``1`` vs ``TRUE``).
+    """
+
+    table: str
+    items: tuple[tuple[str, object], ...]
+
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        table = ctx.db.table(self.table)
+        items = self.items
+        index = table.matching_index([column for column, _ in items])
+        if index is not None:
+            values = dict(items)
+            key = tuple(values[column] for column in index.columns)
+            candidates = table.rows_at(index.lookup(key))
+        else:
+            candidates = table.iter_rows()
+        return (
+            row
+            for row in candidates
+            if all(sql_equal(row.get(column), value) for column, value in items)
+        )
+
+    def shares_storage(self) -> bool:
+        return True
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return ctx.db.table(self.table).schema.column_names
 
 
 @dataclass(frozen=True)
@@ -69,10 +171,11 @@ class Values(Plan):
     columns: tuple[str, ...]
     rows: tuple[tuple[object, ...], ...]
 
-    def execute(self, db: Database) -> list[Row]:
-        return [dict(zip(self.columns, row)) for row in self.rows]
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        columns = self.columns
+        return (dict(zip(columns, row)) for row in self.rows)
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
         return self.columns
 
 
@@ -86,12 +189,14 @@ class Select(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def execute(self, db: Database) -> list[Row]:
-        rows = self.child.execute(db)
-        return [row for row in rows if _EVALUATOR.satisfied(self.predicate, row)]
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        return filter(compile_predicate(self.predicate), self.child.stream(ctx))
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
-        return self.child.output_columns(db)
+    def shares_storage(self) -> bool:
+        return self.child.shares_storage()
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return ctx.columns(self.child)
 
 
 @dataclass(frozen=True)
@@ -104,15 +209,24 @@ class Project(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def execute(self, db: Database) -> list[Row]:
-        rows = self.child.execute(db)
-        available = set(self.child.output_columns(db))
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        available = set(ctx.columns(self.child))
         missing = [column for column in self.columns if column not in available]
         if missing:
             raise QueryError(f"projection references unknown column(s) {missing}")
-        return [{column: row.get(column) for column in self.columns} for row in rows]
+        columns = self.columns
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
+        def narrow(row: Row) -> Row:
+            try:
+                # Rows normally carry every schema column; direct indexing
+                # beats a bound .get per column.
+                return {column: row[column] for column in columns}
+            except KeyError:
+                return {column: row.get(column) for column in columns}
+
+        return map(narrow, self.child.stream(ctx))
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
         return self.columns
 
 
@@ -126,18 +240,23 @@ class Compute(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def execute(self, db: Database) -> list[Row]:
-        rows = self.child.execute(db)
-        out: list[Row] = []
-        for row in rows:
-            extended = dict(row)
-            for name, expression in self.derivations:
-                extended[name] = _EVALUATOR.evaluate(expression, row)
-            out.append(extended)
-        return out
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        compiled = tuple(
+            (name, compile_expression(expression))
+            for name, expression in self.derivations
+        )
+        # Derivations all evaluate against the child row, not each other.
+        def generate() -> Iterator[Row]:
+            for row in self.child.stream(ctx):
+                extended = dict(row)
+                for name, value_of in compiled:
+                    extended[name] = value_of(row)
+                yield extended
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
-        base = self.child.output_columns(db)
+        return generate()
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        base = ctx.columns(self.child)
         new = tuple(name for name, _ in self.derivations if name not in base)
         return base + new
 
@@ -152,17 +271,16 @@ class Rename(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def execute(self, db: Database) -> list[Row]:
-        rows = self.child.execute(db)
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
         table = dict(self.mapping)
-        return [
+        return (
             {table.get(column, column): value for column, value in row.items()}
-            for row in rows
-        ]
+            for row in self.child.stream(ctx)
+        )
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
         table = dict(self.mapping)
-        return tuple(table.get(column, column) for column in self.child.output_columns(db))
+        return tuple(table.get(column, column) for column in ctx.columns(self.child))
 
 
 @dataclass(frozen=True)
@@ -182,50 +300,81 @@ class Join(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.left, self.right)
 
-    def execute(self, db: Database) -> list[Row]:
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
         if self.how not in ("inner", "left"):
             raise QueryError(f"unsupported join type {self.how!r}")
-        left_rows = self.left.execute(db)
-        right_rows = self.right.execute(db)
-        left_cols = self.left.output_columns(db)
-        right_cols = self.right.output_columns(db)
-        right_keys = tuple(rk for _, rk in self.on)
-        overlap = (set(left_cols) & set(right_cols)) - set(right_keys)
+        left_cols = ctx.columns(self.left)
+        right_cols = ctx.columns(self.right)
+        right_keys = {rk for _, rk in self.on}
+        overlap = (set(left_cols) & set(right_cols)) - right_keys
         if overlap:
             raise QueryError(
                 f"join would collide on columns {sorted(overlap)}; rename one side"
             )
-        # Hash join on the right side.
-        buckets: dict[tuple[object, ...], list[Row]] = {}
-        for row in right_rows:
-            key = tuple(row.get(rk) for _, rk in self.on)
-            buckets.setdefault(key, []).append(row)
+        # Build the hash side once; payloads drop the join keys up front so
+        # the probe loop is one dict copy + update per match.  Single-column
+        # joins (the overwhelmingly common case) bucket on the bare value to
+        # skip a per-row tuple.
+        on = self.on
         null_right = {column: None for column in right_cols if column not in right_keys}
-        out: list[Row] = []
-        for row in left_rows:
-            key = tuple(row.get(lk) for lk, _ in self.on)
-            matches = buckets.get(key, []) if None not in key else []
-            if matches:
-                for match in matches:
-                    merged = dict(row)
-                    merged.update(
-                        {c: v for c, v in match.items() if c not in right_keys}
-                    )
-                    out.append(merged)
-            elif self.how == "left":
-                merged = dict(row)
-                merged.update(null_right)
-                out.append(merged)
-        return out
+        how = self.how
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
+        if len(on) == 1:
+            lk, rk = on[0]
+            buckets: dict[object, list[Row]] = {}
+            for row in self.right.stream(ctx):
+                key = row.get(rk)
+                if key is not None:
+                    payload = {c: v for c, v in row.items() if c not in right_keys}
+                    buckets.setdefault(key, []).append(payload)
+            left_stream = self.left.stream(ctx)
+
+            def probe_single() -> Iterator[Row]:
+                for row in left_stream:
+                    matches = buckets.get(row.get(lk))
+                    if matches:
+                        for payload in matches:
+                            merged = dict(row)
+                            merged.update(payload)
+                            yield merged
+                    elif how == "left":
+                        merged = dict(row)
+                        merged.update(null_right)
+                        yield merged
+
+            return probe_single()
+
+        multi_buckets: dict[tuple[object, ...], list[Row]] = {}
+        for row in self.right.stream(ctx):
+            key = tuple(row.get(rk) for _, rk in on)
+            payload = {c: v for c, v in row.items() if c not in right_keys}
+            multi_buckets.setdefault(key, []).append(payload)
+        left_stream = self.left.stream(ctx)
+
+        def probe() -> Iterator[Row]:
+            for row in left_stream:
+                key = tuple(row.get(lk) for lk, _ in on)
+                matches = multi_buckets.get(key) if None not in key else None
+                if matches:
+                    for payload in matches:
+                        merged = dict(row)
+                        merged.update(payload)
+                        yield merged
+                elif how == "left":
+                    merged = dict(row)
+                    merged.update(null_right)
+                    yield merged
+
+        return probe()
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
         right_keys = {rk for _, rk in self.on}
         right_cols = tuple(
             column
-            for column in self.right.output_columns(db)
+            for column in ctx.columns(self.right)
             if column not in right_keys
         )
-        return self.left.output_columns(db) + right_cols
+        return ctx.columns(self.left) + right_cols
 
 
 @dataclass(frozen=True)
@@ -241,26 +390,30 @@ class Union(Plan):
     def children(self) -> tuple[Plan, ...]:
         return self.inputs
 
-    def execute(self, db: Database) -> list[Row]:
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
         if not self.inputs:
-            return []
-        columns = self.output_columns(db)
-        out: list[Row] = []
+            return iter(())
+        columns = ctx.columns(self)
+        column_set = set(columns)
         for plan in self.inputs:
-            plan_columns = set(plan.output_columns(db))
-            if plan_columns != set(columns):
+            plan_columns = set(ctx.columns(plan))
+            if plan_columns != column_set:
                 raise QueryError(
                     f"union inputs disagree on columns: {sorted(plan_columns)} "
                     f"vs {sorted(columns)}"
                 )
-            for row in plan.execute(db):
-                out.append({column: row.get(column) for column in columns})
-        return out
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
+        def generate() -> Iterator[Row]:
+            for plan in self.inputs:
+                for row in plan.stream(ctx):
+                    yield {column: row.get(column) for column in columns}
+
+        return generate()
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
         if not self.inputs:
             return ()
-        return self.inputs[0].output_columns(db)
+        return ctx.columns(self.inputs[0])
 
 
 @dataclass(frozen=True)
@@ -272,19 +425,24 @@ class Distinct(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def execute(self, db: Database) -> list[Row]:
-        columns = self.child.output_columns(db)
-        seen: set[tuple[object, ...]] = set()
-        out: list[Row] = []
-        for row in self.child.execute(db):
-            key = tuple(_hashable(row.get(column)) for column in columns)
-            if key not in seen:
-                seen.add(key)
-                out.append(row)
-        return out
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        columns = ctx.columns(self.child)
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
-        return self.child.output_columns(db)
+        def generate() -> Iterator[Row]:
+            seen: set[tuple[object, ...]] = set()
+            for row in self.child.stream(ctx):
+                key = tuple(_hashable(row.get(column)) for column in columns)
+                if key not in seen:
+                    seen.add(key)
+                    yield row
+
+        return generate()
+
+    def shares_storage(self) -> bool:
+        return self.child.shares_storage()
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return ctx.columns(self.child)
 
 
 @dataclass(frozen=True)
@@ -300,17 +458,15 @@ class Unpivot(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def execute(self, db: Database) -> list[Row]:
-        out: list[Row] = []
-        for row in self.child.execute(db):
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        for row in self.child.stream(ctx):
             for column in self.value_columns:
                 record: Row = {c: row.get(c) for c in self.id_columns}
                 record[self.attribute_column] = column
                 record[self.value_column] = row.get(column)
-                out.append(record)
-        return out
+                yield record
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
         return self.id_columns + (self.attribute_column, self.value_column)
 
 
@@ -332,10 +488,10 @@ class Pivot(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def execute(self, db: Database) -> list[Row]:
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
         grouped: dict[tuple[object, ...], Row] = {}
         order: list[tuple[object, ...]] = []
-        for row in self.child.execute(db):
+        for row in self.child.stream(ctx):
             key = tuple(row.get(column) for column in self.key_columns)
             if key not in grouped:
                 base: Row = {c: v for c, v in zip(self.key_columns, key)}
@@ -345,9 +501,9 @@ class Pivot(Plan):
             attribute = row.get(self.attribute_column)
             if attribute in self.attributes:
                 grouped[key][str(attribute)] = row.get(self.value_column)
-        return [grouped[key] for key in order]
+        return (grouped[key] for key in order)
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
         return self.key_columns + self.attributes
 
 
@@ -365,19 +521,19 @@ class Coerce(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def execute(self, db: Database) -> list[Row]:
-        rows = self.child.execute(db)
-        out: list[Row] = []
-        for row in rows:
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        converters = tuple(
+            (column, dtype.coerce) for column, dtype in self.column_types
+        )
+        for row in self.child.stream(ctx):
             converted = dict(row)
-            for column, dtype in self.column_types:
+            for column, coerce in converters:
                 if column in converted:
-                    converted[column] = dtype.coerce(converted[column])
-            out.append(converted)
-        return out
+                    converted[column] = coerce(converted[column])
+            yield converted
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
-        return self.child.output_columns(db)
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return ctx.columns(self.child)
 
 
 @dataclass(frozen=True)
@@ -400,28 +556,30 @@ class Aggregate(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def execute(self, db: Database) -> list[Row]:
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
         groups: dict[tuple[object, ...], list[Row]] = {}
         order: list[tuple[object, ...]] = []
-        for row in self.child.execute(db):
+        for row in self.child.stream(ctx):
             key = tuple(_hashable(row.get(column)) for column in self.group_by)
             if key not in groups:
                 groups[key] = []
                 order.append(key)
             groups[key].append(row)
-        out: list[Row] = []
-        for key in order:
-            rows = groups[key]
-            result: Row = dict(zip(self.group_by, key))
-            for spec in self.aggregates:
-                result[spec.alias] = _aggregate(spec, rows)
-            out.append(result)
-        if not out and not self.group_by and self.aggregates:
-            # Aggregating an empty input without grouping still yields one row.
-            out.append({spec.alias: _aggregate(spec, []) for spec in self.aggregates})
-        return out
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
+        def generate() -> Iterator[Row]:
+            for key in order:
+                rows = groups[key]
+                result: Row = dict(zip(self.group_by, key))
+                for spec in self.aggregates:
+                    result[spec.alias] = _aggregate(spec, rows)
+                yield result
+            if not order and not self.group_by and self.aggregates:
+                # Aggregating an empty input without grouping yields one row.
+                yield {spec.alias: _aggregate(spec, []) for spec in self.aggregates}
+
+        return generate()
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
         return self.group_by + tuple(spec.alias for spec in self.aggregates)
 
 
@@ -435,15 +593,69 @@ class Sort(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def execute(self, db: Database) -> list[Row]:
-        rows = self.child.execute(db)
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        rows = list(self.child.stream(ctx))
         # Apply keys right-to-left so stable sort yields composite ordering.
         for column, ascending in reversed(self.keys):
             rows.sort(key=lambda row: _sort_key(row.get(column)), reverse=not ascending)
-        return rows
+        return iter(rows)
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
-        return self.child.output_columns(db)
+    def shares_storage(self) -> bool:
+        return self.child.shares_storage()
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return ctx.columns(self.child)
+
+
+@dataclass(frozen=True)
+class TopK(Plan):
+    """Fused Sort+Limit: heap-select the first ``count`` rows by ``keys``.
+
+    Produced by the optimizer from ``Limit(Sort(child, keys), count)``.
+    Uniform-direction key lists ride ``heapq.nsmallest``/``nlargest`` with
+    plain tuple keys (both are documented equivalent to a stable
+    ``sorted(...)[:n]``, so tie order matches :class:`Sort`'s repeated
+    stable sorts); mixed ascending/descending keys fall back to the sort
+    itself, truncated.
+    """
+
+    child: Plan
+    keys: tuple[tuple[str, bool], ...]
+    count: int
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        rows = self.child.stream(ctx)
+        directions = {ascending for _, ascending in self.keys}
+        if len(directions) <= 1:
+            select = heapq.nsmallest if directions != {False} else heapq.nlargest
+            if len(self.keys) == 1:
+                column = self.keys[0][0]
+
+                def single_key(row: Row) -> tuple[int, object]:
+                    return _sort_key(row.get(column))
+
+                return iter(select(self.count, rows, key=single_key))
+            columns = tuple(column for column, _ in self.keys)
+
+            def key_of(row: Row) -> tuple[tuple[int, object], ...]:
+                return tuple(_sort_key(row.get(column)) for column in columns)
+
+            return iter(select(self.count, rows, key=key_of))
+        materialized = list(rows)
+        for column, ascending in reversed(self.keys):
+            materialized.sort(
+                key=lambda row: _sort_key(row.get(column)), reverse=not ascending
+            )
+        return iter(materialized[: self.count])
+
+    def shares_storage(self) -> bool:
+        return self.child.shares_storage()
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return ctx.columns(self.child)
 
 
 @dataclass(frozen=True)
@@ -456,11 +668,19 @@ class Limit(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def execute(self, db: Database) -> list[Row]:
-        return self.child.execute(db)[: self.count]
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        if self.count < 0:
+            # Negative counts keep Python slice semantics (drop from the end),
+            # which requires the full child extent.
+            rows = list(self.child.stream(ctx))
+            return iter(rows[: self.count])
+        return islice(self.child.stream(ctx), self.count)
 
-    def output_columns(self, db: Database) -> tuple[str, ...]:
-        return self.child.output_columns(db)
+    def shares_storage(self) -> bool:
+        return self.child.shares_storage()
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return ctx.columns(self.child)
 
 
 # -- helpers -------------------------------------------------------------------
@@ -481,6 +701,8 @@ def _sort_key(value: object) -> tuple[int, object]:
     if isinstance(value, (int, float)):
         return (2, value)
     return (3, str(value))
+
+
 
 
 def _aggregate(spec: AggregateSpec, rows: Sequence[Row]) -> object:

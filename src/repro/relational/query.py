@@ -1,26 +1,41 @@
-"""Fluent query builder and a light plan optimizer."""
+"""Fluent query builder and a plan optimizer.
+
+The optimizer applies safe rewrites only: select merge/pushdown, projection
+pushdown with dead-column pruning, fusing ``Limit`` over ``Sort`` into a
+heap top-k, and — when a database handle is supplied — lowering equality
+selections over base tables onto :class:`~repro.relational.algebra.IndexLookup`
+backed by the table's hash indexes.  Correctness is checked by property
+tests asserting optimized, naive-streaming, and interpreted executions
+agree on every database they run against.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
 from repro.expr.analysis import referenced_identifiers
-from repro.expr.ast import BinaryOp, Expression
+from repro.expr.ast import BinaryOp, Expression, Identifier, Literal, conjunction
 from repro.expr.parser import parse
 from repro.relational.algebra import (
     Aggregate,
     AggregateSpec,
+    Coerce,
     Compute,
     Distinct,
+    ExecContext,
+    IndexLookup,
     Join,
     Limit,
+    Pivot,
     Plan,
     Project,
     Rename,
     Scan,
     Select,
     Sort,
+    TopK,
     Union,
+    Unpivot,
 )
 from repro.relational.database import Database
 
@@ -95,55 +110,246 @@ class Query:
         return len(self.execute(db))
 
     def execute(self, db: Database, optimized: bool = True) -> list[Row]:
-        plan = optimize(self.plan) if optimized else self.plan
+        plan = optimize(self.plan, db) if optimized else self.plan
         return plan.execute(db)
 
 
-def optimize(plan: Plan) -> Plan:
-    """Apply safe rewrites: select-merge, select pushdown into joins/unions.
+def optimize(plan: Plan, db: Database | None = None) -> Plan:
+    """Apply safe rewrites; ``db`` unlocks schema- and index-aware rules.
 
-    The optimizer is deliberately conservative — correctness is checked by
-    property tests asserting optimized and naive plans agree on every
-    database they run against.
+    Without a database the optimizer falls back to statically derivable
+    column sets, as before.  With one (``Query.execute`` always passes it),
+    it can additionally lower equality filters onto hash indexes and prune
+    dead columns through joins and unions.  The optimizer is deliberately
+    conservative — correctness is checked by property tests asserting
+    optimized and naive plans agree on every database they run against.
     """
-    plan = _rewrite(plan)
-    return plan
+    return _rewrite(plan, _OptContext(db))
 
 
-def _rewrite(plan: Plan) -> Plan:
+class _OptContext:
+    """Column knowledge for the rewrite pass, memoized across the tree."""
+
+    __slots__ = ("db", "_exec")
+
+    def __init__(self, db: Database | None):
+        self.db = db
+        self._exec = ExecContext(db) if db is not None else None
+
+    def columns_of(self, plan: Plan) -> tuple[str, ...] | None:
+        """Ordered output columns when derivable, else None."""
+        if self._exec is not None:
+            try:
+                return self._exec.columns(plan)
+            except Exception:
+                return None
+        return None
+
+    def column_set(self, plan: Plan) -> set[str] | None:
+        """Output column set when derivable (statically or via the db)."""
+        ordered = self.columns_of(plan)
+        if ordered is not None:
+            return set(ordered)
+        return _static_columns(plan)
+
+
+def _rewrite(plan: Plan, ctx: _OptContext) -> Plan:
     # Bottom-up.
-    children = tuple(_rewrite(child) for child in plan.children())
+    children = tuple(_rewrite(child, ctx) for child in plan.children())
     plan = _with_children(plan, children)
 
     if isinstance(plan, Select):
-        child = plan.child
-        # Merge consecutive selects into one conjunction.
-        if isinstance(child, Select):
-            merged = BinaryOp("AND", child.predicate, plan.predicate)
-            return _rewrite(Select(child.child, merged))
-        # Push select below union (always safe).
-        if isinstance(child, Union):
-            pushed = tuple(
-                _rewrite(Select(branch, plan.predicate)) for branch in child.inputs
-            )
-            return Union(pushed)
-        # Push select into a join side when its columns come from one side.
-        if isinstance(child, Join) and child.how == "inner":
-            return _push_into_join(plan.predicate, child)
+        return _rewrite_select(plan, ctx)
+    if isinstance(plan, Project):
+        return _rewrite_project(plan, ctx)
+    if isinstance(plan, Limit) and isinstance(plan.child, Sort) and plan.count >= 0:
+        return TopK(plan.child.child, plan.child.keys, plan.count)
     return plan
 
 
-def _push_into_join(predicate: Expression, join: Join) -> Plan:
+def _rewrite_select(plan: Select, ctx: _OptContext) -> Plan:
+    child = plan.child
+    # Merge consecutive selects into one conjunction.
+    if isinstance(child, Select):
+        merged = BinaryOp("AND", child.predicate, plan.predicate)
+        return _rewrite(Select(child.child, merged), ctx)
+    # Push select below union (always safe).
+    if isinstance(child, Union):
+        pushed = tuple(
+            _rewrite(Select(branch, plan.predicate), ctx) for branch in child.inputs
+        )
+        return Union(pushed)
+    # Push select into a join side when its columns come from one side.
+    if isinstance(child, Join) and child.how == "inner":
+        return _push_into_join(plan.predicate, child, ctx)
+    # Lower equality filters over a base table onto a hash index.
+    if isinstance(child, Scan):
+        lowered = _lower_index_lookup(plan.predicate, child, ctx)
+        if lowered is not None:
+            return lowered
+    return plan
+
+
+def _push_into_join(predicate: Expression, join: Join, ctx: _OptContext) -> Plan:
     names = referenced_identifiers(predicate)
-    # Column provenance is only known relative to a database, which the
-    # optimizer does not have; use static column sets where derivable.
-    left_cols = _static_columns(join.left)
-    right_cols = _static_columns(join.right)
+    left_cols = ctx.column_set(join.left)
+    right_cols = ctx.column_set(join.right)
     if left_cols is not None and names <= left_cols:
-        return Join(Select(join.left, predicate), join.right, join.on, join.how)
+        return Join(
+            _rewrite(Select(join.left, predicate), ctx), join.right, join.on, join.how
+        )
     if right_cols is not None and names <= right_cols:
-        return Join(join.left, Select(join.right, predicate), join.on, join.how)
+        return Join(
+            join.left, _rewrite(Select(join.right, predicate), ctx), join.on, join.how
+        )
     return Select(join, predicate)
+
+
+def _lower_index_lookup(
+    predicate: Expression, scan: Scan, ctx: _OptContext
+) -> Plan | None:
+    """``Select(Scan, col = literal AND …)`` → IndexLookup (+ residual Select).
+
+    Only fires when the database is known, the table exists, and a hash
+    index covers at least the equality columns — otherwise the plan is left
+    alone so execution cost and error behaviour stay exactly as written.
+    """
+    if ctx.db is None or not ctx.db.has_table(scan.table):
+        return None
+    table = ctx.db.table(scan.table)
+    columns = set(table.schema.column_names)
+    eq_items: list[tuple[str, object]] = []
+    residual: list[Expression] = []
+    for conjunct in _conjuncts(predicate):
+        item = _equality_item(conjunct, columns)
+        if item is not None:
+            eq_items.append(item)
+        else:
+            residual.append(conjunct)
+    if not eq_items:
+        return None
+    if table.matching_index([column for column, _ in eq_items]) is None:
+        return None
+    lookup = IndexLookup(scan.table, tuple(eq_items))
+    if residual:
+        return Select(lookup, conjunction(residual))
+    return lookup
+
+
+def _conjuncts(expr: Expression):
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def _equality_item(
+    conjunct: Expression, columns: set[str]
+) -> tuple[str, object] | None:
+    """``col = literal`` (either side) over a plain existing column, or None."""
+    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+        return None
+    for ident, literal in (
+        (conjunct.left, conjunct.right),
+        (conjunct.right, conjunct.left),
+    ):
+        if not (isinstance(ident, Identifier) and isinstance(literal, Literal)):
+            continue
+        if len(ident.path) != 1 or ident.name not in columns:
+            continue
+        value = literal.value
+        # NULL never matches (stays in the residual predicate and filters
+        # everything); unhashable values cannot probe a hash bucket.
+        if value is None:
+            continue
+        try:
+            hash(value)
+        except TypeError:
+            continue
+        return (ident.name, value)
+    return None
+
+
+def _rewrite_project(plan: Project, ctx: _OptContext) -> Plan:
+    child = plan.child
+    col_set = set(plan.columns)
+
+    # Merge stacked projections (only when the outer survives the inner's
+    # validity check, so error behaviour is preserved).
+    if isinstance(child, Project) and col_set <= set(child.columns):
+        return _rewrite_project(Project(child.child, plan.columns), ctx)
+
+    # Dead-derivation pruning: drop computed columns the projection discards
+    # (derivations are independent — each evaluates against the child row).
+    if isinstance(child, Compute):
+        kept = tuple(d for d in child.derivations if d[0] in col_set)
+        if len(kept) < len(child.derivations):
+            inner: Plan = Compute(child.child, kept) if kept else child.child
+            return _rewrite_project(Project(inner, plan.columns), ctx)
+
+    # Push below a Sort when every sort key survives the projection: stable
+    # sort of projected rows by the same keys yields the same order.
+    if isinstance(child, Sort) and {c for c, _ in child.keys} <= col_set:
+        return Sort(
+            _rewrite_project(Project(child.child, plan.columns), ctx), child.keys
+        )
+
+    # Prune dead columns into both sides of a join.
+    if isinstance(child, Join):
+        pushed = _push_project_into_join(plan, child, ctx)
+        if pushed is not None:
+            return pushed
+
+    # Push into every union branch (when branches verifiably agree, so the
+    # union's column-mismatch check is not silently skipped).
+    if isinstance(child, Union) and child.inputs:
+        branch_cols = [ctx.column_set(branch) for branch in child.inputs]
+        if all(columns is not None for columns in branch_cols):
+            agreed = {frozenset(columns) for columns in branch_cols}  # type: ignore[arg-type]
+            if len(agreed) == 1:
+                full = next(iter(agreed))
+                if col_set <= full and col_set != full:
+                    pushed_branches = tuple(
+                        _rewrite_project(Project(branch, plan.columns), ctx)
+                        for branch in child.inputs
+                    )
+                    return Union(pushed_branches)
+
+    return plan
+
+
+def _push_project_into_join(
+    project: Project, join: Join, ctx: _OptContext
+) -> Plan | None:
+    left_cols = ctx.columns_of(join.left)
+    right_cols = ctx.columns_of(join.right)
+    if left_cols is None or right_cols is None:
+        return None
+    left_keys = {lk for lk, _ in join.on}
+    right_keys = {rk for _, rk in join.on}
+    # Keep the original plan when the join would refuse a column collision.
+    if (set(left_cols) & set(right_cols)) - right_keys:
+        return None
+    needed = set(project.columns)
+    left_keep = tuple(c for c in left_cols if c in needed or c in left_keys)
+    right_keep = tuple(c for c in right_cols if c in needed or c in right_keys)
+    if len(left_keep) == len(left_cols) and len(right_keep) == len(right_cols):
+        return None  # nothing to prune
+    produced = set(left_keep) | (set(right_keep) - right_keys)
+    if not needed <= produced:
+        return None  # let the original projection raise its unknown-column error
+    new_left = (
+        _rewrite_project(Project(join.left, left_keep), ctx)
+        if len(left_keep) < len(left_cols)
+        else join.left
+    )
+    new_right = (
+        _rewrite_project(Project(join.right, right_keep), ctx)
+        if len(right_keep) < len(right_cols)
+        else join.right
+    )
+    return Project(Join(new_left, new_right, join.on, join.how), project.columns)
 
 
 def _static_columns(plan: Plan) -> set[str] | None:
@@ -156,7 +362,7 @@ def _static_columns(plan: Plan) -> set[str] | None:
             return None
         mapping = dict(plan.mapping)
         return {mapping.get(column, column) for column in base}
-    if isinstance(plan, (Select, Distinct, Sort, Limit)):
+    if isinstance(plan, (Select, Distinct, Sort, Limit, TopK)):
         return _static_columns(plan.child)
     if isinstance(plan, Compute):
         base = _static_columns(plan.child)
@@ -186,16 +392,14 @@ def _with_children(plan: Plan, children: tuple[Plan, ...]) -> Plan:
         return Distinct(children[0])
     if isinstance(plan, Sort):
         return Sort(children[0], plan.keys)
+    if isinstance(plan, TopK):
+        return TopK(children[0], plan.keys, plan.count)
     if isinstance(plan, Limit):
         return Limit(children[0], plan.count)
     if isinstance(plan, Aggregate):
         return Aggregate(children[0], plan.group_by, plan.aggregates)
-    # Unpivot/Pivot/Coerce and any future single-child nodes.
-    from repro.relational.algebra import Coerce, Pivot, Unpivot
-
     if isinstance(plan, Coerce):
         return Coerce(children[0], plan.column_types)
-
     if isinstance(plan, Unpivot):
         return Unpivot(
             children[0],

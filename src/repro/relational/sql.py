@@ -15,6 +15,7 @@ from repro.relational.algebra import (
     Coerce,
     Compute,
     Distinct,
+    IndexLookup,
     Join,
     Limit,
     Pivot,
@@ -24,6 +25,7 @@ from repro.relational.algebra import (
     Scan,
     Select,
     Sort,
+    TopK,
     Union,
     Unpivot,
     Values,
@@ -43,6 +45,11 @@ def _render(plan: Plan, depth: int) -> str:
     pad = _indent(depth)
     if isinstance(plan, Scan):
         return f"{pad}SELECT * FROM {plan.table}"
+    if isinstance(plan, IndexLookup):
+        conditions = " AND ".join(
+            f"{column} = {_sql_literal(value)}" for column, value in plan.items
+        )
+        return f"{pad}SELECT * FROM {plan.table} WHERE {conditions}"
     if isinstance(plan, Values):
         rows = ", ".join(
             "(" + ", ".join(_sql_literal(v) for v in row) + ")" for row in plan.rows
@@ -82,6 +89,12 @@ def _render(plan: Plan, depth: int) -> str:
         return f"{pad}SELECT * FROM (\n{_render(plan.child, depth + 1)}\n{pad}) AS t ORDER BY {keys}"
     if isinstance(plan, Limit):
         return f"{pad}SELECT * FROM (\n{_render(plan.child, depth + 1)}\n{pad}) AS t LIMIT {plan.count}"
+    if isinstance(plan, TopK):
+        keys = ", ".join(f"{c} {'ASC' if asc else 'DESC'}" for c, asc in plan.keys)
+        return (
+            f"{pad}SELECT * FROM (\n{_render(plan.child, depth + 1)}\n{pad}) AS t "
+            f"ORDER BY {keys} LIMIT {plan.count}"
+        )
     if isinstance(plan, Aggregate):
         aggs = ", ".join(
             f"{_sql_aggregate(s.func, s.column)} AS {s.alias}" for s in plan.aggregates

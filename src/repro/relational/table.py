@@ -38,6 +38,31 @@ class Table:
         """A defensive copy of the extent, in insertion order."""
         return [dict(row) for row in self._rows]
 
+    def iter_rows(self) -> Iterator[Row]:
+        """Iterate the extent without copying.
+
+        The streaming executor's ``Scan`` uses this; yielded dicts are the
+        table's own storage, so callers must treat them as read-only.
+        """
+        return iter(self._rows)
+
+    def rows_at(self, positions: Iterable[int]) -> Iterator[Row]:
+        """Rows at index positions, uncopied (read-only, like iter_rows)."""
+        rows = self._rows
+        return (rows[position] for position in positions)
+
+    def matching_index(self, columns: Iterable[str]) -> HashIndex | None:
+        """The widest index whose columns all appear in ``columns``."""
+        available = set(columns)
+        best: HashIndex | None = None
+        if self._pk_index is not None and set(self._pk_index.columns) <= available:
+            best = self._pk_index
+        for index in self._indexes.values():
+            if set(index.columns) <= available:
+                if best is None or len(index.columns) > len(best.columns):
+                    best = index
+        return best
+
     def __len__(self) -> int:
         return len(self._rows)
 

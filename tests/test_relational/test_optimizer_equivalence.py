@@ -1,0 +1,297 @@
+"""Optimized ≡ naive-streaming ≡ interpreted execution, row for row.
+
+The tentpole guarantee of the streaming/compiled/index-aware executor:
+``Query.execute(db, optimized=True)`` must agree with ``optimized=False``
+and with the reference interpreter (`execute_interpreted`, the seed
+semantics preserved as an executable spec) on every database — including
+plans the optimizer rewrites into IndexLookup, TopK, and pushed-down
+projections.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RelationalError
+from repro.expr.ast import BinaryOp, Identifier, Literal
+from repro.relational import (
+    AggregateSpec,
+    Database,
+    DataType,
+    IndexLookup,
+    Join,
+    Limit,
+    Project,
+    Query,
+    Scan,
+    Select,
+    Sort,
+    TableSchema,
+    TopK,
+    Union,
+    execute_interpreted,
+    optimize,
+)
+
+_NAMES = ["ann", "bob", "cal", "dee", "eve"]
+
+_patient_rows = st.lists(
+    st.fixed_dictionaries(
+        {
+            "patient_id": st.integers(0, 40),
+            "age": st.one_of(st.integers(0, 99), st.none()),
+            "name": st.sampled_from(_NAMES),
+            "smoker": st.booleans(),
+        }
+    ),
+    max_size=40,
+)
+
+_visit_rows = st.lists(
+    st.fixed_dictionaries(
+        {
+            "visit_id": st.integers(0, 60),
+            "patient_id": st.integers(0, 40),
+            "score": st.one_of(st.integers(-5, 20), st.none()),
+        }
+    ),
+    max_size=40,
+)
+
+
+def _load(patients, visits) -> Database:
+    """Two indexed tables so equality filters can lower onto IndexLookup."""
+    db = Database("prop")
+    db.create_table(
+        TableSchema.build(
+            "patients",
+            [
+                ("patient_id", DataType.INTEGER),
+                ("age", DataType.INTEGER),
+                ("name", DataType.TEXT),
+                ("smoker", DataType.BOOLEAN),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema.build(
+            "visits",
+            [
+                ("visit_id", DataType.INTEGER),
+                ("patient_id", DataType.INTEGER),
+                ("score", DataType.INTEGER),
+            ],
+        )
+    )
+    db.insert("patients", patients)
+    db.insert("visits", visits)
+    db.table("patients").create_index(("name",))
+    db.table("patients").create_index(("patient_id",))
+    db.table("visits").create_index(("patient_id", "score"))
+    return db
+
+
+def _assert_all_paths_agree(plan, db) -> None:
+    """Interpreted (spec), streaming (naive), and optimized must be identical."""
+    reference = execute_interpreted(plan, db)
+    assert plan.execute(db) == reference
+    assert optimize(plan, db).execute(db) == reference
+
+
+class TestPropertyEquivalence:
+    @given(_patient_rows, st.sampled_from(_NAMES))
+    @settings(max_examples=60)
+    def test_indexed_equality_filter(self, patients, name):
+        db = _load(patients, [])
+        plan = Select(
+            Scan("patients"),
+            BinaryOp("=", Identifier.of("name"), Literal(name)),
+        )
+        assert isinstance(optimize(plan, db), IndexLookup)
+        _assert_all_paths_agree(plan, db)
+
+    @given(_patient_rows, st.sampled_from(_NAMES), st.integers(0, 99))
+    @settings(max_examples=60)
+    def test_indexed_equality_with_residual(self, patients, name, cutoff):
+        db = _load(patients, [])
+        plan = Select(
+            Scan("patients"),
+            BinaryOp(
+                "AND",
+                BinaryOp("=", Identifier.of("name"), Literal(name)),
+                BinaryOp(">=", Identifier.of("age"), Literal(cutoff)),
+            ),
+        )
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, IndexLookup)
+        _assert_all_paths_agree(plan, db)
+
+    @given(_visit_rows, st.integers(0, 40), st.integers(-5, 20))
+    @settings(max_examples=60)
+    def test_composite_index_lookup(self, visits, patient_id, score):
+        db = _load([], visits)
+        plan = Select(
+            Scan("visits"),
+            BinaryOp(
+                "AND",
+                BinaryOp("=", Identifier.of("patient_id"), Literal(patient_id)),
+                BinaryOp("=", Identifier.of("score"), Literal(score)),
+            ),
+        )
+        assert isinstance(optimize(plan, db), IndexLookup)
+        _assert_all_paths_agree(plan, db)
+
+    @given(_patient_rows, _visit_rows, st.integers(0, 99))
+    @settings(max_examples=50)
+    def test_join_with_pushdowns(self, patients, visits, cutoff):
+        db = _load(patients, visits)
+        plan = Project(
+            Select(
+                Join(Scan("patients"), Scan("visits"), (("patient_id", "patient_id"),)),
+                BinaryOp(">=", Identifier.of("age"), Literal(cutoff)),
+            ),
+            ("patient_id", "visit_id"),
+        )
+        _assert_all_paths_agree(plan, db)
+
+    @given(_patient_rows, st.integers(0, 15))
+    @settings(max_examples=60)
+    def test_topk_fusion(self, patients, count):
+        db = _load(patients, [])
+        plan = Limit(Sort(Scan("patients"), (("age", True), ("name", False))), count)
+        assert isinstance(optimize(plan, db), TopK)
+        _assert_all_paths_agree(plan, db)
+
+    @given(_patient_rows, st.sampled_from(_NAMES))
+    @settings(max_examples=50)
+    def test_union_with_select_pushdown(self, patients, name):
+        db = _load(patients, [])
+        plan = Select(
+            Union((Scan("patients"), Scan("patients"))),
+            BinaryOp("=", Identifier.of("name"), Literal(name)),
+        )
+        _assert_all_paths_agree(plan, db)
+
+    @given(_patient_rows, _visit_rows, st.integers(0, 99), st.integers(0, 10))
+    @settings(max_examples=40)
+    def test_full_query_pipeline(self, patients, visits, cutoff, count):
+        db = _load(patients, visits)
+        query = (
+            Query.table("patients")
+            .where(BinaryOp(">=", Identifier.of("age"), Literal(cutoff)))
+            .join(Query.table("visits"), on=[("patient_id", "patient_id")])
+            .compute(half_score="score / 2")
+            .select("patient_id", "visit_id", "half_score")
+            .order_by("patient_id", "-visit_id")
+            .limit(count)
+        )
+        reference = execute_interpreted(query.plan, db)
+        assert query.execute(db, optimized=False) == reference
+        assert query.execute(db, optimized=True) == reference
+
+    @given(_patient_rows)
+    @settings(max_examples=40)
+    def test_aggregate_after_filter(self, patients):
+        db = _load(patients, [])
+        query = (
+            Query.table("patients")
+            .where("age IS NOT NULL")
+            .aggregate(
+                ["name"],
+                AggregateSpec("COUNT", None, "n"),
+                AggregateSpec("AVG", "age", "mean_age"),
+            )
+            .order_by("name")
+        )
+        reference = execute_interpreted(query.plan, db)
+        assert query.execute(db, optimized=False) == reference
+        assert query.execute(db, optimized=True) == reference
+
+
+class TestOptimizerShapes:
+    """The rewrites the bench relies on actually fire (and only when safe)."""
+
+    def _db(self):
+        return _load(
+            [
+                {"patient_id": i, "age": 30 + i, "name": _NAMES[i % 5], "smoker": i % 2 == 0}
+                for i in range(10)
+            ],
+            [
+                {"visit_id": i, "patient_id": i % 10, "score": i % 7}
+                for i in range(20)
+            ],
+        )
+
+    def test_index_lowering_requires_database(self):
+        plan = Select(
+            Scan("patients"), BinaryOp("=", Identifier.of("name"), Literal("ann"))
+        )
+        assert not isinstance(optimize(plan), IndexLookup)
+        assert isinstance(optimize(plan, self._db()), IndexLookup)
+
+    def test_index_lowering_skips_unindexed_column(self):
+        plan = Select(
+            Scan("patients"), BinaryOp("=", Identifier.of("age"), Literal(33))
+        )
+        assert not isinstance(optimize(plan, self._db()), IndexLookup)
+
+    def test_index_lowering_skips_null_literal(self):
+        plan = Select(
+            Scan("patients"), BinaryOp("=", Identifier.of("name"), Literal(None))
+        )
+        assert not isinstance(optimize(plan, self._db()), IndexLookup)
+
+    def test_index_lookup_respects_sql_equality(self):
+        # hash(True) == hash(1), so probing an INTEGER index with TRUE lands
+        # in the 1-bucket — but SQL `=` distinguishes booleans from numbers,
+        # so the lookup's post-filter must reject those rows.
+        db = Database("d")
+        db.create_table(
+            TableSchema.build("t", [("k", DataType.INTEGER), ("v", DataType.TEXT)])
+        )
+        db.insert("t", [{"k": 1, "v": "one"}, {"k": 2, "v": "two"}])
+        index = db.table("t").create_index(("k",))
+        assert index.lookup((True,))  # the raw bucket DOES contain k=1 rows
+        plan = Select(Scan("t"), BinaryOp("=", Identifier.of("k"), Literal(True)))
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, IndexLookup)
+        assert optimized.execute(db) == execute_interpreted(plan, db) == []
+
+    def test_negative_limit_not_fused(self):
+        plan = Limit(Sort(Scan("patients"), (("age", True),)), -2)
+        db = self._db()
+        assert not isinstance(optimize(plan, db), TopK)
+        _assert_all_paths_agree(plan, db)
+
+    def test_topk_keeps_stable_tie_order(self):
+        db = Database("d")
+        db.create_table(
+            TableSchema.build("t", [("k", DataType.INTEGER), ("seq", DataType.INTEGER)])
+        )
+        db.insert("t", [{"k": 1, "seq": i} for i in range(8)])
+        plan = Limit(Sort(Scan("t"), (("k", True),)), 5)
+        assert [r["seq"] for r in optimize(plan, db).execute(db)] == [0, 1, 2, 3, 4]
+
+    def test_projection_pushdown_preserves_collision_error(self):
+        db = self._db()
+        # patients ⋈ patients on patient_id collides on age/name/smoker.
+        plan = Project(
+            Join(Scan("patients"), Scan("patients"), (("patient_id", "patient_id"),)),
+            ("patient_id",),
+        )
+        with pytest.raises(RelationalError):
+            execute_interpreted(plan, db)
+        with pytest.raises(RelationalError):
+            optimize(plan, db).execute(db)
+
+    def test_projection_pushdown_preserves_unknown_column_error(self):
+        db = self._db()
+        plan = Project(
+            Join(Scan("patients"), Scan("visits"), (("patient_id", "patient_id"),)),
+            ("no_such_column",),
+        )
+        with pytest.raises(RelationalError):
+            execute_interpreted(plan, db)
+        with pytest.raises(RelationalError):
+            optimize(plan, db).execute(db)

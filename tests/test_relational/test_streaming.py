@@ -1,0 +1,145 @@
+"""Streaming executor contracts: laziness and the defensive-copy boundary."""
+
+from dataclasses import dataclass, field
+
+from repro.expr.ast import BinaryOp, Identifier, Literal
+from repro.relational import (
+    Database,
+    DataType,
+    IndexLookup,
+    Limit,
+    Plan,
+    Project,
+    Scan,
+    Select,
+    Sort,
+    TableSchema,
+)
+from repro.relational.algebra import ExecContext
+
+
+def _db(n: int = 10) -> Database:
+    db = Database("stream")
+    db.create_table(
+        TableSchema.build("t", [("id", DataType.INTEGER), ("v", DataType.INTEGER)])
+    )
+    db.insert("t", [{"id": i, "v": i * 2} for i in range(n)])
+    db.table("t").create_index(("id",))
+    return db
+
+
+@dataclass(frozen=True, eq=False)
+class CountingScan(Plan):
+    """Scan that records how many rows were actually pulled from it."""
+
+    table: str
+    pulled: list = field(default_factory=list, compare=False)
+
+    def stream(self, ctx):
+        for row in ctx.db.table(self.table).iter_rows():
+            self.pulled.append(row)
+            yield row
+
+    def shares_storage(self) -> bool:
+        return True
+
+    def _columns(self, ctx):
+        return ctx.db.table(self.table).schema.column_names
+
+
+class TestCopyBoundary:
+    """``execute`` must hand back rows the caller can freely mutate."""
+
+    def _assert_result_is_detached(self, plan, db):
+        before = [dict(row) for row in db.table("t").rows()]
+        result = plan.execute(db)
+        for row in result:
+            row.clear()
+            row["junk"] = object()
+        assert [dict(r) for r in db.table("t").rows()] == before
+
+    def test_scan_results_detached(self):
+        self._assert_result_is_detached(Scan("t"), _db())
+
+    def test_select_over_scan_detached(self):
+        plan = Select(Scan("t"), BinaryOp(">=", Identifier.of("v"), Literal(4)))
+        self._assert_result_is_detached(plan, _db())
+
+    def test_index_lookup_detached(self):
+        self._assert_result_is_detached(IndexLookup("t", (("id", 3),)), _db())
+
+    def test_sort_over_scan_detached(self):
+        self._assert_result_is_detached(Sort(Scan("t"), (("v", False),)), _db())
+
+    def test_limit_over_scan_detached(self):
+        self._assert_result_is_detached(Limit(Scan("t"), 4), _db())
+
+    def test_project_builds_fresh_rows(self):
+        # Project constructs new dicts, so it does not share storage …
+        plan = Project(Scan("t"), ("id",))
+        assert not plan.shares_storage()
+        # … and the result is still safely mutable.
+        self._assert_result_is_detached(plan, _db())
+
+
+class TestLaziness:
+    def test_limit_stops_pulling_from_child(self):
+        db = _db(100)
+        source = CountingScan("t")
+        rows = Limit(source, 5).execute(db)
+        assert len(rows) == 5
+        assert len(source.pulled) == 5
+
+    def test_limit_zero_pulls_nothing(self):
+        db = _db(100)
+        source = CountingScan("t")
+        assert Limit(source, 0).execute(db) == []
+        assert source.pulled == []
+
+    def test_select_streams_through_limit(self):
+        # Limit(Select(Scan)) stops as soon as enough rows pass the filter.
+        db = _db(100)
+        source = CountingScan("t")
+        predicate = BinaryOp(">=", Identifier.of("id"), Literal(10))
+        rows = Limit(Select(source, predicate), 3).execute(db)
+        assert [row["id"] for row in rows] == [10, 11, 12]
+        assert len(source.pulled) == 13  # 0..12 examined, not all 100
+
+    def test_negative_limit_keeps_slice_semantics(self):
+        db = _db(10)
+        assert [r["id"] for r in Limit(Scan("t"), -3).execute(db)] == list(range(7))
+
+    def test_stream_is_an_iterator(self):
+        db = _db(5)
+        stream = Select(
+            Scan("t"), BinaryOp(">", Identifier.of("id"), Literal(1))
+        ).stream(ExecContext(db))
+        assert iter(stream) is stream
+        assert next(stream)["id"] == 2
+
+
+class TestExecContextMemo:
+    def test_columns_computed_once_per_node(self):
+        db = _db()
+        calls = []
+
+        @dataclass(frozen=True, eq=False)
+        class Probed(Scan):
+            def _columns(self, ctx):
+                calls.append(self)
+                return super()._columns(ctx)
+
+        node = Probed("t")
+        ctx = ExecContext(db)
+        deep: Plan = node
+        for _ in range(20):
+            deep = Project(deep, ("id", "v"))
+        # Resolving the deep plan's schema touches the scan exactly once.
+        assert ctx.columns(deep) == ("id", "v")
+        assert ctx.columns(node) == ("id", "v")
+        assert len(calls) == 1
+
+    def test_distinct_contexts_do_not_share_state(self):
+        db = _db()
+        node = Scan("t")
+        assert ExecContext(db).columns(node) == ExecContext(db).columns(node)
