@@ -1,0 +1,267 @@
+"""ETL pipeline benchmark: serial vs batched/parallel vs incremental.
+
+Two experiments, both against the serial seed paths kept as oracles:
+
+* **pipeline** — one full compiled study (Study-1 elements plus the
+  smoking/ex-smoker columns and four cleaning rules) run through
+  ``Workflow.run()`` serially and through the batched/parallel engine.
+  Modes are interleaved within each round (the measurement noise on a
+  shared box dwarfs the ordering effects otherwise) and the best round
+  per mode is reported.
+* **incremental** — a full CORI materialization versus a warm
+  ``build(incremental=True)`` after a small data-entry delta; the
+  refresh reclassifies only the changed records, the rebuild starts
+  from scratch.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_etl_pipeline.py`` — a fast equivalence
+  check on a small world (the timing numbers come from standalone mode);
+* ``python benchmarks/bench_etl_pipeline.py --json`` — standalone mode
+  (no pytest needed, CI-friendly) writing ``BENCH_etl_pipeline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.analysis.classifiers import vendor_classifiers_for
+from repro.analysis.schema import build_endoscopy_schema
+from repro.analysis.studies import STUDY1_ELEMENTS, build_cohort_study
+from repro.clinical import build_world
+from repro.clinical.cori import cori_procedure_values
+from repro.clinical.ground_truth import generate_truths
+from repro.etl import compile_study
+from repro.multiclass import CleaningRule
+from repro.relational import Database
+from repro.warehouse import FullStrategy, MaterializationJob, Warehouse
+
+WORLD_SIZE = 1_500
+SEED = 7
+ROUNDS = 12
+BATCH_SIZE = 512
+PARALLELISM = 4
+DELTA_RECORDS = 5
+
+ELEMENTS = STUDY1_ELEMENTS + [("Smoking", "habits4"), ("ExSmoker", "flag")]
+
+CLEANING_RULES = (
+    ("cori_warehouse_feed", "packs_per_day >= 3"),
+    ("endopro_clinic", "cigarettes_per_day >= 60"),
+    ("medscribe_clinic", "packs_daily >= 3"),
+)
+
+
+# -- workloads -----------------------------------------------------------------
+
+
+def build_pipeline_study(world):
+    study = build_cohort_study("bench_pipeline", world, ELEMENTS)
+    for rule_source, condition in CLEANING_RULES:
+        study.add_cleaning_rule(
+            "Procedure",
+            CleaningRule.of(
+                f"heavy_{rule_source.split('_')[0]}",
+                condition,
+                reason="study protocol excludes very heavy smokers",
+                source=rule_source,
+            ),
+        )
+    study.add_cleaning_rule(
+        "Procedure",
+        CleaningRule.of(
+            "unclassified_smoking",
+            "ExSmoker_flag IS NULL",
+            reason="smoking question unanswered",
+            scope="study",
+        ),
+    )
+    return study
+
+
+def run_pipeline(study, **kwargs):
+    workflow = compile_study(study, Database("wh"))
+    return workflow.run(**kwargs)
+
+
+def make_materialization_job(world, source):
+    vendor = vendor_classifiers_for(source)
+    return MaterializationJob(
+        schema=build_endoscopy_schema(),
+        entity="Procedure",
+        sources=[source],
+        entity_classifiers={source.name: vendor.entity_classifier},
+        classifiers=[
+            vendor.habits_cancer,
+            vendor.habits_chemistry,
+            vendor.ex_smoker_ever,
+        ],
+    )
+
+
+def enter_delta(world, source, count, seed):
+    existing = len(world.truths_by_source[source.name])
+    session = source.session(first_record_id=existing + 1 + seed * count)
+    for truth in generate_truths(count, seed=seed):
+        session.enter("procedure", cori_procedure_values(truth))
+
+
+# -- experiments ---------------------------------------------------------------
+
+
+def bench_pipeline(world) -> list[dict]:
+    study = build_pipeline_study(world)
+    modes = [
+        ("serial", {}),
+        ("batched", {"batch_size": BATCH_SIZE}),
+        (
+            "parallel_batched",
+            {"parallelism": PARALLELISM, "batch_size": BATCH_SIZE},
+        ),
+    ]
+    oracle, _ = run_pipeline(study)
+    best = {name: float("inf") for name, _ in modes}
+    outputs = {}
+    for _ in range(2):  # warm-up: caches, imports, compiled closures
+        for name, kwargs in modes:
+            run_pipeline(study, **kwargs)
+    for _ in range(ROUNDS):
+        for name, kwargs in modes:
+            started = time.perf_counter()
+            outputs[name], _ = run_pipeline(study, **kwargs)
+            best[name] = min(best[name], time.perf_counter() - started)
+    for name, _ in modes:
+        assert outputs[name] == oracle, f"mode {name} diverged from serial"
+    serial_s = best["serial"]
+    return [
+        {
+            "case": f"pipeline_{name}",
+            "mode": name,
+            "ms": round(best[name] * 1000, 3),
+            "speedup_vs_serial": round(serial_s / best[name], 2),
+        }
+        for name, _ in modes
+    ]
+
+
+def bench_incremental(world) -> list[dict]:
+    source = world.source("cori_warehouse_feed")
+    warehouse = Warehouse()
+    FullStrategy(make_materialization_job(world, source), warehouse).build()
+
+    best_full = float("inf")
+    best_incremental = float("inf")
+    for round_no in range(ROUNDS):
+        # Full rebuild: a fresh job per round, else the base-records cache
+        # (the thing the satellite added) would flatter the full path too.
+        job = make_materialization_job(world, source)
+        strategy = FullStrategy(job, warehouse)
+        started = time.perf_counter()
+        strategy.build()
+        best_full = min(best_full, time.perf_counter() - started)
+
+        # Warm refresh: enter a small delta, then rebuild incrementally.
+        enter_delta(world, source, DELTA_RECORDS, seed=100 + round_no)
+        strategy = FullStrategy(make_materialization_job(world, source), warehouse)
+        started = time.perf_counter()
+        strategy.build(incremental=True)
+        best_incremental = min(best_incremental, time.perf_counter() - started)
+
+    # The refreshed table must equal a from-scratch rebuild.
+    reference = Warehouse()
+    FullStrategy(make_materialization_job(world, source), reference).build()
+    key = lambda r: (r["source"], r["record_id"])  # noqa: E731
+    refreshed = sorted(warehouse.table("mat_procedure").rows(), key=key)
+    rebuilt = sorted(reference.table("mat_procedure").rows(), key=key)
+    assert refreshed == rebuilt, "incremental refresh diverged from full rebuild"
+
+    return [
+        {
+            "case": "materialize_full_rebuild",
+            "mode": "full",
+            "ms": round(best_full * 1000, 3),
+            "speedup_vs_full": 1.0,
+        },
+        {
+            "case": f"materialize_incremental_delta{DELTA_RECORDS}",
+            "mode": "incremental",
+            "ms": round(best_incremental * 1000, 3),
+            "speedup_vs_full": round(best_full / best_incremental, 2),
+        },
+    ]
+
+
+# -- standalone runner ---------------------------------------------------------
+
+
+def run(json_path: str | None = None) -> list[dict]:
+    world = build_world(WORLD_SIZE, seed=SEED)
+    results = bench_pipeline(world) + bench_incremental(world)
+    for row in results:
+        ratio = row.get("speedup_vs_serial", row.get("speedup_vs_full"))
+        print(f"{row['case']:<36} {row['ms']:10.3f} ms   x{ratio:6.2f}", flush=True)
+    if json_path:
+        payload = {
+            "benchmark": "etl_pipeline",
+            "world_size": WORLD_SIZE,
+            "seed": SEED,
+            "rounds": ROUNDS,
+            "batch_size": BATCH_SIZE,
+            "parallelism": PARALLELISM,
+            "delta_records": DELTA_RECORDS,
+            "results": results,
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {json_path}")
+    return results
+
+
+def main(argv: list[str]) -> int:
+    json_path = None
+    if "--json" in argv:
+        index = argv.index("--json")
+        json_path = (
+            argv[index + 1]
+            if index + 1 < len(argv) and not argv[index + 1].startswith("-")
+            else os.path.join(
+                os.path.dirname(__file__), "..", "BENCH_etl_pipeline.json"
+            )
+        )
+        json_path = os.path.normpath(json_path)
+    run(json_path)
+    return 0
+
+
+# -- pytest smoke case ---------------------------------------------------------
+
+
+def test_engine_and_incremental_agree_with_serial():
+    """Small-world equivalence smoke test (timings live in standalone mode)."""
+    world = build_world(80, seed=SEED)
+    study = build_pipeline_study(world)
+    serial, _ = run_pipeline(study)
+    engine, _ = run_pipeline(study, parallelism=2, batch_size=32)
+    assert engine == serial
+
+    source = world.source("cori_warehouse_feed")
+    warehouse = Warehouse()
+    FullStrategy(make_materialization_job(world, source), warehouse).build()
+    enter_delta(world, source, 3, seed=101)
+    FullStrategy(make_materialization_job(world, source), warehouse).build(
+        incremental=True
+    )
+    reference = Warehouse()
+    FullStrategy(make_materialization_job(world, source), reference).build()
+    key = lambda r: (r["source"], r["record_id"])  # noqa: E731
+    assert sorted(warehouse.table("mat_procedure").rows(), key=key) == sorted(
+        reference.table("mat_procedure").rows(), key=key
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

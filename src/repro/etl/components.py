@@ -6,34 +6,79 @@ is that set.  Each component consumes zero or more input row lists and
 produces one output row list.  Components are deliberately ordinary —
 extract, filter, derive, classify, project, union, load — so a compiled
 study reads like any hand-built warehouse workflow.
+
+Two execution protocols coexist:
+
+* :meth:`Component.run` — the serial list-in/list-out contract the seed
+  shipped with.  It stays the behavioural oracle: every component copies
+  rows before extending them, so each step's output is independent.
+* :meth:`Component.open_stream` — the batched contract the workflow
+  engine uses.  A stream transform maps ``(chunk, owned)`` to
+  ``(chunk, owned)``; ``owned`` marks rows as private to the executing
+  chain, letting later transforms mutate in place instead of re-copying
+  the row at every step.  Values are identical to the serial path; only
+  the copying strategy differs.
+
+Row-wise predicates and expressions evaluate through the compiled-closure
+path (:mod:`repro.expr.compile`), whose three-valued-logic parity with the
+tree-walking :class:`~repro.expr.evaluator.Evaluator` is property-tested.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.errors import ETLError
-from repro.expr.ast import Expression
-from repro.expr.evaluator import Evaluator
+from repro.expr.ast import Expression, Identifier
+from repro.expr.compile import compile_expression, compile_predicate
 from repro.expr.parser import parse
 from repro.multiclass.classifier import Classifier
 from repro.multiclass.domain import Domain
-from repro.relational.algebra import Plan
+from repro.relational.algebra import ExecContext, Plan
 from repro.relational.database import Database
 from repro.relational.schema import TableSchema
 
 Row = dict[str, object]
+Chunk = list[Row]
+ChunkTransform = Callable[[Chunk, bool], tuple[Chunk, bool]]
 
-_EVALUATOR = Evaluator()
+
+@dataclass
+class StreamOp:
+    """One step's per-run streaming state.
+
+    ``transform`` processes chunks; ``commit`` (optional) publishes any
+    deferred side effects once the whole run finished — the engine invokes
+    commits in step order so shared artifacts (e.g. the quarantine) end up
+    byte-identical to a serial run regardless of scheduling.
+    """
+
+    transform: ChunkTransform
+    commit: Callable[[], None] | None = None
+
+
+def _owned(chunk: Chunk, owned: bool) -> Chunk:
+    """The chunk with rows this chain may mutate (copy at most once)."""
+    if owned:
+        return chunk
+    return [dict(row) for row in chunk]
 
 
 @dataclass
 class Component:
     """Base ETL component: ``run(inputs) -> rows``."""
 
+    #: Streamable components transform exactly one input chunk-by-chunk and
+    #: may be fused into a batched chain by the workflow engine.
+    streamable = False
+
     def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
         raise NotImplementedError
+
+    def open_stream(self) -> StreamOp:
+        """Per-run chunk transform (streamable components only)."""
+        raise ETLError(f"{type(self).__name__} does not stream")
 
     def expects(self, count: int, inputs: Sequence[list[Row]]) -> None:
         if len(inputs) != count:
@@ -58,6 +103,38 @@ class Extract(Component):
         self.expects(0, inputs)
         return self.plan.execute(self.db)
 
+    def stream_chunks(self, batch_size: int | None):
+        """Yield result chunks lazily (rows are fresh — chains own them).
+
+        The streaming path runs the plan through the relational optimizer
+        (cached per component); the serial :meth:`run` keeps executing the
+        plan exactly as compiled, preserving the oracle's cost profile.
+        """
+        plan = self._optimized_plan()
+        rows = plan.stream(ExecContext(self.db))
+        copy = plan.shares_storage()
+        if batch_size is None:
+            chunk = [dict(row) for row in rows] if copy else list(rows)
+            yield chunk
+            return
+        chunk: Chunk = []
+        for row in rows:
+            chunk.append(dict(row) if copy else row)
+            if len(chunk) >= batch_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+    def _optimized_plan(self) -> Plan:
+        cached = getattr(self, "_stream_plan", None)
+        if cached is None:
+            from repro.relational.query import prepare_stream_plan
+
+            cached = prepare_stream_plan(self.plan, self.db)
+            self._stream_plan = cached
+        return cached
+
 
 @dataclass
 class Values(Component):
@@ -76,13 +153,24 @@ class FilterRows(Component):
 
     condition: Expression
 
+    streamable = True
+
     def __post_init__(self) -> None:
         if isinstance(self.condition, str):
             self.condition = parse(self.condition)
 
     def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
         self.expects(1, inputs)
-        return [row for row in inputs[0] if _EVALUATOR.satisfied(self.condition, row)]
+        satisfied = compile_predicate(self.condition)
+        return [row for row in inputs[0] if satisfied(row)]
+
+    def open_stream(self) -> StreamOp:
+        satisfied = compile_predicate(self.condition)
+
+        def transform(chunk: Chunk, owned: bool) -> tuple[Chunk, bool]:
+            return [row for row in chunk if satisfied(row)], owned
+
+        return StreamOp(transform)
 
 
 @dataclass
@@ -92,18 +180,36 @@ class DeriveColumn(Component):
     name: str
     expression: Expression
 
+    streamable = True
+
     def __post_init__(self) -> None:
         if isinstance(self.expression, str):
             self.expression = parse(self.expression)
 
     def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
         self.expects(1, inputs)
+        compute = compile_expression(self.expression)
         out = []
         for row in inputs[0]:
             extended = dict(row)
-            extended[self.name] = _EVALUATOR.evaluate(self.expression, row)
+            extended[self.name] = compute(row)
             out.append(extended)
         return out
+
+    def open_stream(self) -> StreamOp:
+        compute = compile_expression(self.expression)
+        name = self.name
+
+        def transform(chunk: Chunk, owned: bool) -> tuple[Chunk, bool]:
+            chunk = _owned(chunk, owned)
+            for row in chunk:
+                # Evaluate before assigning: the environment must not yet
+                # contain the derived column, exactly as in run().
+                value = compute(row)
+                row[name] = value
+            return chunk, True
+
+        return StreamOp(transform)
 
 
 @dataclass
@@ -119,6 +225,8 @@ class Classify(Component):
     classifier: Classifier
     domain: Domain | None = None
 
+    streamable = True
+
     def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
         self.expects(1, inputs)
         out = []
@@ -127,6 +235,61 @@ class Classify(Component):
             extended[self.column] = self.classifier.classify(row, self.domain)
             out.append(extended)
         return out
+
+    def open_stream(self) -> StreamOp:
+        # Hoist the per-rule closure lookups out of the row loop; the loop
+        # below replicates Classifier.explain exactly (first satisfied
+        # guard wins, domain check only on a fired rule, no rule -> NULL).
+        rules = [
+            (compile_predicate(rule.guard), compile_expression(rule.output))
+            for rule in self.classifier.rules
+        ]
+        column = self.column
+        domain = self.domain
+
+        def classify_row(row: Row) -> object:
+            for guard, output in rules:
+                if guard(row):
+                    value = output(row)
+                    if domain is not None:
+                        value = domain.check(value)
+                    return value
+            return None
+
+        # Classification is a pure function of the columns the rules read,
+        # and clinical rows cluster into few distinct value combinations —
+        # memoize per combination.  Only rows carrying every referenced name
+        # directly qualify (missing names trigger the evaluator's dotted
+        # suffix fallback, which this key cannot see); those rows, and rows
+        # with unhashable values, fall back to direct evaluation.
+        names = sorted(
+            {
+                node.name
+                for rule in self.classifier.rules
+                for expr in (rule.guard, rule.output)
+                for node in expr.walk()
+                if isinstance(node, Identifier)
+            }
+        )
+        cache: dict[tuple, object] = {}
+        missing = cache  # unique sentinel
+
+        def transform(chunk: Chunk, owned: bool) -> tuple[Chunk, bool]:
+            chunk = _owned(chunk, owned)
+            for row in chunk:
+                try:
+                    key = tuple(row[name] for name in names)
+                    value = cache.get(key, missing)
+                    if value is missing:
+                        value = classify_row(row)
+                        if len(cache) < 65536:
+                            cache[key] = value
+                except (KeyError, TypeError):
+                    value = classify_row(row)
+                row[column] = value
+            return chunk, True
+
+        return StreamOp(transform)
 
 
 @dataclass
@@ -143,6 +306,8 @@ class Clean(Component):
     scope: str
     quarantine: object  # Quarantine; typed loosely to avoid an import cycle
 
+    streamable = True
+
     def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
         from repro.multiclass.cleaning import apply_rules
 
@@ -151,6 +316,25 @@ class Clean(Component):
             self.rules, list(inputs[0]), self.source_name, self.scope, self.quarantine
         )
 
+    def open_stream(self) -> StreamOp:
+        from repro.multiclass.cleaning import Quarantine, apply_rules
+
+        # Discards stage into a private buffer; the engine commits buffers
+        # in step order so concurrent branches cannot interleave quarantine
+        # rows differently from a serial run.
+        staged = Quarantine()
+
+        def transform(chunk: Chunk, owned: bool) -> tuple[Chunk, bool]:
+            kept = apply_rules(
+                self.rules, chunk, self.source_name, self.scope, staged
+            )
+            return kept, owned
+
+        def commit() -> None:
+            self.quarantine.rows.extend(staged.rows)
+
+        return StreamOp(transform, commit)
+
 
 @dataclass
 class ProjectColumns(Component):
@@ -158,12 +342,24 @@ class ProjectColumns(Component):
 
     columns: tuple[str, ...]
 
+    streamable = True
+
     def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
         self.expects(1, inputs)
         return [
             {column: row.get(column) for column in self.columns}
             for row in inputs[0]
         ]
+
+    def open_stream(self) -> StreamOp:
+        columns = self.columns
+
+        def transform(chunk: Chunk, owned: bool) -> tuple[Chunk, bool]:
+            return [
+                {column: row.get(column) for column in columns} for row in chunk
+            ], True
+
+        return StreamOp(transform)
 
 
 @dataclass
@@ -173,6 +369,8 @@ class AddConstant(Component):
     column: str
     value: object
 
+    streamable = True
+
     def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
         self.expects(1, inputs)
         out = []
@@ -181,6 +379,17 @@ class AddConstant(Component):
             extended[self.column] = self.value
             out.append(extended)
         return out
+
+    def open_stream(self) -> StreamOp:
+        column, value = self.column, self.value
+
+        def transform(chunk: Chunk, owned: bool) -> tuple[Chunk, bool]:
+            chunk = _owned(chunk, owned)
+            for row in chunk:
+                row[column] = value
+            return chunk, True
+
+        return StreamOp(transform)
 
 
 @dataclass
@@ -204,11 +413,31 @@ class Load(Component):
     schema: TableSchema
     replace: bool = True
 
+    streamable = True
+
     def run(self, inputs: Sequence[list[Row]]) -> list[Row]:
         self.expects(1, inputs)
-        if self.db.has_table(self.schema.name) and self.replace:
-            self.db.drop_table(self.schema.name)
-        table = self.db.ensure_table(self.schema)
+        table = self._begin()
         for row in inputs[0]:
             table.insert({c: row.get(c) for c in self.schema.column_names})
         return inputs[0] if isinstance(inputs[0], list) else list(inputs[0])
+
+    def open_stream(self) -> StreamOp:
+        # The target table is (re)created when the stream opens — i.e. when
+        # this step's chain starts executing, possibly before upstream rows
+        # all exist.  Workflows where another step reads the loaded table
+        # mid-run must not fuse across it; compiled studies never do.
+        table = self._begin()
+        columns = self.schema.column_names
+
+        def transform(chunk: Chunk, owned: bool) -> tuple[Chunk, bool]:
+            for row in chunk:
+                table.insert({c: row.get(c) for c in columns})
+            return chunk, owned
+
+        return StreamOp(transform)
+
+    def _begin(self):
+        if self.db.has_table(self.schema.name) and self.replace:
+            self.db.drop_table(self.schema.name)
+        return self.db.ensure_table(self.schema)

@@ -1,12 +1,30 @@
-"""ETL workflow DAGs and their executor."""
+"""ETL workflow DAGs and their executors.
+
+Two execution paths share one DAG:
+
+* :meth:`Workflow.run` with default arguments — the seed's strictly serial
+  executor, preserved verbatim as the behavioural oracle.  Steps run in
+  insertion (topological) order, each handing its full ``list[Row]`` to
+  the next.
+* ``run(parallelism=..., batch_size=...)`` — the level-scheduled engine.
+  Steps fuse into *units*: maximal linear chains whose interior results
+  nobody else consumes.  Units whose dependencies are satisfied dispatch
+  together (a wave) onto a thread pool, and inside a unit rows flow as an
+  iterator of chunks, with at most one defensive copy per chain instead of
+  one per step.  Output rows, per-step row counts, and shared artifacts
+  (the cleaning quarantine) are identical to the serial path; only timing
+  differs.  Equivalence is asserted by tests/test_etl/test_engine.py.
+"""
 
 from __future__ import annotations
 
+import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.errors import WorkflowError
-from repro.etl.components import Component, Row
+from repro.etl.components import Chunk, Component, Extract, Row, UnionInputs
 
 
 @dataclass
@@ -44,12 +62,41 @@ class RunReport:
         raise WorkflowError(f"no step {step_name!r} in run report")
 
     def summary(self) -> str:
-        lines = [f"{'step':40} {'stage':10} {'in':>8} {'out':>8}"]
+        lines = [
+            f"{'step':40} {'stage':10} {'in':>8} {'out':>8} {'seconds':>10}"
+        ]
         for run in self.steps:
             lines.append(
-                f"{run.step:40} {run.stage:10} {run.rows_in:>8} {run.rows_out:>8}"
+                f"{run.step:40} {run.stage:10} {run.rows_in:>8} "
+                f"{run.rows_out:>8} {run.seconds:>10.4f}"
             )
         return "\n".join(lines)
+
+
+class _StepStats:
+    """Accumulates one step's run record chunk by chunk."""
+
+    __slots__ = ("rows_in", "rows_out", "seconds")
+
+    def __init__(self) -> None:
+        self.rows_in = 0
+        self.rows_out = 0
+        self.seconds = 0.0
+
+
+@dataclass
+class _Unit:
+    """A fused linear chain of steps, executed as one schedulable task."""
+
+    steps: list[Step]
+
+    @property
+    def head(self) -> Step:
+        return self.steps[0]
+
+    @property
+    def tail(self) -> Step:
+        return self.steps[-1]
 
 
 class Workflow:
@@ -112,8 +159,21 @@ class Workflow:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self) -> tuple[dict[str, list[Row]], RunReport]:
-        """Execute all steps; returns ({output step: rows}, report)."""
+    def run(
+        self, parallelism: int = 1, batch_size: int | None = None
+    ) -> tuple[dict[str, list[Row]], RunReport]:
+        """Execute all steps; returns ({output step: rows}, report).
+
+        ``parallelism`` > 1 dispatches independent steps onto that many
+        worker threads; ``batch_size`` streams rows through fused chains in
+        chunks of that size.  Either option engages the level-scheduled
+        engine; the defaults keep the serial oracle path.
+        """
+        if parallelism <= 1 and batch_size is None:
+            return self._run_serial()
+        return self._run_engine(max(1, parallelism), batch_size)
+
+    def _run_serial(self) -> tuple[dict[str, list[Row]], RunReport]:
         results: dict[str, list[Row]] = {}
         report = RunReport()
         for step in self._steps.values():  # insertion order is topological
@@ -133,6 +193,189 @@ class Workflow:
             )
         outputs = {name: results[name] for name in self.outputs} if self.outputs else results
         return outputs, report
+
+    # -- the level-scheduled engine -----------------------------------------
+
+    def _fuse(self) -> list[_Unit]:
+        """Group steps into maximal streamable chains.
+
+        A step joins its predecessor's unit when it is that step's *only*
+        consumer, the predecessor's rows are not a requested output, and
+        the component can stream.  Interior results of a unit are never
+        materialized as step results (their row counts are still recorded).
+        """
+        consumers: dict[str, int] = {name: 0 for name in self._steps}
+        for step in self._steps.values():
+            for dep in step.inputs:
+                consumers[dep] += 1
+        keep = set(self.outputs) if self.outputs else set(self._steps)
+        units: list[_Unit] = []
+        unit_of_tail: dict[str, _Unit] = {}
+        for step in self._steps.values():
+            unit = None
+            if len(step.inputs) == 1 and step.component.streamable:
+                dep = step.inputs[0]
+                candidate = unit_of_tail.get(dep)
+                if candidate is not None and consumers[dep] == 1 and dep not in keep:
+                    unit = candidate
+            if unit is None:
+                unit = _Unit([step])
+                units.append(unit)
+            else:
+                unit.steps.append(step)
+                del unit_of_tail[step.inputs[0]]
+            unit_of_tail[step.name] = unit
+        return units
+
+    def _run_engine(
+        self, parallelism: int, batch_size: int | None
+    ) -> tuple[dict[str, list[Row]], RunReport]:
+        units = self._fuse()
+        producer = {unit.tail.name: index for index, unit in enumerate(units)}
+        order = {name: index for index, name in enumerate(self._steps)}
+        results: dict[str, list[Row]] = {}
+        stats = {name: _StepStats() for name in self._steps}
+        commits: list[tuple[int, object]] = []
+
+        unit_deps: list[set[int]] = [
+            {producer[dep] for dep in unit.head.inputs} for unit in units
+        ]
+
+        def execute_unit(unit: _Unit) -> None:
+            chunks, owned, tail_ops = self._open_unit(unit, results, stats, batch_size)
+            for step, op in tail_ops:
+                if op.commit is not None:
+                    commits.append((order[step.name], op.commit))
+            out: list[Row] = []
+            for chunk in chunks:
+                chunk_owned = owned
+                for step, op in tail_ops:
+                    step_stats = stats[step.name]
+                    step_stats.rows_in += len(chunk)
+                    started = time.perf_counter()
+                    chunk, chunk_owned = op.transform(chunk, chunk_owned)
+                    step_stats.seconds += time.perf_counter() - started
+                    step_stats.rows_out += len(chunk)
+                out.extend(chunk)
+            results[unit.tail.name] = out
+
+        pending = set(range(len(units)))
+        completed: set[int] = set()
+        pool = ThreadPoolExecutor(max_workers=parallelism) if parallelism > 1 else None
+        # Batch workers are pure CPU between yields; the interpreter's
+        # default 5ms switch interval makes them fight over the GIL (the
+        # convoy effect).  A coarser interval for the duration of the run
+        # keeps each worker on core through a whole chunk.
+        switch_interval = sys.getswitchinterval() if pool is not None else None
+        if switch_interval is not None:
+            sys.setswitchinterval(max(switch_interval, 0.05))
+        try:
+            while pending:
+                wave = sorted(
+                    index for index in pending if unit_deps[index] <= completed
+                )
+                if not wave:  # unreachable while add() keeps the DAG acyclic
+                    raise WorkflowError(f"workflow {self.name!r} is cyclic")
+                if pool is None or len(wave) == 1:
+                    for index in wave:
+                        execute_unit(units[index])
+                else:
+                    futures = [
+                        (index, pool.submit(execute_unit, units[index]))
+                        for index in wave
+                    ]
+                    errors = []
+                    for index, future in futures:
+                        exc = future.exception()
+                        if exc is not None:
+                            errors.append((index, exc))
+                    if errors:
+                        raise errors[0][1]  # deterministic: lowest unit first
+                pending -= set(wave)
+                completed |= set(wave)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+            if switch_interval is not None:
+                sys.setswitchinterval(switch_interval)
+
+        for _, commit in sorted(commits, key=lambda entry: entry[0]):
+            commit()
+
+        report = RunReport(
+            steps=[
+                StepRun(
+                    step=step.name,
+                    stage=step.stage,
+                    rows_in=stats[step.name].rows_in,
+                    rows_out=stats[step.name].rows_out,
+                    seconds=stats[step.name].seconds,
+                )
+                for step in self._steps.values()
+            ]
+        )
+        outputs = (
+            {name: results[name] for name in self.outputs}
+            if self.outputs
+            else results
+        )
+        return outputs, report
+
+    def _open_unit(self, unit, results, stats, batch_size):
+        """The unit's input chunk iterator, its ownership, and its tail ops.
+
+        The head step either streams (Extract), concatenates borrowed
+        chunks (UnionInputs), joins the tail as its first stream op
+        (streamable unary components), or falls back to ``run()``.
+        """
+        head = unit.head
+        component = head.component
+        tail = [(step, step.component.open_stream()) for step in unit.steps[1:]]
+        head_stats = stats[head.name]
+
+        def counted(chunks, owned):
+            def generate():
+                started = time.perf_counter()
+                for chunk in chunks:
+                    head_stats.seconds += time.perf_counter() - started
+                    head_stats.rows_out += len(chunk)
+                    yield chunk
+                    started = time.perf_counter()
+                head_stats.seconds += time.perf_counter() - started
+
+            return generate(), owned, tail
+
+        if isinstance(component, Extract):
+            component.expects(0, [results[name] for name in head.inputs])
+            return counted(component.stream_chunks(batch_size), True)
+        if isinstance(component, UnionInputs):
+            inputs = [results[name] for name in head.inputs]
+            head_stats.rows_in = sum(len(rows) for rows in inputs)
+            if not inputs:
+                component.run([])  # raises the canonical arity error
+
+            def concat():
+                for rows in inputs:
+                    yield from _chunks(rows, batch_size)
+
+            return counted(concat(), False)
+        if component.streamable and len(head.inputs) == 1:
+            # Unfusable upstream (multi-consumer or kept output): run this
+            # step as the first op of its own chain; the per-chunk loop
+            # accumulates its stats.
+            rows = results[head.inputs[0]]
+            tail.insert(0, (head, component.open_stream()))
+            return _chunks(rows, batch_size), False, tail
+        # Fallback: materialize via the serial contract.
+        inputs = [results[name] for name in head.inputs]
+        head_stats.rows_in = sum(len(rows) for rows in inputs)
+        started = time.perf_counter()
+        rows = component.run(inputs)
+        head_stats.seconds += time.perf_counter() - started
+        head_stats.rows_out = len(rows)
+        return _chunks(rows, batch_size), False, tail
+
+    # -- rendering -----------------------------------------------------------
 
     def to_dot(self) -> str:
         """Graphviz DOT rendering of the DAG, clustered by Figure 6 stage."""
@@ -166,3 +409,12 @@ class Workflow:
 
     def __len__(self) -> int:
         return len(self._steps)
+
+
+def _chunks(rows: list[Row], batch_size: int | None):
+    """Slice a row list into chunks (one chunk when unbatched)."""
+    if batch_size is None or batch_size >= len(rows):
+        yield rows
+        return
+    for start in range(0, len(rows), batch_size):
+        yield rows[start : start + batch_size]

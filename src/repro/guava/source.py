@@ -3,24 +3,44 @@
 This is one "contributor" box of the paper's Figure 1: the tool defines
 the UI, the chain defines how screens land in the database, and GUAVA
 exposes it all through g-trees.
+
+The source also keeps a *change feed* for incremental consumers: every
+record saved through :meth:`GuavaSource.session` (and every out-of-band
+mutation registered via :meth:`GuavaSource.track_change`) is logged
+against the database's monotone data version, so a warehouse refresh can
+ask "which records changed since version v?" and reclassify only those.
+Mutations that bypass both paths are detected by comparing the database
+version against the last accounted write, and answered with "unknown" —
+the caller then falls back to a full rebuild instead of trusting a stale
+feed.
 """
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.errors import GuavaError
+from repro.expr.ast import Identifier, InList, Literal
 from repro.guava.derive import derive_all
 from repro.guava.gtree import GTree
 from repro.guava.query import GTreeQuery
 from repro.guava.translate import translate_query
 from repro.patterns.chain import PatternChain
+from repro.relational.algebra import Select
 from repro.relational.database import Database
-from repro.relational.query import optimize
+from repro.relational.query import optimize, prepare_stream_plan
+from repro.relational.snapshot import database_version
 from repro.relational.sql import to_sql
+from repro.ui.form import RECORD_ID
 from repro.ui.session import DataEntrySession
 from repro.ui.toolkit import ReportingTool
 from repro.util.clock import Clock
 
 Row = dict[str, object]
+
+#: Change-feed entries kept before the oldest half is pruned; pruned spans
+#: can no longer be enumerated and force a full rebuild.
+CHANGE_LOG_LIMIT = 100_000
 
 
 class GuavaSource:
@@ -52,14 +72,84 @@ class GuavaSource:
         self.db = db or Database(name)
         chain.deploy(self.db)
         self.gtrees: dict[str, GTree] = derive_all(tool, clock=clock)
+        #: Change feed: (data version after the write, form name, record id).
+        #: Forms have independent record-id spaces, so entries carry both.
+        self._change_log: list[tuple[int, str | None, int]] = []
+        #: Versions at or below the floor cannot be enumerated (pruned log
+        #: or an unattributed change).
+        self._change_floor = 0
+        self._accounted_version = database_version(self.db)
 
     # -- data entry -------------------------------------------------------------
 
     def session(self, first_record_id: int = 1) -> DataEntrySession:
-        """A data-entry session writing through the pattern chain."""
+        """A data-entry session writing through the pattern chain.
+
+        Writes are mirrored into the source's change feed so incremental
+        consumers can enumerate exactly which records a refresh must touch.
+        """
+        writer = self.chain.writer(self.db)
+
+        def tracked(form_name: str, naive_row: dict[str, object]) -> None:
+            writer(form_name, naive_row)
+            self._note_change(naive_row.get(RECORD_ID), form_name)
+
         return DataEntrySession(
-            self.tool, writer=self.chain.writer(self.db), first_record_id=first_record_id
+            self.tool, writer=tracked, first_record_id=first_record_id
         )
+
+    # -- change tracking ---------------------------------------------------------
+
+    def data_version(self) -> int:
+        """The physical database's monotone data version."""
+        return database_version(self.db)
+
+    def track_change(
+        self, record_id: int | None = None, form: str | None = None
+    ) -> None:
+        """Register an out-of-band mutation (call *after* mutating the db).
+
+        ``record_id`` names the logical record whose physical rows changed
+        (``form`` scopes it when the tool has several forms); ``None`` means
+        "something changed but the record is unknown", which keeps the feed
+        honest but forces the next incremental consumer into a full rebuild.
+        """
+        self._note_change(record_id, form)
+
+    def changed_record_ids(self, since: int, form: str | None = None) -> set[int] | None:
+        """Record ids changed after data version ``since``.
+
+        ``form`` restricts the answer to one form's record-id space (entries
+        logged without a form always match, conservatively).  Returns
+        ``None`` when the span cannot be enumerated: untracked mutations
+        happened (the database version drifted from the feed), ``since``
+        predates the pruned log, or ``since`` comes from another lineage
+        entirely.  Callers must treat ``None`` as "rebuild fully".
+        """
+        current = database_version(self.db)
+        if current != self._accounted_version:
+            return None  # mutations bypassed the feed
+        if since > current or since < self._change_floor:
+            return None  # foreign or pruned lineage
+        return {
+            rid
+            for version, logged_form, rid in self._change_log
+            if version > since
+            and (form is None or logged_form is None or logged_form == form)
+        }
+
+    def _note_change(self, record_id: object, form: str | None = None) -> None:
+        self._accounted_version = database_version(self.db)
+        if not isinstance(record_id, int):
+            # Unattributable change: everything before it is unenumerable.
+            self._change_floor = self._accounted_version
+            self._change_log.clear()
+            return
+        self._change_log.append((self._accounted_version, form, record_id))
+        if len(self._change_log) > CHANGE_LOG_LIMIT:
+            half = len(self._change_log) // 2
+            self._change_floor = self._change_log[half - 1][0]
+            del self._change_log[:half]
 
     # -- querying ----------------------------------------------------------------
 
@@ -73,10 +163,31 @@ class GuavaSource:
         """Start a query against one form's g-tree."""
         return BoundQuery(self, GTreeQuery(self.gtree(form_name)))
 
-    def execute(self, query: GTreeQuery) -> list[Row]:
-        """Translate and run a g-tree query against the physical database."""
-        plan = optimize(translate_query(query, self.chain))
-        return plan.execute(self.db)
+    def execute(
+        self, query: GTreeQuery, record_ids: Iterable[int] | None = None
+    ) -> list[Row]:
+        """Translate and run a g-tree query against the physical database.
+
+        ``record_ids`` restricts the result to those logical records — the
+        re-extraction path incremental materialization uses for deltas.
+        The restriction composes at the relational level (``record_id`` is
+        the reserved key column every translation emits, not a g-tree node,
+        so it cannot appear in the g-tree query itself).
+        """
+        plan = translate_query(query, self.chain)
+        if record_ids is not None:
+            membership = InList(
+                Identifier.of(RECORD_ID),
+                tuple(Literal(rid) for rid in sorted(set(record_ids))),
+            )
+            # Record-scoped extraction is the hot delta path of incremental
+            # materialization: let the optimizer push the membership test
+            # down to the base tables and build the record-id index it
+            # needs, so a small delta costs proportionally, not a full
+            # re-extraction.
+            plan = prepare_stream_plan(Select(plan, membership), self.db)
+            return plan.execute(self.db)
+        return optimize(plan).execute(self.db)
 
     def explain(self, query: GTreeQuery) -> str:
         """The SQL the translated query corresponds to (documentation)."""

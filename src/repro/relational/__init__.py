@@ -18,6 +18,7 @@ from repro.relational.algebra import (
     Distinct,
     ExecContext,
     IndexLookup,
+    InLookup,
     Join,
     Limit,
     Pivot,
@@ -33,8 +34,8 @@ from repro.relational.algebra import (
     Values,
 )
 from repro.relational.interpret import execute_interpreted
-from repro.relational.query import Query, optimize
-from repro.relational.snapshot import load_database, save_database
+from repro.relational.query import Query, optimize, prepare_stream_plan
+from repro.relational.snapshot import database_version, load_database, save_database
 from repro.relational.sql import to_sql
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "ExecContext",
     "HashIndex",
     "IndexLookup",
+    "InLookup",
     "Join",
     "Limit",
     "Pivot",
@@ -66,8 +68,10 @@ __all__ = [
     "Unpivot",
     "Values",
     "execute_interpreted",
+    "database_version",
     "load_database",
     "optimize",
+    "prepare_stream_plan",
     "save_database",
     "to_sql",
 ]

@@ -145,17 +145,79 @@ class IndexLookup(Plan):
         table = ctx.db.table(self.table)
         items = self.items
         index = table.matching_index([column for column, _ in items])
-        if index is not None:
-            values = dict(items)
-            key = tuple(values[column] for column in index.columns)
-            candidates = table.rows_at(index.lookup(key))
-        else:
-            candidates = table.iter_rows()
+        if index is None:
+            return (
+                row
+                for row in table.iter_rows()
+                if all(sql_equal(row.get(column), value) for column, value in items)
+            )
+        values = dict(items)
+        key = tuple(values[column] for column in index.columns)
+        candidates = table.rows_at(index.lookup(key))
+        # Bucket rows are Python-equal to the probe on the indexed columns,
+        # and table extents are coerced to their declared types on write.
+        # SQL equality then only disagrees with bucket membership when the
+        # probe value's bool-ness differs from the column's (TRUE vs 1), so
+        # every other indexed item needs no per-row re-check.
+        covered = set(index.columns)
+        residual = tuple(
+            (column, value)
+            for column, value in items
+            if column not in covered
+            or isinstance(value, bool)
+            != (table.schema.column(column).dtype is DataType.BOOLEAN)
+        )
+        if not residual:
+            return candidates
         return (
             row
             for row in candidates
-            if all(sql_equal(row.get(column), value) for column, value in items)
+            if all(sql_equal(row.get(column), value) for column, value in residual)
         )
+
+    def shares_storage(self) -> bool:
+        return True
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return ctx.db.table(self.table).schema.column_names
+
+
+@dataclass(frozen=True)
+class InLookup(Plan):
+    """Multi-probe equality lookup: ``column IN (v1, …)`` via a hash index.
+
+    Produced by the optimizer from a ``col IN (literals)`` conjunct over a
+    scanned table with a single-column hash index on ``col``; remaining
+    conjuncts stay behind in a residual :class:`Select` above this node.
+    Matched positions are merged and sorted, so rows stream in extent
+    order — exactly the order of the filtered scan this replaces.
+    """
+
+    table: str
+    column: str
+    values: tuple[object, ...]
+
+    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+        table = ctx.db.table(self.table)
+        index = table.matching_index([self.column])
+        if index is None:
+            column, values = self.column, self.values
+            return (
+                row
+                for row in table.iter_rows()
+                if any(sql_equal(row.get(column), value) for value in values)
+            )
+        # Bucket keys hash/compare Python-style; SQL equality only diverges
+        # on bool-vs-non-bool probes (TRUE vs 1), so those are skipped, and
+        # NULL probes never match.  Everything else needs no re-check
+        # because extents are coerced to their declared type on write.
+        boolish = table.schema.column(self.column).dtype is DataType.BOOLEAN
+        positions: set[int] = set()
+        for value in self.values:
+            if value is None or isinstance(value, bool) != boolish:
+                continue
+            positions.update(index.lookup((value,)))
+        return table.rows_at(sorted(positions))
 
     def shares_storage(self) -> bool:
         return True
@@ -489,19 +551,37 @@ class Pivot(Plan):
         return (self.child,)
 
     def stream(self, ctx: ExecContext) -> Iterator[Row]:
-        grouped: dict[tuple[object, ...], Row] = {}
-        order: list[tuple[object, ...]] = []
+        # Ordered dicts double as the insertion-order list; the attribute
+        # set and the blank-row template are hoisted out of the fold loop.
+        grouped: dict[object, Row] = {}
+        key_columns = self.key_columns
+        attribute_column, value_column = self.attribute_column, self.value_column
+        wanted = set(self.attributes)
+        template = dict.fromkeys(self.attributes)
+        single = key_columns[0] if len(key_columns) == 1 else None
         for row in self.child.stream(ctx):
-            key = tuple(row.get(column) for column in self.key_columns)
-            if key not in grouped:
-                base: Row = {c: v for c, v in zip(self.key_columns, key)}
-                base.update({attribute: None for attribute in self.attributes})
-                grouped[key] = base
-                order.append(key)
-            attribute = row.get(self.attribute_column)
-            if attribute in self.attributes:
-                grouped[key][str(attribute)] = row.get(self.value_column)
-        return (grouped[key] for key in order)
+            if single is not None:
+                # The overwhelmingly common single-key fold skips the tuple
+                # allocation per row.
+                key = row.get(single)
+                base = grouped.get(key)
+                if base is None:
+                    base = {single: key}
+                    base.update(template)
+                    grouped[key] = base
+            else:
+                key = tuple(row.get(column) for column in key_columns)
+                base = grouped.get(key)
+                if base is None:
+                    base = dict(zip(key_columns, key))
+                    base.update(template)
+                    grouped[key] = base
+            attribute = row.get(attribute_column)
+            # Only str values can equal a declared attribute name; the
+            # isinstance guard also keeps unhashable values out of the set.
+            if isinstance(attribute, str) and attribute in wanted:
+                base[attribute] = row.get(value_column)
+        return iter(grouped.values())
 
     def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
         return self.key_columns + self.attributes
@@ -525,8 +605,11 @@ class Coerce(Plan):
         converters = tuple(
             (column, dtype.coerce) for column, dtype in self.column_types
         )
+        # Rows that already left table storage (fresh dicts from the child)
+        # can be converted in place; aliased rows still get copied.
+        copy = self.child.shares_storage()
         for row in self.child.stream(ctx):
-            converted = dict(row)
+            converted = dict(row) if copy else row
             for column, coerce in converters:
                 if column in converted:
                     converted[column] = coerce(converted[column])

@@ -21,6 +21,7 @@ from repro.relational.algebra import (
     Compute,
     Distinct,
     IndexLookup,
+    InLookup,
     Join,
     Limit,
     Pivot,
@@ -54,6 +55,13 @@ def execute_interpreted(plan: Plan, db: Database) -> list[Row]:
             row
             for row in db.table(plan.table).rows()
             if all(sql_equal(row.get(column), value) for column, value in plan.items)
+        ]
+    if isinstance(plan, InLookup):
+        # Semantics of the optimizer's membership probe, as a full scan.
+        return [
+            row
+            for row in db.table(plan.table).rows()
+            if any(sql_equal(row.get(plan.column), value) for value in plan.values)
         ]
     if isinstance(plan, Values):
         return [dict(zip(plan.columns, row)) for row in plan.rows]

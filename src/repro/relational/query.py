@@ -14,7 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.expr.analysis import referenced_identifiers
-from repro.expr.ast import BinaryOp, Expression, Identifier, Literal, conjunction
+from repro.expr.ast import (
+    BinaryOp,
+    Expression,
+    Identifier,
+    InList,
+    Literal,
+    conjunction,
+)
 from repro.expr.parser import parse
 from repro.relational.algebra import (
     Aggregate,
@@ -24,6 +31,7 @@ from repro.relational.algebra import (
     Distinct,
     ExecContext,
     IndexLookup,
+    InLookup,
     Join,
     Limit,
     Pivot,
@@ -164,15 +172,80 @@ def _rewrite(plan: Plan, ctx: _OptContext) -> Plan:
         return _rewrite_project(plan, ctx)
     if isinstance(plan, Limit) and isinstance(plan.child, Sort) and plan.count >= 0:
         return TopK(plan.child.child, plan.child.keys, plan.count)
+    if isinstance(plan, Pivot):
+        return _rewrite_pivot(plan, ctx)
+    return plan
+
+
+def _rewrite_pivot(plan: Pivot, ctx: _OptContext) -> Plan:
+    # A projection feeding a pivot is dead work: the pivot reads only its
+    # key/attribute/value columns and builds entirely fresh rows.  Drop the
+    # projection when the columns it promises verifiably exist below (so
+    # its validity check could not have fired).
+    child = plan.child
+    needed = set(plan.key_columns) | {plan.attribute_column, plan.value_column}
+    if isinstance(child, Project) and needed <= set(child.columns):
+        below = ctx.column_set(child.child)
+        if below is not None and set(child.columns) <= below:
+            return Pivot(
+                child.child,
+                plan.key_columns,
+                plan.attribute_column,
+                plan.value_column,
+                plan.attributes,
+            )
     return plan
 
 
 def _rewrite_select(plan: Select, ctx: _OptContext) -> Plan:
     child = plan.child
+    # A constant-TRUE filter keeps every row; drop the whole pass.
+    if isinstance(plan.predicate, Literal) and plan.predicate.value is True:
+        return child
     # Merge consecutive selects into one conjunction.
     if isinstance(child, Select):
         merged = BinaryOp("AND", child.predicate, plan.predicate)
         return _rewrite(Select(child.child, merged), ctx)
+    # A child lowered to an index path was chosen bottom-up, before this
+    # predicate arrived (e.g. a record-id IN probe pushed down from
+    # above).  Reconstruct the combined filter and re-lower jointly so
+    # the most selective access path wins.
+    if isinstance(child, (IndexLookup, InLookup)):
+        rebuilt = BinaryOp("AND", _lookup_predicate(child), plan.predicate)
+        lowered = _lower_index_lookup(rebuilt, Scan(child.table), ctx)
+        if lowered is not None:
+            return lowered
+        return plan
+    # Push below a projection when the predicate only reads surviving
+    # columns (they exist below too, so evaluation is unchanged, and the
+    # projection's own validity check still runs).
+    if isinstance(child, Project):
+        if referenced_identifiers(plan.predicate) <= set(child.columns):
+            return _rewrite_project(
+                Project(_rewrite(Select(child.child, plan.predicate), ctx), child.columns),
+                ctx,
+            )
+    # Push below Coerce when the predicate reads no converted column (a
+    # converted column's pre-coercion value could compare differently).
+    if isinstance(child, Coerce):
+        converted = {column for column, _ in child.column_types}
+        if not (referenced_identifiers(plan.predicate) & converted):
+            return Coerce(
+                _rewrite(Select(child.child, plan.predicate), ctx),
+                child.column_types,
+            )
+    # Push below Pivot when the predicate reads only pivot keys: every row
+    # of a group shares its key values, so filtering input rows and
+    # filtering folded groups keep exactly the same keys.
+    if isinstance(child, Pivot):
+        if referenced_identifiers(plan.predicate) <= set(child.key_columns):
+            return Pivot(
+                _rewrite(Select(child.child, plan.predicate), ctx),
+                child.key_columns,
+                child.attribute_column,
+                child.value_column,
+                child.attributes,
+            )
     # Push select below union (always safe).
     if isinstance(child, Union):
         pushed = tuple(
@@ -219,21 +292,46 @@ def _lower_index_lookup(
     table = ctx.db.table(scan.table)
     columns = set(table.schema.column_names)
     eq_items: list[tuple[str, object]] = []
+    in_items: list[tuple[tuple[str, tuple[object, ...]], Expression]] = []
     residual: list[Expression] = []
     for conjunct in _conjuncts(predicate):
         item = _equality_item(conjunct, columns)
         if item is not None:
             eq_items.append(item)
-        else:
-            residual.append(conjunct)
-    if not eq_items:
+            continue
+        probe = _in_list_item(conjunct, columns)
+        if probe is not None:
+            in_items.append((probe, conjunct))
+            continue
+        residual.append(conjunct)
+    # Collect every index-servable access path with its actual candidate
+    # count (bucket sizes are known, so this is a measurement, not an
+    # estimate), then take the most selective one.
+    choices: list[tuple[int, Plan, list[Expression]]] = []
+    if eq_items:
+        eq_index = table.matching_index([column for column, _ in eq_items])
+        if eq_index is not None:
+            values = dict(eq_items)
+            key = tuple(values[column] for column in eq_index.columns)
+            rest = residual + [conjunct for _, conjunct in in_items]
+            choices.append(
+                (len(eq_index.lookup(key)), IndexLookup(scan.table, tuple(eq_items)), rest)
+            )
+    for position, ((column, values), _conjunct) in enumerate(in_items):
+        in_index = table.matching_index([column])
+        if in_index is None:
+            continue
+        count = sum(len(in_index.lookup((value,))) for value in values)
+        rest = (
+            [BinaryOp("=", Identifier.of(c), Literal(v)) for c, v in eq_items]
+            + residual
+            + [c for index, (_, c) in enumerate(in_items) if index != position]
+        )
+        choices.append((count, InLookup(scan.table, column, values), rest))
+    if not choices:
         return None
-    if table.matching_index([column for column, _ in eq_items]) is None:
-        return None
-    lookup = IndexLookup(scan.table, tuple(eq_items))
-    if residual:
-        return Select(lookup, conjunction(residual))
-    return lookup
+    _, lookup, rest = min(choices, key=lambda choice: choice[0])
+    return Select(lookup, conjunction(rest)) if rest else lookup
 
 
 def _conjuncts(expr: Expression):
@@ -271,9 +369,67 @@ def _equality_item(
     return None
 
 
+def _in_list_item(
+    conjunct: Expression, columns: set[str]
+) -> tuple[str, tuple[object, ...]] | None:
+    """``col IN (literals)`` over a plain existing column, or None.
+
+    NULL items are dropped from the probe tuple: in filter context a row
+    either matches a non-NULL item (kept either way) or yields NULL
+    (dropped either way), so the kept set is unchanged.  Negated lists
+    never lower — ``NOT IN`` with a NULL item filters everything.
+    """
+    if not (isinstance(conjunct, InList) and not conjunct.negated):
+        return None
+    ident = conjunct.operand
+    if not (
+        isinstance(ident, Identifier)
+        and len(ident.path) == 1
+        and ident.name in columns
+    ):
+        return None
+    values: list[object] = []
+    for item in conjunct.items:
+        if not isinstance(item, Literal):
+            return None
+        value = item.value
+        if value is None:
+            continue
+        try:
+            hash(value)
+        except TypeError:
+            return None
+        values.append(value)
+    return (ident.name, tuple(values))
+
+
+def _lookup_predicate(lookup: IndexLookup | InLookup) -> Expression:
+    """The filter an already-lowered lookup node stands for.
+
+    Used to undo a bottom-up lowering so its conjuncts can compete with a
+    predicate pushed down later in one joint access-path choice.
+    """
+    if isinstance(lookup, IndexLookup):
+        return conjunction(
+            [
+                BinaryOp("=", Identifier.of(column), Literal(value))
+                for column, value in lookup.items
+            ]
+        )
+    return InList(
+        Identifier.of(lookup.column),
+        tuple(Literal(value) for value in lookup.values),
+    )
+
+
 def _rewrite_project(plan: Project, ctx: _OptContext) -> Plan:
     child = plan.child
     col_set = set(plan.columns)
+
+    # An identity projection (same columns, same order) is a pure copy
+    # pass; dropping it cannot change rows or error behaviour.
+    if ctx.columns_of(child) == plan.columns:
+        return child
 
     # Merge stacked projections (only when the outer survives the inner's
     # validity check, so error behaviour is preserved).
@@ -350,6 +506,56 @@ def _push_project_into_join(
         else join.right
     )
     return Project(Join(new_left, new_right, join.on, join.how), project.columns)
+
+
+def prepare_stream_plan(plan: Plan, db: Database) -> Plan:
+    """Optimize ``plan`` for repeated streaming, building missing indexes.
+
+    Equality filters that survive optimization directly over a base table
+    get a supporting hash index built (idempotent — ``create_index``
+    returns the existing one), then the plan is re-optimized so the
+    :class:`IndexLookup` lowering fires.  Index creation is invisible to
+    query semantics; callers that must preserve the exact cost profile of
+    the written plan (the serial ETL oracle) should execute the raw plan
+    instead.
+    """
+    optimized = optimize(plan, db)
+    built = False
+    for node in _walk(optimized):
+        # A residual select above an already-lowered lookup counts too: an
+        # index on its columns lets re-optimization pick a more selective
+        # access path (the cost-based choice needs the index to exist).
+        if not (
+            isinstance(node, Select)
+            and isinstance(node.child, (Scan, IndexLookup, InLookup))
+        ):
+            continue
+        if not db.has_table(node.child.table):
+            continue
+        table = db.table(node.child.table)
+        columns = set(table.schema.column_names)
+        eq_columns = [
+            item[0]
+            for conjunct in _conjuncts(node.predicate)
+            if (item := _equality_item(conjunct, columns)) is not None
+        ]
+        if eq_columns and table.matching_index(eq_columns) is None:
+            table.create_index(tuple(eq_columns))
+            built = True
+        for conjunct in _conjuncts(node.predicate):
+            probe = _in_list_item(conjunct, columns)
+            if probe is not None and table.matching_index([probe[0]]) is None:
+                table.create_index((probe[0],))
+                built = True
+    if built:
+        optimized = optimize(plan, db)
+    return optimized
+
+
+def _walk(plan: Plan):
+    yield plan
+    for child in plan.children():
+        yield from _walk(child)
 
 
 def _static_columns(plan: Plan) -> set[str] | None:

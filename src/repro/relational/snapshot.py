@@ -21,6 +21,17 @@ from repro.relational.types import DataType
 FORMAT_VERSION = 1
 
 
+def database_version(db: Database) -> int:
+    """Monotone data version of a whole database.
+
+    The sum of per-table versions, which only grows while tables are
+    mutated in place.  Dropping a table makes the sum regress; consumers
+    (incremental materialization) treat any unexpected value as broken
+    lineage and fall back to a full rebuild, so regression is safe.
+    """
+    return sum(table.version for table in db)
+
+
 def database_to_dict(db: Database) -> dict:
     """The snapshot document for ``db``."""
     tables = []
@@ -39,6 +50,7 @@ def database_to_dict(db: Database) -> dict:
                     for column in schema.columns
                 ],
                 "primary_key": list(schema.primary_key),
+                "version": table.version,
                 "rows": [
                     [_encode(row[column]) for column in schema.column_names]
                     for row in table.rows()
@@ -67,6 +79,9 @@ def database_from_dict(document: dict) -> Database:
         names = schema.column_names
         for values in table_doc.get("rows", []):
             table.insert(dict(zip(names, values)))
+        # Older snapshots carry no version; re-inserting already advanced the
+        # counter once per row, and restore_version never rewinds it.
+        table.restore_version(int(table_doc.get("version", 0)))
     return db
 
 

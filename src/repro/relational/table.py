@@ -25,6 +25,7 @@ class Table:
         self._rows: list[Row] = []
         self._indexes: dict[tuple[str, ...], HashIndex] = {}
         self._pk_index: HashIndex | None = None
+        self._version = 0
         if schema.primary_key:
             self._pk_index = HashIndex(schema.primary_key)
 
@@ -33,6 +34,16 @@ class Table:
     @property
     def name(self) -> str:
         return self.schema.name
+
+    @property
+    def version(self) -> int:
+        """Monotone data version: bumps on every mutating call.
+
+        Snapshots persist it and incremental materialization keys refresh
+        decisions on it, so two extents with equal rows but different
+        histories stay distinguishable.
+        """
+        return self._version
 
     def rows(self) -> list[Row]:
         """A defensive copy of the extent, in insertion order."""
@@ -99,6 +110,7 @@ class Table:
                 raise IntegrityError(f"{self.name}: duplicate primary key {key}")
         position = len(self._rows)
         self._rows.append(row)
+        self._version += 1
         if self._pk_index is not None:
             self._pk_index.add(row, position)
         for index in self._indexes.values():
@@ -129,6 +141,7 @@ class Table:
                     row[column] = self.schema.column(column).dtype.coerce(value)
                 updated += 1
         if updated:
+            self._version += 1
             self._rebuild_indexes()
         return updated
 
@@ -138,6 +151,7 @@ class Table:
         self._rows = [row for row in self._rows if not predicate(row)]
         removed = before - len(self._rows)
         if removed:
+            self._version += 1
             self._rebuild_indexes()
         return removed
 
@@ -153,6 +167,11 @@ class Table:
         index.rebuild(self._rows)
         self._indexes[key] = index
         return index
+
+    def restore_version(self, version: int) -> None:
+        """Set the data version (snapshot restore only); never rewinds."""
+        if version > self._version:
+            self._version = version
 
     # -- internals -------------------------------------------------------------
 

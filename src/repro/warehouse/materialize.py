@@ -10,26 +10,35 @@ classifiers" — the three strategies below.
 All strategies share one contract:
 
 * :meth:`~MaterializationStrategy.build` — populate warehouse tables from
-  the sources;
+  the sources; ``build(incremental=True)`` refreshes only records whose
+  source rows changed since the last build (falling back to a full
+  rebuild whenever the snapshot lineage cannot vouch for the delta);
 * :meth:`~MaterializationStrategy.fetch` — rows of (record_id, source,
   requested classifier columns), recomputing whatever was not stored;
 * :meth:`~MaterializationStrategy.storage_cells` — the storage footprint.
+
+Incremental refresh contract: after ``build(incremental=True)`` the table
+holds exactly the rows a full rebuild would produce, but row *order* is
+unspecified (refreshed records re-enter at the end of the extent).
+Consumers that care about order must sort on (record_id, source).
 """
 
 from __future__ import annotations
 
 import abc
+import hashlib
 from dataclasses import dataclass
 from typing import Mapping
 
 from repro.errors import MaterializationError
 from repro.etl.compile import domain_data_type
 from repro.expr.ast import Expression
-from repro.expr.evaluator import Evaluator
+from repro.expr.compile import compile_expression
 from repro.expr.parser import parse
 from repro.guava.query import GTreeQuery
 from repro.guava.source import GuavaSource
 from repro.multiclass.classifier import Classifier, EntityClassifier
+from repro.multiclass.domain import Domain
 from repro.multiclass.study_schema import StudySchema
 from repro.relational.schema import Column, TableSchema
 from repro.relational.types import DataType
@@ -37,8 +46,6 @@ from repro.ui.form import RECORD_ID
 from repro.warehouse.store import Warehouse
 
 Row = dict[str, object]
-
-_EVALUATOR = Evaluator()
 
 
 @dataclass
@@ -74,12 +81,17 @@ class MaterializationJob:
                     f"classifier {classifier.name!r} targets "
                     f"{classifier.target_entity!r}, not {self.entity!r}"
                 )
+        self._by_name = {c.name: c for c in self.classifiers}
+        #: base_records cache: source name → (data version, records).  The
+        #: entity classifier per source is fixed for the job's lifetime, so
+        #: the source name keys the (source, entity-classifier) pair.
+        self._record_cache: dict[str, tuple[int, list[Row]]] = {}
 
     def classifier(self, name: str) -> Classifier:
-        for classifier in self.classifiers:
-            if classifier.name == name:
-                return classifier
-        raise MaterializationError(f"job has no classifier {name!r}")
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise MaterializationError(f"job has no classifier {name!r}") from None
 
     def column_type(self, classifier: Classifier) -> DataType:
         domain = self.schema.domain_of(*classifier.target)
@@ -88,11 +100,31 @@ class MaterializationJob:
     def table_name(self) -> str:
         return f"mat_{self.entity}".lower()
 
-    def base_records(self, source: GuavaSource) -> list[Row]:
-        """The source's qualifying records with all node values."""
+    def base_records(
+        self, source: GuavaSource, record_ids: set[int] | None = None
+    ) -> list[Row]:
+        """The source's qualifying records with all node values.
+
+        Results are cached per source, keyed on the source's monotone data
+        version, so a fetch right after a build (or several strategies
+        sharing one job) extracts each source once instead of per caller.
+        Cached lists are shared — treat them as read-only.
+
+        ``record_ids`` restricts extraction to those logical records (the
+        delta path of incremental refresh); restricted extractions bypass
+        the cache.
+        """
         ec = self.entity_classifiers[source.name]
         query = GTreeQuery(source.gtree(ec.form)).where(ec.condition)
-        return source.execute(query)
+        if record_ids is not None:
+            return source.execute(query, record_ids=record_ids)
+        version = source.data_version()
+        cached = self._record_cache.get(source.name)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        records = source.execute(query)
+        self._record_cache[source.name] = (version, records)
+        return records
 
 
 class MaterializationStrategy(abc.ABC):
@@ -104,8 +136,15 @@ class MaterializationStrategy(abc.ABC):
         self._built = False
 
     @abc.abstractmethod
-    def build(self) -> None:
-        """Populate warehouse tables."""
+    def build(self, incremental: bool = False) -> None:
+        """Populate warehouse tables.
+
+        ``incremental=True`` refreshes only records whose source rows
+        changed since the lineage recorded by the previous build; when no
+        trustworthy lineage exists (first build, changed definitions,
+        untracked source mutations) it silently falls back to a full
+        rebuild.
+        """
 
     @abc.abstractmethod
     def fetch(self, classifier_names: list[str]) -> list[Row]:
@@ -126,31 +165,141 @@ class MaterializationStrategy(abc.ABC):
         domain = self.job.schema.domain_of(*classifier.target)
         return classifier.classify(record, domain)
 
+    # -- refresh machinery (strategies that own the entity table) -------------
 
-class FullStrategy(MaterializationStrategy):
-    """Figure 7: every classifier is a stored column."""
+    def _stored_columns(self) -> list[tuple[str, Classifier]]:
+        """(column name, classifier) pairs this strategy stores."""
+        raise NotImplementedError
 
-    def build(self) -> None:
+    def _load_note(self) -> str:
+        """The provenance note recorded for a full build."""
+        raise NotImplementedError
+
+    def _table_schema(self) -> TableSchema:
         columns = [
             Column(RECORD_ID, DataType.INTEGER, nullable=False),
             Column("source", DataType.TEXT, nullable=False),
         ]
-        for classifier in self.job.classifiers:
-            columns.append(Column(classifier.name, self.job.column_type(classifier)))
-        schema = TableSchema(self.job.table_name(), tuple(columns))
+        for name, classifier in self._stored_columns():
+            columns.append(Column(name, self.job.column_type(classifier)))
+        return TableSchema(self.job.table_name(), tuple(columns))
+
+    def _prefetched(self) -> list[tuple[str, Classifier, Domain]]:
+        """Stored columns with their domains resolved once, not per row."""
+        return [
+            (name, classifier, self.job.schema.domain_of(*classifier.target))
+            for name, classifier in self._stored_columns()
+        ]
+
+    def _classified(
+        self, record: Row, source_name: str, stored: list[tuple[str, Classifier, Domain]]
+    ) -> Row:
+        row: Row = {RECORD_ID: record[RECORD_ID], "source": source_name}
+        for name, classifier, domain in stored:
+            row[name] = classifier.classify(record, domain)
+        return row
+
+    def _definition_fingerprint(self) -> str:
+        """Digest of everything a stored row's content depends on.
+
+        A lineage stamp is only trusted when the fingerprint matches: a
+        changed classifier rule, entity condition, or column set makes
+        every stored row suspect, so the refresh degrades to a rebuild.
+        """
+        parts = [self.job.entity]
+        for name, classifier in self._stored_columns():
+            rules = "; ".join(rule.to_source() for rule in classifier.rules)
+            parts.append(f"{name}@{classifier.target}: {rules}")
+        for source in self.job.sources:
+            ec = self.job.entity_classifiers[source.name]
+            parts.append(f"{source.name}/{ec.form} WHERE {ec.condition.to_source()}")
+        return hashlib.sha1("\n".join(parts).encode("utf-8")).hexdigest()
+
+    def _save_lineage(self) -> None:
+        self.warehouse.set_lineage(
+            self.job.table_name(),
+            {
+                "fingerprint": self._definition_fingerprint(),
+                "sources": {
+                    source.name: source.data_version() for source in self.job.sources
+                },
+            },
+        )
+
+    def _full_build(self) -> None:
+        schema = self._table_schema()
         if self.warehouse.has_table(schema.name):
-            self.warehouse.db.drop_table(schema.name)
+            self.warehouse.drop_table(schema.name)
         table = self.warehouse.ensure_table(schema)
+        stored = self._prefetched()
         for source in self.job.sources:
             for record in self.job.base_records(source):
-                row: Row = {RECORD_ID: record[RECORD_ID], "source": source.name}
-                for classifier in self.job.classifiers:
-                    row[classifier.name] = self._classify_row(record, classifier)
-                table.insert(row)
+                table.insert(self._classified(record, source.name, stored))
         self.warehouse.record_load(
-            "materializer", schema.name, len(table), "full materialization"
+            "materializer", schema.name, len(table), self._load_note()
         )
+        self._save_lineage()
         self._built = True
+
+    def _incremental_build(self) -> bool:
+        """Refresh only changed records; False when lineage can't vouch."""
+        name = self.job.table_name()
+        lineage = self.warehouse.lineage(name)
+        if lineage is None or not self.warehouse.has_table(name):
+            return False
+        if lineage.get("fingerprint") != self._definition_fingerprint():
+            return False  # definitions changed; every stored row is suspect
+        versions = lineage.get("sources", {})
+        deltas: list[tuple[GuavaSource, set[int]]] = []
+        for source in self.job.sources:
+            since = versions.get(source.name)
+            if since is None:
+                return False
+            ec = self.job.entity_classifiers[source.name]
+            changed = source.changed_record_ids(since, form=ec.form)
+            if changed is None:
+                return False  # untracked mutations or pruned feed
+            deltas.append((source, changed))
+        table = self.warehouse.table(name)
+        stored = self._prefetched()
+        refreshed = 0
+        for source, changed in deltas:
+            if not changed:
+                continue
+            table.delete(
+                lambda row, s=source.name, ids=changed: row["source"] == s
+                and row[RECORD_ID] in ids
+            )
+            # Records that stopped qualifying simply don't come back; the
+            # delete above already removed their stale rows.
+            for record in self.job.base_records(source, record_ids=changed):
+                table.insert(self._classified(record, source.name, stored))
+            refreshed += len(changed)
+        if refreshed:
+            self.warehouse.record_load(
+                "materializer",
+                name,
+                len(table),
+                f"incremental refresh of {refreshed} changed record(s)",
+            )
+        self._save_lineage()
+        self._built = True
+        return True
+
+
+class FullStrategy(MaterializationStrategy):
+    """Figure 7: every classifier is a stored column."""
+
+    def _stored_columns(self) -> list[tuple[str, Classifier]]:
+        return [(classifier.name, classifier) for classifier in self.job.classifiers]
+
+    def _load_note(self) -> str:
+        return "full materialization"
+
+    def build(self, incremental: bool = False) -> None:
+        if incremental and self._incremental_build():
+            return
+        self._full_build()
 
     def fetch(self, classifier_names: list[str]) -> list[Row]:
         self._require_built()
@@ -185,31 +334,16 @@ class SelectiveStrategy(MaterializationStrategy):
             job.classifier(name)  # validate
         self.materialized = list(materialized)
 
-    def build(self) -> None:
-        columns = [
-            Column(RECORD_ID, DataType.INTEGER, nullable=False),
-            Column("source", DataType.TEXT, nullable=False),
-        ]
-        for name in self.materialized:
-            classifier = self.job.classifier(name)
-            columns.append(Column(name, self.job.column_type(classifier)))
-        schema = TableSchema(self.job.table_name(), tuple(columns))
-        if self.warehouse.has_table(schema.name):
-            self.warehouse.db.drop_table(schema.name)
-        table = self.warehouse.ensure_table(schema)
-        for source in self.job.sources:
-            for record in self.job.base_records(source):
-                row: Row = {RECORD_ID: record[RECORD_ID], "source": source.name}
-                for name in self.materialized:
-                    row[name] = self._classify_row(record, self.job.classifier(name))
-                table.insert(row)
-        self.warehouse.record_load(
-            "materializer",
-            schema.name,
-            len(table),
-            f"selective materialization of {self.materialized}",
-        )
-        self._built = True
+    def _stored_columns(self) -> list[tuple[str, Classifier]]:
+        return [(name, self.job.classifier(name)) for name in self.materialized]
+
+    def _load_note(self) -> str:
+        return f"selective materialization of {self.materialized}"
+
+    def build(self, incremental: bool = False) -> None:
+        if incremental and self._incremental_build():
+            return
+        self._full_build()
 
     def fetch(self, classifier_names: list[str]) -> list[Row]:
         self._require_built()
@@ -224,14 +358,22 @@ class SelectiveStrategy(MaterializationStrategy):
         ]
         if not cold:
             return rows
-        # Recompute cold classifiers straight from the sources.
+        # Recompute cold classifiers straight from the sources (cached in
+        # the job, so this does not re-extract right after a build).
+        cold_stored = [
+            (name, self.job.classifier(name)) for name in cold
+        ]
+        cold_prefetched = [
+            (name, classifier, self.job.schema.domain_of(*classifier.target))
+            for name, classifier in cold_stored
+        ]
         recomputed: dict[tuple[object, str], Row] = {}
         for source in self.job.sources:
             for record in self.job.base_records(source):
                 key = (record[RECORD_ID], source.name)
                 recomputed[key] = {
-                    name: self._classify_row(record, self.job.classifier(name))
-                    for name in cold
+                    name: classifier.classify(record, domain)
+                    for name, classifier, domain in cold_prefetched
                 }
         for row in rows:
             extra = recomputed.get((row[RECORD_ID], row["source"]), {})
@@ -265,7 +407,10 @@ class DerivationRule:
         )
 
     def apply(self, base_value: object) -> object:
-        return _EVALUATOR.evaluate(self.expression, {"base": base_value})
+        # Compiled once per distinct expression (memoized in
+        # repro.expr.compile), so applying a rule over a fetched column
+        # walks the AST once, not once per row.
+        return compile_expression(self.expression)({"base": base_value})
 
 
 class DerivedStrategy(MaterializationStrategy):
@@ -298,8 +443,8 @@ class DerivedStrategy(MaterializationStrategy):
         ]
         self._inner = SelectiveStrategy(job, warehouse, self._bases)
 
-    def build(self) -> None:
-        self._inner.build()
+    def build(self, incremental: bool = False) -> None:
+        self._inner.build(incremental)
         self._built = True
 
     def fetch(self, classifier_names: list[str]) -> list[Row]:

@@ -21,6 +21,9 @@ class Warehouse:
     def __init__(self, name: str = "warehouse", clock: Clock | None = None):
         self.db = Database(name)
         self.loads = AnnotationLog(clock)
+        #: Per-table refresh lineage: the source data versions (and the
+        #: definition fingerprint) a materialized table was built from.
+        self._lineage: dict[str, dict] = {}
 
     def ensure_table(self, schema: TableSchema) -> Table:
         return self.db.ensure_table(schema)
@@ -30,6 +33,20 @@ class Warehouse:
 
     def has_table(self, name: str) -> bool:
         return self.db.has_table(name)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and forget its lineage."""
+        self.db.drop_table(name)
+        self._lineage.pop(name, None)
+
+    def set_lineage(self, table: str, lineage: dict) -> None:
+        """Record what a materialized table was built from."""
+        self._lineage[table] = dict(lineage)
+
+    def lineage(self, table: str) -> dict | None:
+        """The stored lineage of a table, or None if never recorded."""
+        stored = self._lineage.get(table)
+        return dict(stored) if stored is not None else None
 
     def record_load(self, author: str, table: str, rows: int, rationale: str = "") -> None:
         """Annotate one load operation."""

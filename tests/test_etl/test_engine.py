@@ -1,0 +1,137 @@
+"""Equivalence tests for the batched/parallel ETL engine.
+
+The serial path (``Workflow.run()`` with default arguments) is the
+oracle: every engine configuration — batched, parallel, or both — must
+produce row-identical outputs, identical quarantine contents, identical
+warehouse tables, and identical per-step row counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_study2
+from repro.clinical import build_world
+from repro.etl import compile_study
+from repro.etl.workflow import RunReport, StepRun
+from repro.multiclass import CleaningRule
+from repro.relational import Database
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    """A private world: engine tests only read, so module scope is safe."""
+    return build_world(60, seed=5)
+
+
+@pytest.fixture(scope="module")
+def cleaned_study(small_world):
+    study = build_study2(small_world, "ever")
+    for rule_source, condition in (
+        ("cori_warehouse_feed", "packs_per_day >= 3"),
+        ("endopro_clinic", "cigarettes_per_day >= 60"),
+        ("medscribe_clinic", "packs_daily >= 3"),
+    ):
+        study.add_cleaning_rule(
+            "Procedure",
+            CleaningRule.of(
+                f"heavy_{rule_source.split('_')[0]}",
+                condition,
+                reason="protocol excludes very heavy smokers",
+                source=rule_source,
+            ),
+        )
+    study.add_cleaning_rule(
+        "Procedure",
+        CleaningRule.of(
+            "unclassified_smoking",
+            "ExSmoker_flag IS NULL",
+            reason="smoking question unanswered",
+            scope="study",
+        ),
+    )
+    return study
+
+
+def run_study(study, **kwargs):
+    """Compile and run; returns (outputs, report, quarantine, warehouse)."""
+    warehouse = Database("wh")
+    workflow = compile_study(study, warehouse)
+    outputs, report = workflow.run(**kwargs)
+    return outputs, report, workflow.context["quarantine"], warehouse
+
+
+def table_dump(db: Database) -> dict:
+    return {name: db.table(name).rows() for name in db.table_names()}
+
+
+ENGINE_CONFIGS = [
+    {"batch_size": 64},
+    {"batch_size": 7},
+    {"parallelism": 4},
+    {"parallelism": 2, "batch_size": 32},
+    {"parallelism": 3, "batch_size": 1},
+]
+
+
+class TestEngineEquivalence:
+    @pytest.fixture(scope="class")
+    def oracle(self, cleaned_study):
+        return run_study(cleaned_study)
+
+    @pytest.mark.parametrize("config", ENGINE_CONFIGS)
+    def test_outputs_identical(self, cleaned_study, oracle, config):
+        outputs, _, _, _ = run_study(cleaned_study, **config)
+        assert outputs == oracle[0]
+
+    @pytest.mark.parametrize("config", ENGINE_CONFIGS)
+    def test_report_row_counts_identical(self, cleaned_study, oracle, config):
+        _, report, _, _ = run_study(cleaned_study, **config)
+        serial_counts = {r.step: (r.rows_in, r.rows_out) for r in oracle[1].steps}
+        engine_counts = {r.step: (r.rows_in, r.rows_out) for r in report.steps}
+        assert engine_counts == serial_counts
+
+    @pytest.mark.parametrize("config", ENGINE_CONFIGS)
+    def test_quarantine_identical(self, cleaned_study, oracle, config):
+        _, _, quarantine, _ = run_study(cleaned_study, **config)
+        assert quarantine.rows == oracle[2].rows
+
+    @pytest.mark.parametrize("config", ENGINE_CONFIGS)
+    def test_warehouse_tables_identical(self, cleaned_study, oracle, config):
+        _, _, _, warehouse = run_study(cleaned_study, **config)
+        assert table_dump(warehouse) == table_dump(oracle[3])
+
+    def test_step_order_in_report_matches_serial(self, cleaned_study, oracle):
+        _, report, _, _ = run_study(cleaned_study, parallelism=4, batch_size=16)
+        assert [r.step for r in report.steps] == [r.step for r in oracle[1].steps]
+
+
+class TestRunArguments:
+    def test_default_is_serial(self, cleaned_study):
+        outputs, report, _, _ = run_study(cleaned_study)
+        assert outputs and report.steps
+
+    def test_parallelism_one_is_serial(self, cleaned_study, small_world):
+        a, _, _, _ = run_study(cleaned_study)
+        b, _, _, _ = run_study(cleaned_study, parallelism=1)
+        assert a == b
+
+    def test_zero_parallelism_clamped(self, cleaned_study):
+        outputs, _, _, _ = run_study(cleaned_study, parallelism=0, batch_size=8)
+        oracle, _, _, _ = run_study(cleaned_study)
+        assert outputs == oracle
+
+
+class TestReportSummary:
+    def test_summary_has_seconds_column(self):
+        report = RunReport(
+            steps=[StepRun(step="s", stage="extract", rows_in=1, rows_out=2, seconds=0.5)]
+        )
+        lines = report.summary().splitlines()
+        assert "seconds" in lines[0]
+        assert "0.5000" in lines[1]
+
+    def test_engine_reports_timings(self, cleaned_study):
+        _, report, _, _ = run_study(cleaned_study, batch_size=32)
+        assert all(run.seconds >= 0 for run in report.steps)
+        assert any(run.seconds > 0 for run in report.steps)

@@ -12,14 +12,16 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import RelationalError
-from repro.expr.ast import BinaryOp, Identifier, Literal
+from repro.expr.ast import BinaryOp, Identifier, InList, Literal
 from repro.relational import (
     AggregateSpec,
     Database,
     DataType,
     IndexLookup,
+    InLookup,
     Join,
     Limit,
+    Pivot,
     Project,
     Query,
     Scan,
@@ -30,6 +32,7 @@ from repro.relational import (
     Union,
     execute_interpreted,
     optimize,
+    prepare_stream_plan,
 )
 
 _NAMES = ["ann", "bob", "cal", "dee", "eve"]
@@ -295,3 +298,141 @@ class TestOptimizerShapes:
             execute_interpreted(plan, db)
         with pytest.raises(RelationalError):
             optimize(plan, db).execute(db)
+
+
+def _in_list(column, values):
+    return InList(Identifier.of(column), tuple(Literal(v) for v in values))
+
+
+class TestInListAccessPaths:
+    """Membership filters lower onto single-column indexes (the delta path)."""
+
+    def _db(self):
+        return _load(
+            [
+                {"patient_id": i, "age": 30 + i, "name": _NAMES[i % 5], "smoker": i % 2 == 0}
+                for i in range(10)
+            ],
+            [],
+        )
+
+    @given(_patient_rows, st.lists(st.sampled_from(_NAMES), max_size=3))
+    @settings(max_examples=60)
+    def test_in_list_lowering_is_equivalent(self, patients, names):
+        db = _load(patients, [])
+        plan = Select(Scan("patients"), _in_list("name", names))
+        _assert_all_paths_agree(plan, db)
+
+    def test_in_list_lowers_to_in_lookup(self):
+        plan = Select(Scan("patients"), _in_list("name", ["ann", "bob"]))
+        assert isinstance(optimize(plan, self._db()), InLookup)
+
+    def test_in_list_with_null_item_still_lowers(self):
+        # NULL items never match in filter context, so the probe drops them.
+        db = self._db()
+        plan = Select(Scan("patients"), _in_list("name", ["ann", None]))
+        assert isinstance(optimize(plan, db), InLookup)
+        _assert_all_paths_agree(plan, db)
+
+    def test_negated_in_list_not_lowered(self):
+        probe = InList(
+            Identifier.of("name"), (Literal("ann"),), negated=True
+        )
+        plan = Select(Scan("patients"), probe)
+        assert not isinstance(optimize(plan, self._db()), InLookup)
+
+    def test_most_selective_access_path_wins(self):
+        # name='ann' matches 2 of 10 rows; the id probe matches 1.  Bucket
+        # sizes are known at plan time, so the lookup choice is measured,
+        # not guessed: the id probe must win and the name filter remain.
+        db = self._db()
+        predicate = BinaryOp(
+            "AND",
+            BinaryOp("=", Identifier.of("name"), Literal("ann")),
+            _in_list("patient_id", [5]),
+        )
+        optimized = optimize(Select(Scan("patients"), predicate), db)
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, InLookup)
+        assert optimized.child.column == "patient_id"
+
+    def test_select_over_lowered_lookup_is_relowered_jointly(self):
+        # A membership select pushed down after its child already lowered
+        # (the rewrite is bottom-up) must still reach the cost-based
+        # choice: lookup nodes are reconstituted and re-lowered jointly.
+        db = self._db()
+        lowered = IndexLookup("patients", (("name", "ann"),))
+        plan = Select(lowered, _in_list("patient_id", [5]))
+        optimized = optimize(plan, db)
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.child, InLookup)
+        assert optimized.child.column == "patient_id"
+        reference = execute_interpreted(plan, db)
+        assert optimized.execute(db) == reference
+
+    def test_prepare_stream_plan_builds_index_above_existing_lookup(self):
+        # With only the name index present, the first optimize leaves the
+        # membership select above an IndexLookup; preparing for streaming
+        # must still build the single-column index and re-plan onto it.
+        db = self._db()
+        table = db.table("patients")
+        assert table.matching_index(["age"]) is None
+        predicate = BinaryOp(
+            "AND",
+            BinaryOp("=", Identifier.of("name"), Literal("ann")),
+            _in_list("age", [35]),
+        )
+        plan = Select(Scan("patients"), predicate)
+        prepared = prepare_stream_plan(plan, db)
+        assert table.matching_index(["age"]) is not None
+        assert isinstance(prepared, Select)
+        assert isinstance(prepared.child, InLookup)
+        assert prepared.child.column == "age"
+        assert prepared.execute(db) == execute_interpreted(plan, db)
+
+
+class TestSelectPushdownBelowPivot:
+    """Key-only filters slide below Pivot/Coerce (the EAV delta path)."""
+
+    def _eav_db(self):
+        db = Database("d")
+        db.create_table(
+            TableSchema.build(
+                "eav",
+                [
+                    ("record_id", DataType.INTEGER),
+                    ("attribute", DataType.TEXT),
+                    ("value", DataType.TEXT),
+                ],
+            )
+        )
+        db.insert(
+            "eav",
+            [
+                {"record_id": rid, "attribute": attr, "value": f"{attr}{rid}"}
+                for rid in range(1, 6)
+                for attr in ("a", "b")
+            ],
+        )
+        return db
+
+    def _pivot(self):
+        return Pivot(Scan("eav"), ("record_id",), "attribute", "value", ("a", "b"))
+
+    def test_key_filter_pushes_below_pivot(self):
+        optimized = optimize(
+            Select(self._pivot(), _in_list("record_id", [2, 4])), self._eav_db()
+        )
+        assert isinstance(optimized, Pivot)
+
+    def test_value_filter_stays_above_pivot(self):
+        optimized = optimize(
+            Select(self._pivot(), BinaryOp("=", Identifier.of("a"), Literal("a2"))),
+            self._eav_db(),
+        )
+        assert isinstance(optimized, Select)
+
+    def test_pushed_plan_is_equivalent(self):
+        db = self._eav_db()
+        plan = Select(self._pivot(), _in_list("record_id", [2, 4]))
+        _assert_all_paths_agree(plan, db)

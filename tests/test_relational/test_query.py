@@ -117,7 +117,9 @@ class TestOptimizer:
         )
         optimized = optimize(Select(join, parse("a = 1")))
         assert isinstance(optimized, Join)
-        assert isinstance(optimized.left, Select)
+        # The select lands in the left side, below the projection too.
+        assert isinstance(optimized.left, Project)
+        assert isinstance(optimized.left.child, Select)
 
     def test_leaves_cross_side_predicate_above_join(self):
         join = Join(

@@ -1,0 +1,269 @@
+"""Tests for incremental materialization and its lineage contract.
+
+``build(incremental=True)`` must always leave the table with exactly the
+rows a full rebuild would produce — refreshing only changed records when
+the snapshot lineage can vouch for the delta, and silently rebuilding
+when it cannot (first build, changed definitions, untracked mutations).
+Row order is unspecified after a refresh, so comparisons sort on
+(source, record_id).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.classifiers import vendor_classifiers_for
+from repro.analysis.schema import build_endoscopy_schema
+from repro.clinical import build_world
+from repro.clinical.cori import cori_procedure_values
+from repro.clinical.ground_truth import generate_truths
+from repro.warehouse import (
+    DerivationRule,
+    DerivedStrategy,
+    FullStrategy,
+    MaterializationJob,
+    SelectiveStrategy,
+    Warehouse,
+)
+
+
+@pytest.fixture
+def small_world():
+    """A fresh, private world per test — these tests mutate sources."""
+    return build_world(50, seed=3)
+
+
+@pytest.fixture
+def cori(small_world):
+    return small_world.source("cori_warehouse_feed")
+
+
+def make_job(world, source):
+    vendor = vendor_classifiers_for(source)
+    return MaterializationJob(
+        schema=build_endoscopy_schema(),
+        entity="Procedure",
+        sources=[source],
+        entity_classifiers={source.name: vendor.entity_classifier},
+        classifiers=[
+            vendor.habits_cancer,
+            vendor.habits_chemistry,
+            vendor.ex_smoker_ever,
+        ],
+    )
+
+
+def rows_of(warehouse):
+    return sorted(
+        warehouse.table("mat_procedure").rows(),
+        key=lambda r: (r["source"], r["record_id"]),
+    )
+
+
+def insert_procedures(world, source, count, seed=99):
+    existing = len(world.truths_by_source[source.name])
+    session = source.session(first_record_id=existing + 1)
+    for truth in generate_truths(count, seed=seed):
+        session.enter("procedure", cori_procedure_values(truth))
+
+
+def update_record(source, record_id):
+    """Mutate one record's physical rows out of band, then track it."""
+    eav = source.db.table("cori_eav")
+    changed = eav.update(
+        lambda r: r["entity"] == "procedure"
+        and r["record_id"] == record_id
+        and r["attribute"] == "smoking",
+        {"value": "Current"},
+    )
+    assert changed, f"record {record_id} has no smoking row to flip"
+    source.track_change(record_id, form="procedure")
+
+
+def delete_record(source, record_id):
+    eav = source.db.table("cori_eav")
+    eav.delete(lambda r: r["entity"] == "procedure" and r["record_id"] == record_id)
+    source.track_change(record_id, form="procedure")
+
+
+def full_rebuild_rows(world, source):
+    reference = Warehouse()
+    FullStrategy(make_job(world, source), reference).build()
+    return rows_of(reference)
+
+
+class TestIncrementalEqualsFull:
+    def test_after_inserts(self, small_world, cori):
+        warehouse = Warehouse()
+        FullStrategy(make_job(small_world, cori), warehouse).build()
+        insert_procedures(small_world, cori, 5)
+        FullStrategy(make_job(small_world, cori), warehouse).build(incremental=True)
+        assert rows_of(warehouse) == full_rebuild_rows(small_world, cori)
+
+    def test_after_update(self, small_world, cori):
+        warehouse = Warehouse()
+        FullStrategy(make_job(small_world, cori), warehouse).build()
+        before = rows_of(warehouse)
+        update_record(cori, record_id=1)
+        FullStrategy(make_job(small_world, cori), warehouse).build(incremental=True)
+        after = rows_of(warehouse)
+        assert after == full_rebuild_rows(small_world, cori)
+        assert after != before  # the flipped answer must show up
+
+    def test_after_delete(self, small_world, cori):
+        warehouse = Warehouse()
+        FullStrategy(make_job(small_world, cori), warehouse).build()
+        delete_record(cori, record_id=2)
+        FullStrategy(make_job(small_world, cori), warehouse).build(incremental=True)
+        assert not any(r["record_id"] == 2 for r in rows_of(warehouse))
+        assert rows_of(warehouse) == full_rebuild_rows(small_world, cori)
+
+    def test_mixed_insert_update_delete(self, small_world, cori):
+        warehouse = Warehouse()
+        FullStrategy(make_job(small_world, cori), warehouse).build()
+        insert_procedures(small_world, cori, 3)
+        update_record(cori, record_id=1)
+        delete_record(cori, record_id=3)
+        FullStrategy(make_job(small_world, cori), warehouse).build(incremental=True)
+        assert rows_of(warehouse) == full_rebuild_rows(small_world, cori)
+
+    def test_selective_strategy(self, small_world, cori):
+        warehouse = Warehouse()
+        job = make_job(small_world, cori)
+        SelectiveStrategy(job, warehouse, ["cori_habits_cancer"]).build()
+        insert_procedures(small_world, cori, 4)
+        SelectiveStrategy(
+            make_job(small_world, cori), warehouse, ["cori_habits_cancer"]
+        ).build(incremental=True)
+        reference = Warehouse()
+        SelectiveStrategy(
+            make_job(small_world, cori), reference, ["cori_habits_cancer"]
+        ).build()
+        assert rows_of(warehouse) == rows_of(reference)
+
+    def test_derived_strategy_delegates(self, small_world, cori):
+        rule = DerivationRule.of("cori_habits_chemistry", "cori_habits_cancer", "base")
+        warehouse = Warehouse()
+        DerivedStrategy(make_job(small_world, cori), warehouse, [rule]).build()
+        insert_procedures(small_world, cori, 4)
+        strategy = DerivedStrategy(make_job(small_world, cori), warehouse, [rule])
+        strategy.build(incremental=True)
+        reference = Warehouse()
+        ref = DerivedStrategy(make_job(small_world, cori), reference, [rule])
+        ref.build()
+        key = lambda r: (r["source"], r["record_id"])
+        assert sorted(
+            strategy.fetch(["cori_habits_chemistry"]), key=key
+        ) == sorted(ref.fetch(["cori_habits_chemistry"]), key=key)
+
+
+class TestRefreshEconomy:
+    def test_unchanged_sources_do_not_reload(self, small_world, cori):
+        warehouse = Warehouse()
+        FullStrategy(make_job(small_world, cori), warehouse).build()
+        loads_before = len(warehouse.loads)
+        version = warehouse.table("mat_procedure").version
+        FullStrategy(make_job(small_world, cori), warehouse).build(incremental=True)
+        assert len(warehouse.loads) == loads_before  # no-op refresh
+        assert warehouse.table("mat_procedure").version == version
+
+    def test_refresh_touches_only_changed_records(self, small_world, cori):
+        warehouse = Warehouse()
+        FullStrategy(make_job(small_world, cori), warehouse).build()
+        untouched_before = [r for r in rows_of(warehouse) if r["record_id"] != 1]
+        update_record(cori, record_id=1)
+        FullStrategy(make_job(small_world, cori), warehouse).build(incremental=True)
+        untouched_after = [r for r in rows_of(warehouse) if r["record_id"] != 1]
+        assert untouched_after == untouched_before
+
+    def test_base_records_cached_within_cycle(self, small_world, cori):
+        job = make_job(small_world, cori)
+        calls = []
+        original = cori.execute
+
+        def counting(query, record_ids=None):
+            calls.append(record_ids)
+            return original(query, record_ids=record_ids)
+
+        cori.execute = counting
+        try:
+            strategy = SelectiveStrategy(job, Warehouse(), ["cori_habits_cancer"])
+            strategy.build()
+            assert len(calls) == 1
+            strategy.fetch(["cori_habits_cancer", "cori_habits_chemistry"])
+            assert len(calls) == 1  # cold fetch reuses the build's extraction
+        finally:
+            cori.execute = original
+
+    def test_cache_invalidated_by_source_change(self, small_world, cori):
+        job = make_job(small_world, cori)
+        first = job.base_records(cori)
+        assert job.base_records(cori) is first  # same version → shared list
+        insert_procedures(small_world, cori, 1)
+        assert job.base_records(cori) is not first
+
+
+class TestFallbacks:
+    def test_first_build_without_lineage(self, small_world, cori):
+        warehouse = Warehouse()
+        FullStrategy(make_job(small_world, cori), warehouse).build(incremental=True)
+        assert rows_of(warehouse) == full_rebuild_rows(small_world, cori)
+
+    def test_untracked_mutation_forces_rebuild(self, small_world, cori):
+        warehouse = Warehouse()
+        FullStrategy(make_job(small_world, cori), warehouse).build()
+        # Mutate WITHOUT telling the source: the feed can no longer vouch.
+        eav = cori.db.table("cori_eav")
+        eav.update(
+            lambda r: r["entity"] == "procedure"
+            and r["record_id"] == 1
+            and r["attribute"] == "smoking",
+            {"value": "Never"},
+        )
+        FullStrategy(make_job(small_world, cori), warehouse).build(incremental=True)
+        assert rows_of(warehouse) == full_rebuild_rows(small_world, cori)
+
+    def test_definition_change_forces_rebuild(self, small_world, cori):
+        warehouse = Warehouse()
+        job = make_job(small_world, cori)
+        SelectiveStrategy(job, warehouse, ["cori_habits_cancer"]).build()
+        widened = SelectiveStrategy(
+            make_job(small_world, cori),
+            warehouse,
+            ["cori_habits_cancer", "cori_ex_smoker_ever"],
+        )
+        widened.build(incremental=True)
+        schema = warehouse.table("mat_procedure").schema
+        assert "cori_ex_smoker_ever" in schema.column_names
+
+    def test_foreign_lineage_forces_rebuild(self, small_world, cori):
+        warehouse = Warehouse()
+        FullStrategy(make_job(small_world, cori), warehouse).build()
+        lineage = warehouse.lineage("mat_procedure")
+        lineage["sources"][cori.name] = 10**9  # version from another life
+        warehouse.set_lineage("mat_procedure", lineage)
+        FullStrategy(make_job(small_world, cori), warehouse).build(incremental=True)
+        assert rows_of(warehouse) == full_rebuild_rows(small_world, cori)
+
+
+class TestWarehouseLineage:
+    def test_build_records_lineage(self, small_world, cori):
+        warehouse = Warehouse()
+        FullStrategy(make_job(small_world, cori), warehouse).build()
+        lineage = warehouse.lineage("mat_procedure")
+        assert lineage is not None
+        assert lineage["sources"] == {cori.name: cori.data_version()}
+        assert lineage["fingerprint"]
+
+    def test_drop_table_forgets_lineage(self, small_world, cori):
+        warehouse = Warehouse()
+        FullStrategy(make_job(small_world, cori), warehouse).build()
+        warehouse.drop_table("mat_procedure")
+        assert warehouse.lineage("mat_procedure") is None
+        assert not warehouse.has_table("mat_procedure")
+
+    def test_lineage_returns_copy(self, small_world, cori):
+        warehouse = Warehouse()
+        FullStrategy(make_job(small_world, cori), warehouse).build()
+        warehouse.lineage("mat_procedure")["fingerprint"] = "tampered"
+        assert warehouse.lineage("mat_procedure")["fingerprint"] != "tampered"
