@@ -17,15 +17,20 @@ Runs two ways:
 
 * ``pytest benchmarks/bench_etl_pipeline.py`` — a fast equivalence
   check on a small world (the timing numbers come from standalone mode);
-* ``python benchmarks/bench_etl_pipeline.py --json`` — standalone mode
-  (no pytest needed, CI-friendly) writing ``BENCH_etl_pipeline.json``.
+* ``python benchmarks/bench_etl_pipeline.py`` — standalone mode (no
+  pytest needed, CI-friendly) writing a scratch
+  ``benchmarks/reports/etl_pipeline.latest.json``; pass ``--json`` to
+  promote the run to the committed ``BENCH_etl_pipeline.json`` baseline.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import sys
+
+try:  # package import under pytest, bare import as a standalone script
+    from benchmarks._payload import resolve_json_path, write_payload
+except ImportError:  # pragma: no cover - script mode
+    from _payload import resolve_json_path, write_payload
 import time
 
 from repro.analysis.classifiers import vendor_classifiers_for
@@ -214,26 +219,16 @@ def run(json_path: str | None = None) -> list[dict]:
             "delta_records": DELTA_RECORDS,
             "results": results,
         }
-        with open(json_path, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        write_payload(json_path, payload)
         print(f"wrote {json_path}")
     return results
 
 
 def main(argv: list[str]) -> int:
-    json_path = None
-    if "--json" in argv:
-        index = argv.index("--json")
-        json_path = (
-            argv[index + 1]
-            if index + 1 < len(argv) and not argv[index + 1].startswith("-")
-            else os.path.join(
-                os.path.dirname(__file__), "..", "BENCH_etl_pipeline.json"
-            )
-        )
-        json_path = os.path.normpath(json_path)
+    json_path, promoted = resolve_json_path(argv, "etl_pipeline")
     run(json_path)
+    if not promoted:
+        print("scratch run; pass --json to promote to the committed baseline")
     return 0
 
 

@@ -11,15 +11,21 @@ Runs two ways:
 
 * ``pytest benchmarks/bench_relational_core.py`` — pytest-benchmark cases
   plus a summary table through the shared report channel;
-* ``python benchmarks/bench_relational_core.py --json`` — standalone mode
-  (no pytest needed, CI-friendly) writing ``BENCH_relational_core.json``.
+* ``python benchmarks/bench_relational_core.py`` — standalone mode (no
+  pytest needed, CI-friendly) writing a scratch
+  ``benchmarks/reports/relational_core.latest.json``; pass ``--json`` to
+  promote the run to the committed ``BENCH_relational_core.json``
+  baseline.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import sys
+
+try:  # package import under pytest, bare import as a standalone script
+    from benchmarks._payload import resolve_json_path, write_payload
+except ImportError:  # pragma: no cover - script mode
+    from _payload import resolve_json_path, write_payload
 import time
 
 from repro.expr.ast import BinaryOp, Identifier, Literal
@@ -249,24 +255,16 @@ def run(json_path: str | None = None) -> list[dict]:
             "chain_depth": CHAIN_DEPTH,
             "results": results,
         }
-        with open(json_path, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        write_payload(json_path, payload)
         print(f"wrote {json_path}")
     return results
 
 
 def main(argv: list[str]) -> int:
-    json_path = None
-    if "--json" in argv:
-        index = argv.index("--json")
-        json_path = (
-            argv[index + 1]
-            if index + 1 < len(argv) and not argv[index + 1].startswith("-")
-            else os.path.join(os.path.dirname(__file__), "..", "BENCH_relational_core.json")
-        )
-        json_path = os.path.normpath(json_path)
+    json_path, promoted = resolve_json_path(argv, "relational_core")
     run(json_path)
+    if not promoted:
+        print("scratch run; pass --json to promote to the committed baseline")
     return 0
 
 

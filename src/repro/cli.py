@@ -8,6 +8,7 @@ without writing a script.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -71,6 +72,37 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the full classifier corpus in the mini-language",
     )
     export.set_defaults(handler=_cmd_export)
+
+    trace = commands.add_parser(
+        "trace",
+        help="profile a representative query or workflow under tracing",
+    )
+    _world_arguments(trace)
+    trace.add_argument(
+        "target",
+        choices=["query", "workflow"],
+        help="what to profile: a GUAVA-translated entity query "
+        "(explain_analyze) or a compiled study workflow run",
+    )
+    trace.add_argument(
+        "--parallelism", type=int, default=4, help="workflow threads (default 4)"
+    )
+    trace.add_argument(
+        "--batch-size", type=int, default=256, help="workflow batch size (default 256)"
+    )
+    trace.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="also write the trace JSON to PATH",
+    )
+    trace.add_argument(
+        "--flame",
+        action="store_true",
+        help="print collapsed-stack flamegraph lines instead of the tree",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     gtree = commands.add_parser(
         "gtree", help="render a contributor's g-tree"
@@ -212,6 +244,49 @@ def _cmd_export(args) -> int:
             registry.add_classifier(classifier)
         registry.add_entity_classifier(vendor.entity_classifier)
     sys.stdout.write(registry.export_text())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import Tracer, explain_analyze, tracing
+
+    world = _world(args)
+    if args.target == "query":
+        from repro.analysis.classifiers import vendor_classifiers_for
+        from repro.guava.query import GTreeQuery
+        from repro.guava.translate import translate_query
+
+        source = world.source(_SOURCE_NAMES["cori"])
+        ec = vendor_classifiers_for(source).entity_classifier
+        plan = translate_query(
+            GTreeQuery(source.gtree(ec.form)).where(ec.condition), source.chain
+        )
+        report = explain_analyze(plan, source.db)
+        tracer: Tracer = report.tracer
+    else:
+        from repro.analysis.studies import STUDY1_ELEMENTS, build_cohort_study
+        from repro.etl import compile_study
+        from repro.relational import Database
+
+        workflow = compile_study(
+            build_cohort_study("trace", world, STUDY1_ELEMENTS), Database("warehouse")
+        )
+        with tracing() as tracer:
+            workflow.run(parallelism=args.parallelism, batch_size=args.batch_size)
+    if args.flame:
+        for root in tracer.roots:
+            for line in root.flamegraph_lines():
+                print(line)
+    else:
+        for root in tracer.roots:
+            print(root.render())
+    if args.json_path:
+        parent = os.path.dirname(args.json_path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(tracer.to_json())
+        print(f"trace JSON written to {args.json_path}", file=sys.stderr)
     return 0
 
 

@@ -19,12 +19,15 @@ Two execution paths share one DAG:
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.errors import WorkflowError
-from repro.etl.components import Chunk, Component, Extract, Row, UnionInputs
+from repro.etl.components import Component, Extract, Row, UnionInputs
+from repro.obs.trace import Span, current_tracer
 
 
 @dataclass
@@ -54,6 +57,10 @@ class RunReport:
     """Per-step row counts and timings for one workflow run."""
 
     steps: list[StepRun] = field(default_factory=list)
+    #: Span tree for the run when executed under ``repro.obs.tracing()``;
+    #: None otherwise.  The engine path groups spans wave -> unit -> step
+    #: with queue waits and thread attribution; the serial path is flat.
+    trace: Span | None = None
 
     def rows_out(self, step_name: str) -> int:
         for run in self.steps:
@@ -71,6 +78,12 @@ class RunReport:
                 f"{run.rows_out:>8} {run.seconds:>10.4f}"
             )
         return "\n".join(lines)
+
+    def render_trace(self) -> str:
+        """Annotated span tree, or a pointer at how to get one."""
+        if self.trace is None:
+            return "(no trace: run the workflow under repro.obs.tracing())"
+        return self.trace.render()
 
 
 class _StepStats:
@@ -97,6 +110,20 @@ class _Unit:
     @property
     def tail(self) -> Step:
         return self.steps[-1]
+
+
+@dataclass
+class _UnitRecord:
+    """Raw engine timings for one executed unit (trace assembly input)."""
+
+    unit: _Unit
+    wave: int
+    #: ``perf_counter`` when the unit's wave became dispatchable.
+    ready_s: float
+    started_s: float
+    ended_s: float
+    batches: int
+    thread: str
 
 
 class Workflow:
@@ -176,21 +203,42 @@ class Workflow:
     def _run_serial(self) -> tuple[dict[str, list[Row]], RunReport]:
         results: dict[str, list[Row]] = {}
         report = RunReport()
+        tracer = current_tracer()
+        root: Span | None = None
+        run_started = time.perf_counter()
         for step in self._steps.values():  # insertion order is topological
             inputs = [results[name] for name in step.inputs]
             started = time.perf_counter()
             rows = step.component.run(inputs)
             elapsed = time.perf_counter() - started
             results[step.name] = rows
+            rows_in = sum(len(rows_in) for rows_in in inputs)
             report.steps.append(
                 StepRun(
                     step=step.name,
                     stage=step.stage,
-                    rows_in=sum(len(rows_in) for rows_in in inputs),
+                    rows_in=rows_in,
                     rows_out=len(rows),
                     seconds=elapsed,
                 )
             )
+            if tracer is not None:
+                if root is None:
+                    root = Span(f"workflow:{self.name}", attrs={"mode": "serial"})
+                step_span = root.child(
+                    f"step:{step.name}",
+                    stage=step.stage,
+                    rows_in=rows_in,
+                    rows_out=len(rows),
+                )
+                step_span.duration_s = elapsed
+        if tracer is not None:
+            if root is None:
+                root = Span(f"workflow:{self.name}", attrs={"mode": "serial"})
+            root.attrs["steps"] = len(self._steps)
+            root.duration_s = time.perf_counter() - run_started
+            tracer.attach(root)
+            report.trace = root
         outputs = {name: results[name] for name in self.outputs} if self.outputs else results
         return outputs, report
 
@@ -235,19 +283,30 @@ class Workflow:
         order = {name: index for index, name in enumerate(self._steps)}
         results: dict[str, list[Row]] = {}
         stats = {name: _StepStats() for name in self._steps}
-        commits: list[tuple[int, object]] = []
+        commits: list[tuple[int, Callable[[], None]]] = []
 
         unit_deps: list[set[int]] = [
             {producer[dep] for dep in unit.head.inputs} for unit in units
         ]
 
-        def execute_unit(unit: _Unit) -> None:
+        # Worker threads start with fresh contexts and so see tracing as
+        # disabled; the engine instead records raw per-unit timings here
+        # (list.append is atomic) and assembles the span tree afterwards
+        # in the calling thread.
+        tracer = current_tracer()
+        records: list[_UnitRecord] | None = [] if tracer is not None else None
+        run_started = time.perf_counter()
+
+        def execute_unit(unit: _Unit, wave: int = 0, ready_s: float = 0.0) -> None:
+            started_s = time.perf_counter()
             chunks, owned, tail_ops = self._open_unit(unit, results, stats, batch_size)
             for step, op in tail_ops:
                 if op.commit is not None:
                     commits.append((order[step.name], op.commit))
             out: list[Row] = []
+            batches = 0
             for chunk in chunks:
+                batches += 1
                 chunk_owned = owned
                 for step, op in tail_ops:
                     step_stats = stats[step.name]
@@ -258,6 +317,18 @@ class Workflow:
                     step_stats.rows_out += len(chunk)
                 out.extend(chunk)
             results[unit.tail.name] = out
+            if records is not None:
+                records.append(
+                    _UnitRecord(
+                        unit=unit,
+                        wave=wave,
+                        ready_s=ready_s,
+                        started_s=started_s,
+                        ended_s=time.perf_counter(),
+                        batches=batches,
+                        thread=threading.current_thread().name,
+                    )
+                )
 
         pending = set(range(len(units)))
         completed: set[int] = set()
@@ -269,6 +340,7 @@ class Workflow:
         switch_interval = sys.getswitchinterval() if pool is not None else None
         if switch_interval is not None:
             sys.setswitchinterval(max(switch_interval, 0.05))
+        wave_count = 0
         try:
             while pending:
                 wave = sorted(
@@ -276,12 +348,15 @@ class Workflow:
                 )
                 if not wave:  # unreachable while add() keeps the DAG acyclic
                     raise WorkflowError(f"workflow {self.name!r} is cyclic")
+                wave_index = wave_count
+                wave_count += 1
+                ready_s = time.perf_counter()
                 if pool is None or len(wave) == 1:
                     for index in wave:
-                        execute_unit(units[index])
+                        execute_unit(units[index], wave_index, ready_s)
                 else:
                     futures = [
-                        (index, pool.submit(execute_unit, units[index]))
+                        (index, pool.submit(execute_unit, units[index], wave_index, ready_s))
                         for index in wave
                     ]
                     errors = []
@@ -314,12 +389,79 @@ class Workflow:
                 for step in self._steps.values()
             ]
         )
+        if tracer is not None and records is not None:
+            wall_s = time.perf_counter() - run_started
+            root = self._assemble_trace(
+                records, stats, parallelism, batch_size, wall_s
+            )
+            tracer.attach(root)
+            report.trace = root
         outputs = (
             {name: results[name] for name in self.outputs}
             if self.outputs
             else results
         )
         return outputs, report
+
+    def _assemble_trace(
+        self,
+        records: list[_UnitRecord],
+        stats: dict[str, _StepStats],
+        parallelism: int,
+        batch_size: int | None,
+        wall_s: float,
+    ) -> Span:
+        """Build the engine run's span tree from raw unit timings.
+
+        Grouping is wave -> unit -> step.  Unit spans carry their queue
+        wait (dispatchable to actually started) and worker thread; the
+        root carries thread utilization — summed busy time over the
+        pool's wall-clock capacity.
+        """
+        root = Span(
+            f"workflow:{self.name}",
+            attrs={
+                "mode": "engine",
+                "parallelism": parallelism,
+                "batch_size": batch_size,
+                "units": len(records),
+                "waves": len({record.wave for record in records}),
+            },
+        )
+        root.duration_s = wall_s
+        busy_s = sum(record.ended_s - record.started_s for record in records)
+        if wall_s > 0 and parallelism > 0:
+            root.attrs["thread_utilization"] = round(
+                busy_s / (wall_s * parallelism), 3
+            )
+        wave_spans: dict[int, Span] = {}
+        for record in sorted(records, key=lambda r: (r.wave, r.started_s)):
+            wave_span = wave_spans.get(record.wave)
+            if wave_span is None:
+                wave_span = root.child(f"wave:{record.wave}")
+                wave_spans[record.wave] = wave_span
+            wave_span.duration_s = max(
+                wave_span.duration_s, record.ended_s - record.ready_s
+            )
+            unit_span = wave_span.child(
+                f"unit:{record.unit.tail.name}",
+                thread=record.thread,
+                batches=record.batches,
+                queue_wait_ms=round(
+                    max(0.0, record.started_s - record.ready_s) * 1000, 3
+                ),
+            )
+            unit_span.duration_s = record.ended_s - record.started_s
+            for step in record.unit.steps:
+                step_stats = stats[step.name]
+                step_span = unit_span.child(
+                    f"step:{step.name}",
+                    stage=step.stage,
+                    rows_in=step_stats.rows_in,
+                    rows_out=step_stats.rows_out,
+                )
+                step_span.duration_s = step_stats.seconds
+        return root
 
     def _open_unit(self, unit, results, stats, batch_size):
         """The unit's input chunk iterator, its ownership, and its tail ops.

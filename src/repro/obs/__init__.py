@@ -1,0 +1,51 @@
+"""Engine-wide observability: tracing, metrics, and plan profiling.
+
+:mod:`repro.obs.trace` is the dependency-free core (spans, tracers, the
+off-by-default context switch); :mod:`repro.obs.explain` builds on the
+relational layer to offer ``explain_analyze`` — an executed, annotated
+plan tree with actual row counts and wall times per operator.
+
+``explain`` imports the relational layer, which itself hooks into
+``trace``; to keep that cycle-free this package eagerly exposes only the
+trace core and loads :func:`~repro.obs.explain.explain_analyze` lazily.
+"""
+
+from typing import Any
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    TreeRecorder,
+    current_span,
+    current_tracer,
+    enabled,
+    install,
+    span,
+    tracing,
+    uninstall,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "ExplainReport",
+    "Span",
+    "Tracer",
+    "TreeRecorder",
+    "current_span",
+    "current_tracer",
+    "enabled",
+    "explain_analyze",
+    "install",
+    "span",
+    "tracing",
+    "uninstall",
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name in ("explain_analyze", "ExplainReport"):
+        from repro.obs import explain
+
+        return getattr(explain, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

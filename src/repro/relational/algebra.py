@@ -28,12 +28,14 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from itertools import islice
+from time import perf_counter
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import QueryError
 from repro.expr.ast import Expression
 from repro.expr.compile import compile_expression, compile_predicate
 from repro.expr.evaluator import sql_equal
+from repro.obs.trace import TreeRecorder, current_tracer
 from repro.relational.database import Database
 from repro.relational.types import DataType
 
@@ -48,15 +50,26 @@ class ExecContext:
     each trigger a full recursion, turning deep pattern chains into
     O(depth²) schema work (ablation A6).  The context memoizes columns by
     node identity so one execute computes each node's schema exactly once.
+
+    ``recorder`` (normally None) is the observability hook: when set, the
+    base :meth:`Plan.stream` meters every node's iterator into the
+    recorder's span tree.  The disabled cost is one attribute check per
+    operator per execution — never per row.
     """
 
-    __slots__ = ("db", "_columns")
+    __slots__ = ("db", "recorder", "_columns")
 
-    def __init__(self, db: Database):
+    def __init__(self, db: Database, recorder: TreeRecorder | None = None):
         self.db = db
+        self.recorder = recorder
         # Keyed by node identity; the entry pins the node so a recycled id()
         # of a garbage-collected plan can never alias a stale cache hit.
         self._columns: dict[int, tuple["Plan", tuple[str, ...]]] = {}
+
+    def annotate(self, plan: "Plan", **attrs: object) -> None:
+        """Record runtime gauges for a node (no-op when not tracing)."""
+        if self.recorder is not None:
+            self.recorder.annotate(plan, **attrs)
 
     def columns(self, plan: "Plan") -> tuple[str, ...]:
         """Memoized ``plan.output_columns`` against this context's database."""
@@ -77,7 +90,15 @@ class Plan:
         return ()
 
     def execute(self, db: Database) -> list[Row]:
-        """Run the plan against ``db`` and materialize the result."""
+        """Run the plan against ``db`` and materialize the result.
+
+        Under an installed tracer (``repro.obs.tracing()``) the execution
+        is profiled: a span tree mirroring the plan records per-node row
+        counts and wall time.
+        """
+        tracer = current_tracer()
+        if tracer is not None:
+            return self._execute_traced(db, tracer)
         rows = self.stream(ExecContext(db))
         if self.shares_storage():
             # The stream may yield dicts owned by table storage; copy at the
@@ -85,12 +106,38 @@ class Plan:
             return [dict(row) for row in rows]
         return list(rows)
 
+    def _execute_traced(self, db: Database, tracer) -> list[Row]:
+        with tracer.span(f"execute:{type(self).__name__}") as root:
+            recorder = TreeRecorder(
+                self, root, label=trace_label, children=lambda p: p.children()
+            )
+            rows = self.stream(ExecContext(db, recorder))
+            if self.shares_storage():
+                result = [dict(row) for row in rows]
+            else:
+                result = list(rows)
+            root.set("rows_out", len(result))
+            return result
+
     def stream(self, ctx: ExecContext) -> Iterator[Row]:
         """Yield result rows lazily.
 
         Rows may alias table storage when :meth:`shares_storage` is true;
         treat streamed rows as read-only unless that method returns False.
+        Dispatches to the node's :meth:`_stream`; when the context carries
+        a recorder, the iterator is metered into the node's span (any
+        eager setup work a node does — e.g. a join's build side — counts
+        toward its span as ``setup_s``).
         """
+        recorder = ctx.recorder
+        if recorder is None:
+            return self._stream(ctx)
+        started = perf_counter()
+        iterator = self._stream(ctx)
+        return recorder.wrap(self, iterator, setup_s=perf_counter() - started)
+
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
+        """The node's streaming implementation (see :meth:`stream`)."""
         raise NotImplementedError
 
     def shares_storage(self) -> bool:
@@ -117,7 +164,7 @@ class Scan(Plan):
 
     table: str
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         return ctx.db.table(self.table).iter_rows()
 
     def shares_storage(self) -> bool:
@@ -141,11 +188,12 @@ class IndexLookup(Plan):
     table: str
     items: tuple[tuple[str, object], ...]
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         table = ctx.db.table(self.table)
         items = self.items
         index = table.matching_index([column for column, _ in items])
         if index is None:
+            ctx.annotate(self, access_path="scan_fallback")
             return (
                 row
                 for row in table.iter_rows()
@@ -153,7 +201,14 @@ class IndexLookup(Plan):
             )
         values = dict(items)
         key = tuple(values[column] for column in index.columns)
-        candidates = table.rows_at(index.lookup(key))
+        positions = index.lookup(key)
+        ctx.annotate(
+            self,
+            access_path="index",
+            index_columns=",".join(index.columns),
+            bucket_rows=len(positions),
+        )
+        candidates = table.rows_at(positions)
         # Bucket rows are Python-equal to the probe on the indexed columns,
         # and table extents are coerced to their declared types on write.
         # SQL equality then only disagrees with bucket membership when the
@@ -197,10 +252,11 @@ class InLookup(Plan):
     column: str
     values: tuple[object, ...]
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         table = ctx.db.table(self.table)
         index = table.matching_index([self.column])
         if index is None:
+            ctx.annotate(self, access_path="scan_fallback")
             column, values = self.column, self.values
             return (
                 row
@@ -217,6 +273,12 @@ class InLookup(Plan):
             if value is None or isinstance(value, bool) != boolish:
                 continue
             positions.update(index.lookup((value,)))
+        ctx.annotate(
+            self,
+            access_path="index",
+            probe_values=len(self.values),
+            bucket_rows=len(positions),
+        )
         return table.rows_at(sorted(positions))
 
     def shares_storage(self) -> bool:
@@ -233,7 +295,7 @@ class Values(Plan):
     columns: tuple[str, ...]
     rows: tuple[tuple[object, ...], ...]
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         columns = self.columns
         return (dict(zip(columns, row)) for row in self.rows)
 
@@ -251,7 +313,7 @@ class Select(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         return filter(compile_predicate(self.predicate), self.child.stream(ctx))
 
     def shares_storage(self) -> bool:
@@ -271,7 +333,7 @@ class Project(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         available = set(ctx.columns(self.child))
         missing = [column for column in self.columns if column not in available]
         if missing:
@@ -302,7 +364,7 @@ class Compute(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         compiled = tuple(
             (name, compile_expression(expression))
             for name, expression in self.derivations
@@ -333,7 +395,7 @@ class Rename(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         table = dict(self.mapping)
         return (
             {table.get(column, column): value for column, value in row.items()}
@@ -362,7 +424,7 @@ class Join(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.left, self.right)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         if self.how not in ("inner", "left"):
             raise QueryError(f"unsupported join type {self.how!r}")
         left_cols = ctx.columns(self.left)
@@ -452,7 +514,7 @@ class Union(Plan):
     def children(self) -> tuple[Plan, ...]:
         return self.inputs
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         if not self.inputs:
             return iter(())
         columns = ctx.columns(self)
@@ -487,7 +549,7 @@ class Distinct(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         columns = ctx.columns(self.child)
 
         def generate() -> Iterator[Row]:
@@ -520,7 +582,7 @@ class Unpivot(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         for row in self.child.stream(ctx):
             for column in self.value_columns:
                 record: Row = {c: row.get(c) for c in self.id_columns}
@@ -550,7 +612,7 @@ class Pivot(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         # Ordered dicts double as the insertion-order list; the attribute
         # set and the blank-row template are hoisted out of the fold loop.
         grouped: dict[object, Row] = {}
@@ -601,7 +663,7 @@ class Coerce(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         converters = tuple(
             (column, dtype.coerce) for column, dtype in self.column_types
         )
@@ -639,7 +701,7 @@ class Aggregate(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         groups: dict[tuple[object, ...], list[Row]] = {}
         order: list[tuple[object, ...]] = []
         for row in self.child.stream(ctx):
@@ -676,7 +738,7 @@ class Sort(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         rows = list(self.child.stream(ctx))
         # Apply keys right-to-left so stable sort yields composite ordering.
         for column, ascending in reversed(self.keys):
@@ -709,7 +771,7 @@ class TopK(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         rows = self.child.stream(ctx)
         directions = {ascending for _, ascending in self.keys}
         if len(directions) <= 1:
@@ -751,7 +813,7 @@ class Limit(Plan):
     def children(self) -> tuple[Plan, ...]:
         return (self.child,)
 
-    def stream(self, ctx: ExecContext) -> Iterator[Row]:
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
         if self.count < 0:
             # Negative counts keep Python slice semantics (drop from the end),
             # which requires the full child extent.
@@ -767,6 +829,50 @@ class Limit(Plan):
 
 
 # -- helpers -------------------------------------------------------------------
+
+
+def trace_label(plan: Plan) -> str:
+    """One-line span label for a plan node (type plus its key parameters)."""
+    if isinstance(plan, Scan):
+        return f"Scan[{plan.table}]"
+    if isinstance(plan, IndexLookup):
+        columns = ",".join(column for column, _ in plan.items)
+        return f"IndexLookup[{plan.table}: {columns}]"
+    if isinstance(plan, InLookup):
+        return f"InLookup[{plan.table}.{plan.column} IN ({len(plan.values)})]"
+    if isinstance(plan, Values):
+        return f"Values[{len(plan.rows)} rows]"
+    if isinstance(plan, Select):
+        return f"Select[{plan.predicate.to_source()}]"
+    if isinstance(plan, Project):
+        return f"Project[{','.join(plan.columns)}]"
+    if isinstance(plan, Compute):
+        return f"Compute[{','.join(name for name, _ in plan.derivations)}]"
+    if isinstance(plan, Rename):
+        return f"Rename[{','.join(f'{old}->{new}' for old, new in plan.mapping)}]"
+    if isinstance(plan, Join):
+        on = ",".join(f"{lk}={rk}" for lk, rk in plan.on)
+        return f"Join[{plan.how}: {on}]"
+    if isinstance(plan, Union):
+        return f"Union[{len(plan.inputs)} inputs]"
+    if isinstance(plan, Pivot):
+        return f"Pivot[{','.join(plan.key_columns)}: {len(plan.attributes)} attrs]"
+    if isinstance(plan, Unpivot):
+        return f"Unpivot[{','.join(plan.value_columns)}]"
+    if isinstance(plan, Coerce):
+        return f"Coerce[{','.join(column for column, _ in plan.column_types)}]"
+    if isinstance(plan, Aggregate):
+        funcs = ",".join(spec.alias for spec in plan.aggregates)
+        return f"Aggregate[{','.join(plan.group_by)}: {funcs}]"
+    if isinstance(plan, Sort):
+        keys = ",".join(("" if asc else "-") + col for col, asc in plan.keys)
+        return f"Sort[{keys}]"
+    if isinstance(plan, TopK):
+        keys = ",".join(("" if asc else "-") + col for col, asc in plan.keys)
+        return f"TopK[{keys} limit {plan.count}]"
+    if isinstance(plan, Limit):
+        return f"Limit[{plan.count}]"
+    return type(plan).__name__
 
 
 def _hashable(value: object) -> object:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.expr.analysis import referenced_identifiers
+from repro.obs.trace import Span, current_tracer
 from repro.expr.ast import (
     BinaryOp,
     Expression,
@@ -131,18 +132,37 @@ def optimize(plan: Plan, db: Database | None = None) -> Plan:
     dead columns through joins and unions.  The optimizer is deliberately
     conservative — correctness is checked by property tests asserting
     optimized and naive plans agree on every database they run against.
+
+    Under an installed tracer (``repro.obs.tracing()``) the pass opens an
+    ``optimize`` span counting each rewrite applied and logging the costed
+    access-path alternatives of every index lowering.
     """
-    return _rewrite(plan, _OptContext(db))
+    ctx = _OptContext(db)
+    tracer = current_tracer()
+    if tracer is None:
+        return _rewrite(plan, ctx)
+    with tracer.span("optimize") as trace:
+        ctx.trace = trace
+        return _rewrite(plan, ctx)
 
 
 class _OptContext:
     """Column knowledge for the rewrite pass, memoized across the tree."""
 
-    __slots__ = ("db", "_exec")
+    __slots__ = ("db", "trace", "_exec")
 
     def __init__(self, db: Database | None):
         self.db = db
+        #: The ``optimize`` span when tracing, else None (the common case).
+        self.trace: Span | None = None
         self._exec = ExecContext(db) if db is not None else None
+
+    def note(self, rule: str, **data: object) -> None:
+        """Count one applied rewrite (and log its decision data)."""
+        if self.trace is not None:
+            self.trace.incr(f"rewrite.{rule}")
+            if data:
+                self.trace.event(rule, **data)
 
     def columns_of(self, plan: Plan) -> tuple[str, ...] | None:
         """Ordered output columns when derivable, else None."""
@@ -171,6 +191,7 @@ def _rewrite(plan: Plan, ctx: _OptContext) -> Plan:
     if isinstance(plan, Project):
         return _rewrite_project(plan, ctx)
     if isinstance(plan, Limit) and isinstance(plan.child, Sort) and plan.count >= 0:
+        ctx.note("topk_fusion")
         return TopK(plan.child.child, plan.child.keys, plan.count)
     if isinstance(plan, Pivot):
         return _rewrite_pivot(plan, ctx)
@@ -187,6 +208,7 @@ def _rewrite_pivot(plan: Pivot, ctx: _OptContext) -> Plan:
     if isinstance(child, Project) and needed <= set(child.columns):
         below = ctx.column_set(child.child)
         if below is not None and set(child.columns) <= below:
+            ctx.note("pivot_project_drop")
             return Pivot(
                 child.child,
                 plan.key_columns,
@@ -201,9 +223,11 @@ def _rewrite_select(plan: Select, ctx: _OptContext) -> Plan:
     child = plan.child
     # A constant-TRUE filter keeps every row; drop the whole pass.
     if isinstance(plan.predicate, Literal) and plan.predicate.value is True:
+        ctx.note("constant_select_drop")
         return child
     # Merge consecutive selects into one conjunction.
     if isinstance(child, Select):
+        ctx.note("select_merge")
         merged = BinaryOp("AND", child.predicate, plan.predicate)
         return _rewrite(Select(child.child, merged), ctx)
     # A child lowered to an index path was chosen bottom-up, before this
@@ -214,6 +238,7 @@ def _rewrite_select(plan: Select, ctx: _OptContext) -> Plan:
         rebuilt = BinaryOp("AND", _lookup_predicate(child), plan.predicate)
         lowered = _lower_index_lookup(rebuilt, Scan(child.table), ctx)
         if lowered is not None:
+            ctx.note("select_relower_joint")
             return lowered
         return plan
     # Push below a projection when the predicate only reads surviving
@@ -221,6 +246,7 @@ def _rewrite_select(plan: Select, ctx: _OptContext) -> Plan:
     # projection's own validity check still runs).
     if isinstance(child, Project):
         if referenced_identifiers(plan.predicate) <= set(child.columns):
+            ctx.note("select_below_project")
             return _rewrite_project(
                 Project(_rewrite(Select(child.child, plan.predicate), ctx), child.columns),
                 ctx,
@@ -230,6 +256,7 @@ def _rewrite_select(plan: Select, ctx: _OptContext) -> Plan:
     if isinstance(child, Coerce):
         converted = {column for column, _ in child.column_types}
         if not (referenced_identifiers(plan.predicate) & converted):
+            ctx.note("select_below_coerce")
             return Coerce(
                 _rewrite(Select(child.child, plan.predicate), ctx),
                 child.column_types,
@@ -239,6 +266,7 @@ def _rewrite_select(plan: Select, ctx: _OptContext) -> Plan:
     # filtering folded groups keep exactly the same keys.
     if isinstance(child, Pivot):
         if referenced_identifiers(plan.predicate) <= set(child.key_columns):
+            ctx.note("select_below_pivot")
             return Pivot(
                 _rewrite(Select(child.child, plan.predicate), ctx),
                 child.key_columns,
@@ -248,6 +276,7 @@ def _rewrite_select(plan: Select, ctx: _OptContext) -> Plan:
             )
     # Push select below union (always safe).
     if isinstance(child, Union):
+        ctx.note("select_below_union")
         pushed = tuple(
             _rewrite(Select(branch, plan.predicate), ctx) for branch in child.inputs
         )
@@ -268,10 +297,12 @@ def _push_into_join(predicate: Expression, join: Join, ctx: _OptContext) -> Plan
     left_cols = ctx.column_set(join.left)
     right_cols = ctx.column_set(join.right)
     if left_cols is not None and names <= left_cols:
+        ctx.note("select_into_join")
         return Join(
             _rewrite(Select(join.left, predicate), ctx), join.right, join.on, join.how
         )
     if right_cols is not None and names <= right_cols:
+        ctx.note("select_into_join")
         return Join(
             join.left, _rewrite(Select(join.right, predicate), ctx), join.on, join.how
         )
@@ -330,7 +361,17 @@ def _lower_index_lookup(
         choices.append((count, InLookup(scan.table, column, values), rest))
     if not choices:
         return None
-    _, lookup, rest = min(choices, key=lambda choice: choice[0])
+    count, lookup, rest = min(choices, key=lambda choice: choice[0])
+    ctx.note(
+        "index_lowering",
+        table=scan.table,
+        chosen=type(lookup).__name__,
+        candidate_rows=count,
+        alternatives=[
+            {"path": type(path).__name__, "candidate_rows": rows}
+            for rows, path, _ in choices
+        ],
+    )
     return Select(lookup, conjunction(rest)) if rest else lookup
 
 
@@ -429,11 +470,13 @@ def _rewrite_project(plan: Project, ctx: _OptContext) -> Plan:
     # An identity projection (same columns, same order) is a pure copy
     # pass; dropping it cannot change rows or error behaviour.
     if ctx.columns_of(child) == plan.columns:
+        ctx.note("project_identity_drop")
         return child
 
     # Merge stacked projections (only when the outer survives the inner's
     # validity check, so error behaviour is preserved).
     if isinstance(child, Project) and col_set <= set(child.columns):
+        ctx.note("project_merge")
         return _rewrite_project(Project(child.child, plan.columns), ctx)
 
     # Dead-derivation pruning: drop computed columns the projection discards
@@ -441,12 +484,14 @@ def _rewrite_project(plan: Project, ctx: _OptContext) -> Plan:
     if isinstance(child, Compute):
         kept = tuple(d for d in child.derivations if d[0] in col_set)
         if len(kept) < len(child.derivations):
+            ctx.note("dead_derivation_prune")
             inner: Plan = Compute(child.child, kept) if kept else child.child
             return _rewrite_project(Project(inner, plan.columns), ctx)
 
     # Push below a Sort when every sort key survives the projection: stable
     # sort of projected rows by the same keys yields the same order.
     if isinstance(child, Sort) and {c for c, _ in child.keys} <= col_set:
+        ctx.note("project_below_sort")
         return Sort(
             _rewrite_project(Project(child.child, plan.columns), ctx), child.keys
         )
@@ -466,6 +511,7 @@ def _rewrite_project(plan: Project, ctx: _OptContext) -> Plan:
             if len(agreed) == 1:
                 full = next(iter(agreed))
                 if col_set <= full and col_set != full:
+                    ctx.note("project_into_union")
                     pushed_branches = tuple(
                         _rewrite_project(Project(branch, plan.columns), ctx)
                         for branch in child.inputs
@@ -495,6 +541,7 @@ def _push_project_into_join(
     produced = set(left_keep) | (set(right_keep) - right_keys)
     if not needed <= produced:
         return None  # let the original projection raise its unknown-column error
+    ctx.note("project_into_join")
     new_left = (
         _rewrite_project(Project(join.left, left_keep), ctx)
         if len(left_keep) < len(left_cols)

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.errors import MaterializationError
+from repro.obs.trace import NULL_SPAN, Span, span as trace_span
 from repro.etl.compile import domain_data_type
 from repro.expr.ast import Expression
 from repro.expr.compile import compile_expression
@@ -135,7 +136,6 @@ class MaterializationStrategy(abc.ABC):
         self.warehouse = warehouse
         self._built = False
 
-    @abc.abstractmethod
     def build(self, incremental: bool = False) -> None:
         """Populate warehouse tables.
 
@@ -143,8 +143,25 @@ class MaterializationStrategy(abc.ABC):
         changed since the lineage recorded by the previous build; when no
         trustworthy lineage exists (first build, changed definitions,
         untracked source mutations) it silently falls back to a full
-        rebuild.
+        rebuild.  Under ``repro.obs.tracing()`` the build records a
+        ``materialize.build`` span with the incremental-vs-full decision,
+        the lineage-trust failure that forced any fallback, and how many
+        rows were (re)extracted.
         """
+        with trace_span(
+            "materialize.build",
+            table=self.job.table_name(),
+            strategy=type(self).__name__,
+            requested="incremental" if incremental else "full",
+        ) as build_span:
+            if incremental:
+                if self._incremental_build(build_span):
+                    build_span.set("decision", "incremental")
+                    return
+                build_span.set("decision", "full_fallback")
+            else:
+                build_span.set("decision", "full")
+            self._full_build(build_span)
 
     @abc.abstractmethod
     def fetch(self, classifier_names: list[str]) -> list[Row]:
@@ -226,7 +243,7 @@ class MaterializationStrategy(abc.ABC):
             },
         )
 
-    def _full_build(self) -> None:
+    def _full_build(self, build_span: Span = NULL_SPAN) -> None:
         schema = self._table_schema()
         if self.warehouse.has_table(schema.name):
             self.warehouse.drop_table(schema.name)
@@ -238,31 +255,43 @@ class MaterializationStrategy(abc.ABC):
         self.warehouse.record_load(
             "materializer", schema.name, len(table), self._load_note()
         )
+        build_span.set("rows_extracted", len(table))
         self._save_lineage()
         self._built = True
 
-    def _incremental_build(self) -> bool:
-        """Refresh only changed records; False when lineage can't vouch."""
+    def _incremental_build(self, build_span: Span = NULL_SPAN) -> bool:
+        """Refresh only changed records; False when lineage can't vouch.
+
+        On False the span carries ``fallback_reason`` naming the lineage
+        trust failure that degraded the refresh to a rebuild.
+        """
         name = self.job.table_name()
         lineage = self.warehouse.lineage(name)
         if lineage is None or not self.warehouse.has_table(name):
+            build_span.set("fallback_reason", "no_lineage")
             return False
         if lineage.get("fingerprint") != self._definition_fingerprint():
-            return False  # definitions changed; every stored row is suspect
+            # Definitions changed; every stored row is suspect.
+            build_span.set("fallback_reason", "definition_changed")
+            return False
         versions = lineage.get("sources", {})
         deltas: list[tuple[GuavaSource, set[int]]] = []
         for source in self.job.sources:
             since = versions.get(source.name)
             if since is None:
+                build_span.set("fallback_reason", f"no_version:{source.name}")
                 return False
             ec = self.job.entity_classifiers[source.name]
             changed = source.changed_record_ids(since, form=ec.form)
             if changed is None:
-                return False  # untracked mutations or pruned feed
+                # Untracked mutations or a pruned change feed.
+                build_span.set("fallback_reason", f"untracked_changes:{source.name}")
+                return False
             deltas.append((source, changed))
         table = self.warehouse.table(name)
         stored = self._prefetched()
         refreshed = 0
+        reextracted = 0
         for source, changed in deltas:
             if not changed:
                 continue
@@ -274,6 +303,7 @@ class MaterializationStrategy(abc.ABC):
             # delete above already removed their stale rows.
             for record in self.job.base_records(source, record_ids=changed):
                 table.insert(self._classified(record, source.name, stored))
+                reextracted += 1
             refreshed += len(changed)
         if refreshed:
             self.warehouse.record_load(
@@ -282,6 +312,8 @@ class MaterializationStrategy(abc.ABC):
                 len(table),
                 f"incremental refresh of {refreshed} changed record(s)",
             )
+        build_span.set("records_refreshed", refreshed)
+        build_span.set("rows_reextracted", reextracted)
         self._save_lineage()
         self._built = True
         return True
@@ -295,11 +327,6 @@ class FullStrategy(MaterializationStrategy):
 
     def _load_note(self) -> str:
         return "full materialization"
-
-    def build(self, incremental: bool = False) -> None:
-        if incremental and self._incremental_build():
-            return
-        self._full_build()
 
     def fetch(self, classifier_names: list[str]) -> list[Row]:
         self._require_built()
@@ -339,11 +366,6 @@ class SelectiveStrategy(MaterializationStrategy):
 
     def _load_note(self) -> str:
         return f"selective materialization of {self.materialized}"
-
-    def build(self, incremental: bool = False) -> None:
-        if incremental and self._incremental_build():
-            return
-        self._full_build()
 
     def fetch(self, classifier_names: list[str]) -> list[Row]:
         self._require_built()

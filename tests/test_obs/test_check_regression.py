@@ -1,0 +1,95 @@
+"""The CI bench-regression gate must trip on real slowdowns, not jitter."""
+
+from __future__ import annotations
+
+from benchmarks.check_regression import (
+    DEFAULT_THRESHOLD,
+    compare,
+    gate,
+    headline_metrics,
+    merge_best,
+)
+
+BASELINE = {
+    "benchmark": "relational_core",
+    "results": [
+        {"case": "filtered_scan", "optimized_ms": 1.5, "interpreted_ms": 9.0},
+        {"case": "topk", "optimized_ms": 1.4},
+        {"case": "pipeline_engine", "ms": 40.0},
+    ],
+}
+
+
+class TestHeadlineMetrics:
+    def test_prefers_optimized_ms_then_ms(self):
+        assert headline_metrics(BASELINE) == {
+            "filtered_scan": 1.5,
+            "topk": 1.4,
+            "pipeline_engine": 40.0,
+        }
+
+    def test_ignores_rows_without_timings(self):
+        assert headline_metrics({"results": [{"case": "x"}]}) == {}
+
+
+class TestMergeBest:
+    def test_takes_per_case_minimum(self):
+        runs = [{"a": 3.0, "b": 1.0}, {"a": 1.0, "b": 2.0}]
+        assert merge_best(runs) == {"a": 1.0, "b": 1.0}
+
+    def test_union_of_cases(self):
+        assert merge_best([{"a": 1.0}, {"b": 2.0}]) == {"a": 1.0, "b": 2.0}
+
+
+class TestCompare:
+    def test_passes_within_threshold(self):
+        baseline = {"case": 1.0}
+        assert compare(baseline, {"case": 1.24}) == []
+
+    def test_fails_beyond_threshold(self):
+        problems = compare({"case": 1.0}, {"case": 1.3})
+        assert len(problems) == 1
+        assert "case" in problems[0]
+
+    def test_missing_case_fails(self):
+        problems = compare({"case": 1.0}, {})
+        assert problems == ["case: missing from current run"]
+
+
+class TestGate:
+    def test_passes_on_unchanged_timings(self):
+        runner = lambda name: dict(headline_metrics(BASELINE))  # noqa: E731
+        assert gate({"relational_core": BASELINE}, runner, runs=3) == {}
+
+    def test_fails_on_synthetic_2x_slowdown(self):
+        # The acceptance demonstration: every case twice as slow must
+        # trip the gate even with best-of-3 jitter tolerance.
+        slowed = {
+            case: value * 2 for case, value in headline_metrics(BASELINE).items()
+        }
+        failures = gate({"relational_core": BASELINE}, lambda name: slowed, runs=3)
+        assert "relational_core" in failures
+        assert len(failures["relational_core"]) == 3
+        for problem in failures["relational_core"]:
+            assert "x2.00" in problem
+
+    def test_best_of_n_absorbs_one_noisy_run(self):
+        calls = iter(
+            [
+                {case: v * 5 for case, v in headline_metrics(BASELINE).items()},
+                dict(headline_metrics(BASELINE)),
+                dict(headline_metrics(BASELINE)),
+            ]
+        )
+        failures = gate(
+            {"relational_core": BASELINE}, lambda name: next(calls), runs=3
+        )
+        assert failures == {}
+
+    def test_threshold_is_configurable(self):
+        slowed = {
+            case: value * 1.3 for case, value in headline_metrics(BASELINE).items()
+        }
+        assert gate({"b": BASELINE}, lambda name: slowed, threshold=1.5) == {}
+        assert gate({"b": BASELINE}, lambda name: slowed, threshold=1.25) != {}
+        assert DEFAULT_THRESHOLD == 1.25
