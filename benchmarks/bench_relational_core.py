@@ -39,6 +39,7 @@ from repro.patterns import (
 from repro.relational import (
     AggregateSpec,
     Aggregate,
+    Compute,
     Database,
     DataType,
     Join,
@@ -53,6 +54,7 @@ from repro.relational import (
 
 N_ROWS = 3_000
 N_VISITS = 6_000
+N_VITALS_COLUMNS = 12
 CHAIN_ROWS = 300
 CHAIN_DEPTH = 4
 
@@ -102,6 +104,21 @@ def build_database() -> Database:
         (
             {"visit_id": i, "patient_id": i % N_ROWS, "score": (i * 13) % 100}
             for i in range(N_VISITS)
+        ),
+    )
+    db.create_table(
+        TableSchema.build(
+            "vitals",
+            [("patient_id", DataType.INTEGER)]
+            + [(f"m{j}", DataType.INTEGER) for j in range(N_VITALS_COLUMNS)],
+            primary_key=["patient_id"],
+        )
+    )
+    db.insert(
+        "vitals",
+        (
+            {"patient_id": i, **{f"m{j}": (i * (j + 3)) % 100 for j in range(N_VITALS_COLUMNS)}}
+            for i in range(N_ROWS)
         ),
     )
     db.table("patients").create_index(("site",))
@@ -185,6 +202,29 @@ def _topk_plan():
     return Limit(Sort(Scan("visits"), (("score", False),)), 25)
 
 
+def _wide_scan_plan():
+    """Filter + derive over the 13-column table: the columnar sweet spot."""
+    return Compute(
+        Select(Scan("vitals"), BinaryOp(">=", Identifier.of("m0"), Literal(10))),
+        (("mix", BinaryOp("+", Identifier.of("m1"), Identifier.of("m2"))),),
+    )
+
+
+def _join_aggregate_vectorized_plan():
+    """Fully kernel-supported join→compute→aggregate (no index fallback)."""
+    return Aggregate(
+        Compute(
+            Join(Scan("patients"), Scan("visits"), (("patient_id", "patient_id"),)),
+            (("band", BinaryOp("%", Identifier.of("score"), Literal(10))),),
+        ),
+        ("site", "band"),
+        (
+            AggregateSpec("COUNT", None, "n"),
+            AggregateSpec("MAX", "score", "top_score"),
+        ),
+    )
+
+
 def make_cases():
     db = build_database()
     chain, chain_db = build_chain()
@@ -194,7 +234,9 @@ def make_cases():
         ("filtered_scan", db, _filtered_scan_plan()),
         ("indexed_lookup", db, _indexed_lookup_plan()),
         ("join_aggregate", db, _join_aggregate_plan()),
+        ("join_aggregate_vectorized", db, _join_aggregate_vectorized_plan()),
         ("topk", db, _topk_plan()),
+        ("wide_scan", db, _wide_scan_plan()),
         (f"pattern_chain_depth{CHAIN_DEPTH}", chain_db, chain_plan),
     ]
     return cases

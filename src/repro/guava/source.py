@@ -187,7 +187,10 @@ class GuavaSource:
             # re-extraction.
             plan = prepare_stream_plan(Select(plan, membership), self.db)
             return plan.execute(self.db)
-        return optimize(plan).execute(self.db)
+        # Passing the database unlocks index lowering, the vectorize pass,
+        # and the plan cache — pattern-chain pulls re-translate structurally
+        # identical plans, so repeat executions skip lowering entirely.
+        return optimize(plan, self.db).execute(self.db)
 
     def explain(self, query: GTreeQuery) -> str:
         """The SQL the translated query corresponds to (documentation)."""

@@ -111,7 +111,7 @@ class ExplainReport:
 
 
 def explain_analyze(
-    query: Query | Plan, db: Database, optimized: bool = True
+    query: Query | Plan, db: Database, optimized: bool = True, executor: str = "batch"
 ) -> ExplainReport:
     """Optimize and execute ``query`` under tracing; return the profile.
 
@@ -119,10 +119,17 @@ def explain_analyze(
     (and stays self-contained) whether or not the caller is already
     tracing.  Pass ``optimized=False`` to profile the naive plan — the
     EXPERIMENTS.md before/after traces are produced exactly that way.
+    ``executor="row"`` disables the vectorize pass so the same query can be
+    profiled on the row-at-a-time path (batch operator spans additionally
+    carry ``batches`` and ``rows_per_batch``).
     """
+    if executor not in ("row", "batch"):
+        raise ValueError(f"executor must be 'row' or 'batch', got {executor!r}")
     plan = query.plan if isinstance(query, Query) else query
     tracer = Tracer()
     with tracing(tracer):
-        final = optimize(plan, db) if optimized else plan
+        final = (
+            optimize(plan, db, vectorize=executor == "batch") if optimized else plan
+        )
         rows = final.execute(db)
     return ExplainReport(rows=rows, plan=final, tracer=tracer, optimized=optimized)

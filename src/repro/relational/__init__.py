@@ -33,14 +33,19 @@ from repro.relational.algebra import (
     Unpivot,
     Values,
 )
+from repro.relational.algebra import canonical_key
+from repro.relational.batch import BATCH_SIZE, Batch
 from repro.relational.interpret import execute_interpreted
-from repro.relational.query import Query, optimize, prepare_stream_plan
+from repro.relational.query import Query, optimize, plan_fingerprint, prepare_stream_plan
 from repro.relational.snapshot import database_version, load_database, save_database
 from repro.relational.sql import to_sql
+from repro.relational.vectorize import Vectorized, execute_vectorized
 
 __all__ = [
     "Aggregate",
     "AggregateSpec",
+    "BATCH_SIZE",
+    "Batch",
     "Coerce",
     "Column",
     "Compute",
@@ -67,10 +72,14 @@ __all__ = [
     "Union",
     "Unpivot",
     "Values",
+    "Vectorized",
+    "canonical_key",
     "execute_interpreted",
+    "execute_vectorized",
     "database_version",
     "load_database",
     "optimize",
+    "plan_fingerprint",
     "prepare_stream_plan",
     "save_database",
     "to_sql",

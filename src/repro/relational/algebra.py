@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from decimal import Decimal
 from itertools import islice
 from time import perf_counter
 from typing import Iterable, Iterator, Sequence
@@ -443,6 +444,8 @@ class Join(Plan):
         null_right = {column: None for column in right_cols if column not in right_keys}
         how = self.how
 
+        # Buckets key on canonical_key so TRUE never meets 1 across a
+        # BOOLEAN/INTEGER join — the same rule as group-by and sql_equal.
         if len(on) == 1:
             lk, rk = on[0]
             buckets: dict[object, list[Row]] = {}
@@ -450,12 +453,12 @@ class Join(Plan):
                 key = row.get(rk)
                 if key is not None:
                     payload = {c: v for c, v in row.items() if c not in right_keys}
-                    buckets.setdefault(key, []).append(payload)
+                    buckets.setdefault(canonical_key(key), []).append(payload)
             left_stream = self.left.stream(ctx)
 
             def probe_single() -> Iterator[Row]:
                 for row in left_stream:
-                    matches = buckets.get(row.get(lk))
+                    matches = buckets.get(canonical_key(row.get(lk)))
                     if matches:
                         for payload in matches:
                             merged = dict(row)
@@ -470,14 +473,14 @@ class Join(Plan):
 
         multi_buckets: dict[tuple[object, ...], list[Row]] = {}
         for row in self.right.stream(ctx):
-            key = tuple(row.get(rk) for _, rk in on)
+            key = tuple(canonical_key(row.get(rk)) for _, rk in on)
             payload = {c: v for c, v in row.items() if c not in right_keys}
             multi_buckets.setdefault(key, []).append(payload)
         left_stream = self.left.stream(ctx)
 
         def probe() -> Iterator[Row]:
             for row in left_stream:
-                key = tuple(row.get(lk) for lk, _ in on)
+                key = tuple(canonical_key(row.get(lk)) for lk, _ in on)
                 matches = multi_buckets.get(key) if None not in key else None
                 if matches:
                     for payload in matches:
@@ -555,7 +558,7 @@ class Distinct(Plan):
         def generate() -> Iterator[Row]:
             seen: set[tuple[object, ...]] = set()
             for row in self.child.stream(ctx):
-                key = tuple(_hashable(row.get(column)) for column in columns)
+                key = tuple(canonical_key(row.get(column)) for column in columns)
                 if key not in seen:
                     seen.add(key)
                     yield row
@@ -702,19 +705,27 @@ class Aggregate(Plan):
         return (self.child,)
 
     def _stream(self, ctx: ExecContext) -> Iterator[Row]:
+        group_by = self.group_by
         groups: dict[tuple[object, ...], list[Row]] = {}
         order: list[tuple[object, ...]] = []
+        # Canonical keys are tagged (bools) or repr'd (containers), so output
+        # rows carry each group's first-seen original values instead.
+        representatives: dict[tuple[object, ...], Row] = {}
         for row in self.child.stream(ctx):
-            key = tuple(_hashable(row.get(column)) for column in self.group_by)
-            if key not in groups:
-                groups[key] = []
+            key = tuple(canonical_key(row.get(column)) for column in group_by)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = []
                 order.append(key)
-            groups[key].append(row)
+                representatives[key] = {
+                    column: row.get(column) for column in group_by
+                }
+            bucket.append(row)
 
         def generate() -> Iterator[Row]:
             for key in order:
                 rows = groups[key]
-                result: Row = dict(zip(self.group_by, key))
+                result: Row = representatives[key]
                 for spec in self.aggregates:
                     result[spec.alias] = _aggregate(spec, rows)
                 yield result
@@ -875,19 +886,50 @@ def trace_label(plan: Plan) -> str:
     return type(plan).__name__
 
 
-def _hashable(value: object) -> object:
+# Unforgeable tag segregating booleans from their hash-equal integers in
+# grouping/join keys; no user value can ever equal a tuple holding it.
+_BOOL_TAG = object()
+
+# Types canonical_key maps to themselves (note ``type(True) is bool``, never
+# ``int``).  Hot per-row loops check ``type(v) in _IDENTITY_KEY_TYPES``
+# inline to skip the function call for the common case.
+_IDENTITY_KEY_TYPES = frozenset((int, float, str))
+
+
+def canonical_key(value: object) -> object:
+    """Hash/equality key for one value under SQL semantics.
+
+    Python's ``hash(True) == hash(1)`` (and ``True == 1``) would silently
+    merge a BOOLEAN column's ``TRUE`` with an INTEGER ``1`` in group-by,
+    distinct, COUNT_DISTINCT, and hash-join keys — but ``sql_equal``
+    distinguishes them, so the keys must too.  Booleans are tagged with a
+    private sentinel; unhashable containers collapse to their ``repr``.
+    All three executors (interpreter, streaming, vectorized) share this
+    one function so their grouping/join semantics can never diverge.
+    """
+    if isinstance(value, bool):
+        return (_BOOL_TAG, value)
     if isinstance(value, (list, dict, set)):
         return repr(value)
     return value
 
 
+# Historical internal name, kept for callers predating the audit.
+_hashable = canonical_key
+
+
 def _sort_key(value: object) -> tuple[int, object]:
-    """Total order with NULLs first and types segregated."""
+    """Total order with NULLs first and types segregated.
+
+    ``Decimal`` sorts in the numeric band: Python compares Decimal with
+    int/float natively, and stringifying it (the old fallback) would have
+    ordered ``Decimal("9")`` after ``Decimal("10")``.
+    """
     if value is None:
         return (0, 0)
     if isinstance(value, bool):
         return (1, int(value))
-    if isinstance(value, (int, float)):
+    if isinstance(value, (int, float, Decimal)):
         return (2, value)
     return (3, str(value))
 
@@ -896,15 +938,28 @@ def _sort_key(value: object) -> tuple[int, object]:
 
 def _aggregate(spec: AggregateSpec, rows: Sequence[Row]) -> object:
     func = spec.func.upper()
-    if func == "COUNT":
-        if spec.column is None:
-            return len(rows)
-        return sum(1 for row in rows if row.get(spec.column) is not None)
+    if func == "COUNT" and spec.column is None:
+        return len(rows)
     if spec.column is None:
         raise QueryError(f"{func} requires a column")
-    values = [row.get(spec.column) for row in rows if row.get(spec.column) is not None]
+    column = spec.column
+    values = [v for row in rows if (v := row.get(column)) is not None]
+    return _aggregate_values(func, values, spec.func)
+
+
+def _aggregate_values(func: str, values: list[object], name: str) -> object:
+    """Finalize one aggregate over a column's non-NULL values (row order).
+
+    Shared by the row-at-a-time paths (via :func:`_aggregate`) and the
+    vectorized executor's grouped accumulation, so both produce identical
+    results by construction.  ``func`` is already upper-cased; ``name`` is
+    the spec's original spelling, for error messages.  COUNT(*) is handled
+    by the callers (it needs the row count, not a column).
+    """
+    if func == "COUNT":
+        return len(values)
     if func == "COUNT_DISTINCT":
-        return len({_hashable(value) for value in values})
+        return len({canonical_key(value) for value in values})
     if func == "STRING_AGG":
         # Joins in input row order; callers sort upstream for canonical order.
         return ";".join(str(value) for value in values) if values else None
@@ -918,4 +973,4 @@ def _aggregate(spec: AggregateSpec, rows: Sequence[Row]) -> object:
         return min(values)  # type: ignore[type-var]
     if func == "MAX":
         return max(values)  # type: ignore[type-var]
-    raise QueryError(f"unknown aggregate function {spec.func!r}")
+    raise QueryError(f"unknown aggregate function {name!r}")

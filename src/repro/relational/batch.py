@@ -1,0 +1,140 @@
+"""Columnar batches for the vectorized executor.
+
+A :class:`Batch` holds a fixed-size horizontal slice of a relation as one
+Python list per column.  NULL keeps the row-dict convention exactly: the
+value ``None`` inside a column list — there is no separate validity mask,
+so every 3VL rule from :mod:`repro.expr.evaluator` applies to column
+elements unchanged.
+
+Batches can be *lazy gathers*: ``batch.take(indices)`` does not copy any
+column up front, it records (source batch, row indices) and materializes a
+column only when some kernel first asks for it.  The vectorized AND/OR
+kernels rely on this for short-circuit parity — the right operand is
+evaluated only over the still-undecided rows, and only for the columns the
+operand actually touches, matching the row-at-a-time evaluator which never
+evaluates the right side of a decided conjunct (and therefore never raises
+its errors).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+Row = dict[str, object]
+
+#: Rows per batch on the vectorized path.  Big enough to amortize the
+#: per-batch Python overhead of each kernel, small enough that a lazy
+#: gather of one column stays cache-friendly.
+BATCH_SIZE = 1024
+
+
+class Batch:
+    """One columnar slice: ``columns`` in output order, column → value list.
+
+    ``data`` may be missing columns when the batch is a lazy gather; use
+    :meth:`column` (never ``data[...]`` directly) so gathers materialize on
+    demand.  All column lists share one ``length``.
+    """
+
+    __slots__ = ("columns", "length", "data", "_source", "_indices")
+
+    def __init__(
+        self,
+        columns: tuple[str, ...],
+        data: dict[str, list[object]],
+        length: int,
+        _source: "Batch | None" = None,
+        _indices: Sequence[int] | None = None,
+    ):
+        self.columns = columns
+        self.data = data
+        self.length = length
+        self._source = _source
+        self._indices = _indices
+
+    def __len__(self) -> int:
+        return self.length
+
+    def column(self, name: str) -> list[object]:
+        """The value list for ``name``, gathering lazily if needed.
+
+        Raises ``KeyError`` for names outside :attr:`columns` — callers
+        resolve dotted/suffix identifiers before asking.
+        """
+        col = self.data.get(name)
+        if col is None:
+            source = self._source
+            if source is None:
+                raise KeyError(name)
+            base = source.column(name)
+            col = [base[i] for i in self._indices]  # type: ignore[union-attr]
+            self.data[name] = col
+        return col
+
+    def take(self, indices: Sequence[int]) -> "Batch":
+        """A lazy gather of the given row positions (columns on demand)."""
+        return Batch(self.columns, {}, len(indices), self, indices)
+
+    def materialize(self) -> dict[str, list[object]]:
+        """All columns, gathered: column name → value list."""
+        return {name: self.column(name) for name in self.columns}
+
+    def to_rows(self) -> list[Row]:
+        """The batch as row dicts (the row/batch boundary)."""
+        return _row_builder(self.columns)(self)
+
+    @classmethod
+    def from_rows(
+        cls, columns: tuple[str, ...], rows: Sequence[Row]
+    ) -> "Batch":
+        """Pack row dicts into one batch (the fallback boundary).
+
+        Uses ``row.get`` so rows missing a column contribute NULL, the same
+        as every row-wise operator that rebuilds rows.
+        """
+        return cls(
+            columns,
+            {name: [row.get(name) for row in rows] for name in columns},
+            len(rows),
+        )
+
+
+def concat(columns: tuple[str, ...], batches: Iterable[Batch]) -> Batch:
+    """Concatenate batches into one (for Sort/TopK, which need it all)."""
+    data: dict[str, list[object]] = {name: [] for name in columns}
+    length = 0
+    for batch in batches:
+        length += batch.length
+        for name in columns:
+            data[name].extend(batch.column(name))
+    return Batch(columns, data, length)
+
+
+# Row materialization is the vectorized path's hottest boundary: a generated
+# dict-literal builder (constant keys, one list index per column) measured
+# ~2x faster than dict(zip(...)) per row.  Builders are cached per column
+# tuple; the cache is tiny (one entry per distinct output schema).
+_ROW_BUILDERS: dict[tuple[str, ...], Callable[[Batch], list[Row]]] = {}
+
+
+def _row_builder(columns: tuple[str, ...]) -> Callable[[Batch], list[Row]]:
+    builder = _ROW_BUILDERS.get(columns)
+    if builder is None:
+        if columns:
+            names = ", ".join(f"_c{i}" for i in range(len(columns)))
+            entries = ", ".join(
+                f"{name!r}: _c{i}[_i]" for i, name in enumerate(columns)
+            )
+            source = f"lambda {names}: [{{{entries}}} for _i in range(len(_c0))]"
+            inner = eval(source)  # noqa: S307 - generated from repr'd names only
+
+            def builder(batch: Batch) -> list[Row]:
+                return inner(*(batch.column(name) for name in batch.columns))
+
+        else:
+
+            def builder(batch: Batch) -> list[Row]:
+                return [{} for _ in range(batch.length)]
+
+        _ROW_BUILDERS[columns] = builder
+    return builder

@@ -12,11 +12,48 @@ from repro.relational.table import Table
 class Database:
     """One contributor database (or the warehouse)."""
 
+    #: Plan-cache capacity; the cache is cleared wholesale when full, the
+    #: same bound-without-bookkeeping policy as expr/compile.py's caches.
+    PLAN_CACHE_LIMIT = 512
+
     def __init__(self, name: str):
         if not name:
             raise SchemaError("database name must be non-empty")
         self.name = name
         self._tables: dict[str, Table] = {}
+        self._structure_version = 0
+        self._plan_cache: dict[str, tuple[int, object]] = {}
+
+    @property
+    def epoch(self) -> int:
+        """Monotone schema/data/index version for plan-cache keying.
+
+        Sums the structural counter (table create/drop) with every table's
+        data version and index epoch.  Each component only ever increases
+        within one process, so the sum is monotone: any insert, delete,
+        update, index create/drop, or table create/drop yields a new epoch
+        and invalidates cached plans.  (``snapshot.database_version`` — data
+        versions only — is left untouched; the GUAVA change feed keys on it.)
+        """
+        total = self._structure_version
+        for table in self._tables.values():
+            total += table.version + table.index_epoch
+        return total
+
+    def plan_cache_get(self, fingerprint: str, epoch: int) -> object | None:
+        """The plan cached under ``fingerprint`` if it was planned at ``epoch``."""
+        entry = self._plan_cache.get(fingerprint)
+        if entry is not None and entry[0] == epoch:
+            return entry[1]
+        return None
+
+    def plan_cache_put(self, fingerprint: str, epoch: int, plan: object) -> None:
+        if len(self._plan_cache) >= self.PLAN_CACHE_LIMIT:
+            self._plan_cache.clear()
+        self._plan_cache[fingerprint] = (epoch, plan)
+
+    def plan_cache_clear(self) -> None:
+        self._plan_cache.clear()
 
     def create_table(self, schema: TableSchema) -> Table:
         """Create an empty table; raises on duplicate names."""
@@ -24,6 +61,7 @@ class Database:
             raise SchemaError(f"table {schema.name!r} already exists in {self.name}")
         table = Table(schema)
         self._tables[schema.name] = table
+        self._structure_version += 1
         return table
 
     def ensure_table(self, schema: TableSchema) -> Table:
@@ -41,7 +79,10 @@ class Database:
         """Remove a table and its data."""
         if name not in self._tables:
             raise SchemaError(f"no table {name!r} in database {self.name}")
-        del self._tables[name]
+        dropped = self._tables.pop(name)
+        # Fold the dropped table's contribution into the structural counter so
+        # the epoch never rewinds to a value it held before the drop.
+        self._structure_version += 1 + dropped.version + dropped.index_epoch
 
     def table(self, name: str) -> Table:
         """Look up a table by name."""

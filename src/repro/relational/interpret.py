@@ -37,8 +37,8 @@ from repro.relational.algebra import (
     Unpivot,
     Values,
     _aggregate,
-    _hashable,
     _sort_key,
+    canonical_key,
 )
 from repro.relational.database import Database
 
@@ -101,7 +101,7 @@ def execute_interpreted(plan: Plan, db: Database) -> list[Row]:
         seen: set[tuple[object, ...]] = set()
         out = []
         for row in execute_interpreted(plan.child, db):
-            key = tuple(_hashable(row.get(column)) for column in columns)
+            key = tuple(canonical_key(row.get(column)) for column in columns)
             if key not in seen:
                 seen.add(key)
                 out.append(row)
@@ -159,12 +159,13 @@ def _join(plan: Join, db: Database) -> list[Row]:
         )
     buckets: dict[tuple[object, ...], list[Row]] = {}
     for row in right_rows:
-        key = tuple(row.get(rk) for _, rk in plan.on)
+        # canonical_key keeps TRUE and 1 in distinct buckets (see algebra).
+        key = tuple(canonical_key(row.get(rk)) for _, rk in plan.on)
         buckets.setdefault(key, []).append(row)
     null_right = {column: None for column in right_cols if column not in right_keys}
     out: list[Row] = []
     for row in left_rows:
-        key = tuple(row.get(lk) for lk, _ in plan.on)
+        key = tuple(canonical_key(row.get(lk)) for lk, _ in plan.on)
         matches = buckets.get(key, []) if None not in key else []
         if matches:
             for match in matches:
@@ -214,16 +215,22 @@ def _pivot(plan: Pivot, db: Database) -> list[Row]:
 def _aggregate_rows(plan: Aggregate, db: Database) -> list[Row]:
     groups: dict[tuple[object, ...], list[Row]] = {}
     order: list[tuple[object, ...]] = []
+    # Canonical keys tag bools and repr containers, so output rows carry
+    # each group's first-seen original values (same rule as algebra).
+    representatives: dict[tuple[object, ...], Row] = {}
     for row in execute_interpreted(plan.child, db):
-        key = tuple(_hashable(row.get(column)) for column in plan.group_by)
+        key = tuple(canonical_key(row.get(column)) for column in plan.group_by)
         if key not in groups:
             groups[key] = []
             order.append(key)
+            representatives[key] = {
+                column: row.get(column) for column in plan.group_by
+            }
         groups[key].append(row)
     out: list[Row] = []
     for key in order:
         rows = groups[key]
-        result: Row = dict(zip(plan.group_by, key))
+        result: Row = representatives[key]
         for spec in plan.aggregates:
             result[spec.alias] = _aggregate(spec, rows)
         out.append(result)

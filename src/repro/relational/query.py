@@ -11,7 +11,8 @@ agree on every database they run against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Callable, cast
 
 from repro.expr.analysis import referenced_identifiers
 from repro.obs.trace import Span, current_tracer
@@ -47,6 +48,12 @@ from repro.relational.algebra import (
     Unpivot,
 )
 from repro.relational.database import Database
+from repro.relational.vectorize import (
+    VECTORIZE_MIN_ROWS,
+    Vectorized,
+    estimated_input_rows,
+    fully_vectorizable,
+)
 
 Row = dict[str, object]
 
@@ -123,27 +130,112 @@ class Query:
         return plan.execute(db)
 
 
-def optimize(plan: Plan, db: Database | None = None) -> Plan:
+def optimize(plan: Plan, db: Database | None = None, *, vectorize: bool = True) -> Plan:
     """Apply safe rewrites; ``db`` unlocks schema- and index-aware rules.
 
     Without a database the optimizer falls back to statically derivable
     column sets, as before.  With one (``Query.execute`` always passes it),
-    it can additionally lower equality filters onto hash indexes and prune
-    dead columns through joins and unions.  The optimizer is deliberately
-    conservative — correctness is checked by property tests asserting
-    optimized and naive plans agree on every database they run against.
+    it can additionally lower equality filters onto hash indexes, prune
+    dead columns through joins and unions, and (unless ``vectorize=False``)
+    wrap high-volume fully-kernel-supported subtrees in
+    :class:`~repro.relational.vectorize.Vectorized` for columnar execution.
+    The optimizer is deliberately conservative — correctness is checked by
+    property tests asserting optimized and naive plans agree on every
+    database they run against.
+
+    With a database the result is also memoized in the database's plan
+    cache, keyed by (structural plan fingerprint, vectorize flag,
+    ``Database.epoch``): GUAVA pattern chains re-translate structurally
+    identical plans on every pull, and re-lowering them is pure overhead
+    while nothing changed.  Any insert, delete, index create/drop, or table
+    create/drop bumps the epoch and invalidates every cached plan, so a
+    stale plan (e.g. one probing a dropped index) is never served.
 
     Under an installed tracer (``repro.obs.tracing()``) the pass opens an
     ``optimize`` span counting each rewrite applied and logging the costed
-    access-path alternatives of every index lowering.
+    access-path alternatives of every index lowering.  A cache hit still
+    opens the span, but with ``plan_cache="hit"`` and no ``rewrite.*``
+    counters — the absence of rewrite counters is the observable proof
+    that lowering was skipped.
     """
-    ctx = _OptContext(db)
     tracer = current_tracer()
+    fingerprint: str | None = None
+    epoch = 0
+    if db is not None:
+        fingerprint = ("V1:" if vectorize else "V0:") + plan_fingerprint(plan)
+        # Captured before planning: a mutation racing the rewrite pass can
+        # only make the entry stale-keyed (a harmless miss), never fresh.
+        epoch = db.epoch
+        cached = db.plan_cache_get(fingerprint, epoch)
+        if cached is not None:
+            if tracer is not None:
+                with tracer.span("optimize") as trace:
+                    trace.set("plan_cache", "hit")
+            return cast(Plan, cached)
+    ctx = _OptContext(db)
     if tracer is None:
-        return _rewrite(plan, ctx)
-    with tracer.span("optimize") as trace:
-        ctx.trace = trace
-        return _rewrite(plan, ctx)
+        optimized = _rewrite(plan, ctx)
+        if db is not None and vectorize:
+            optimized = _vectorize_tree(optimized, db, ctx)
+    else:
+        with tracer.span("optimize") as trace:
+            ctx.trace = trace
+            trace.set("plan_cache", "miss" if db is not None else "off")
+            optimized = _rewrite(plan, ctx)
+            if db is not None and vectorize:
+                optimized = _vectorize_tree(optimized, db, ctx)
+    if db is not None and fingerprint is not None:
+        db.plan_cache_put(fingerprint, epoch, optimized)
+    return optimized
+
+
+def plan_fingerprint(plan: Plan) -> str:
+    """A structural fingerprint for plan-cache keying.
+
+    Generic over the plan/expression dataclasses: type names plus every
+    field, recursively; scalars render as ``type:repr`` so values that
+    compare equal across types (``Literal(1)`` vs ``Literal(True)`` vs
+    ``Literal(1.0)``) never collide — the same structural-aliasing hazard
+    that makes expr/compile.py key its caches by identity.
+    """
+    parts: list[str] = []
+    _fingerprint(plan, parts.append)
+    return "".join(parts)
+
+
+def _fingerprint(value: object, emit: Callable[[str], None]) -> None:
+    if is_dataclass(value) and not isinstance(value, type):
+        emit(type(value).__name__)
+        emit("(")
+        for field in fields(value):
+            _fingerprint(getattr(value, field.name), emit)
+            emit(",")
+        emit(")")
+    elif isinstance(value, tuple):
+        emit("[")
+        for item in value:
+            _fingerprint(item, emit)
+            emit(",")
+        emit("]")
+    else:
+        emit(f"{type(value).__name__}:{value!r};")
+
+
+def _vectorize_tree(plan: Plan, db: Database, ctx: _OptContext) -> Plan:
+    """Wrap the root-most batch-executable subtrees in ``Vectorized``.
+
+    A subtree qualifies when every node has a batch kernel (index probes
+    ride along as row-wise leaves) and its estimated base input clears
+    ``VECTORIZE_MIN_ROWS`` — below that, batch setup costs more than the
+    per-row dict traffic it saves.
+    """
+    if isinstance(plan, Vectorized):
+        return plan
+    if fully_vectorizable(plan) and estimated_input_rows(plan, db) >= VECTORIZE_MIN_ROWS:
+        ctx.note("vectorize", root=type(plan).__name__)
+        return Vectorized(plan)
+    children = tuple(_vectorize_tree(child, db, ctx) for child in plan.children())
+    return _with_children(plan, children)
 
 
 class _OptContext:
@@ -669,4 +761,6 @@ def _with_children(plan: Plan, children: tuple[Plan, ...]) -> Plan:
             plan.value_column,
             plan.attributes,
         )
+    if isinstance(plan, Vectorized):
+        return Vectorized(children[0])
     return plan

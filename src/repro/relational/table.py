@@ -26,6 +26,9 @@ class Table:
         self._indexes: dict[tuple[str, ...], HashIndex] = {}
         self._pk_index: HashIndex | None = None
         self._version = 0
+        self._index_epoch = 0
+        self._row_snapshot: tuple[int, list[Row]] | None = None
+        self._column_snapshot: tuple[int, dict[str, list[object]]] | None = None
         if schema.primary_key:
             self._pk_index = HashIndex(schema.primary_key)
 
@@ -45,9 +48,49 @@ class Table:
         """
         return self._version
 
+    @property
+    def index_epoch(self) -> int:
+        """Monotone index-structure version: bumps when an index is actually
+        created or dropped.  ``create_index`` returning an existing index does
+        NOT bump it — ``prepare_stream_plan`` re-requests indexes on every
+        call, and those no-ops must not churn the plan cache."""
+        return self._index_epoch
+
     def rows(self) -> list[Row]:
         """A defensive copy of the extent, in insertion order."""
         return [dict(row) for row in self._rows]
+
+    def snapshot_rows(self) -> list[Row]:
+        """The extent as row dicts, cached per data version and SHARED.
+
+        Unlike :meth:`rows`, repeated calls at the same version return the
+        same list of the same dicts.  The vectorized executor hands these out
+        as query results, so — like ``iter_rows`` — callers must treat both
+        the list and the dicts as read-only.  Any mutation bumps ``version``
+        and the next call rebuilds a fresh snapshot.
+        """
+        cached = self._row_snapshot
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        rows = [dict(row) for row in self._rows]
+        self._row_snapshot = (self._version, rows)
+        return rows
+
+    def column_snapshot(self) -> dict[str, list[object]]:
+        """The extent as column → value list, cached per data version.
+
+        Columnar source for the vectorized ``Scan`` kernel.  Shared and
+        read-only under the same contract as :meth:`snapshot_rows`.
+        """
+        cached = self._column_snapshot
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        rows = self._rows
+        columns = {
+            name: [row[name] for row in rows] for name in self.schema.column_names
+        }
+        self._column_snapshot = (self._version, columns)
+        return columns
 
     def iter_rows(self) -> Iterator[Row]:
         """Iterate the extent without copying.
@@ -166,7 +209,20 @@ class Table:
         index = HashIndex(key)
         index.rebuild(self._rows)
         self._indexes[key] = index
+        self._index_epoch += 1
         return index
+
+    def drop_index(self, columns: tuple[str, ...] | list[str]) -> bool:
+        """Remove the equality index on ``columns``; True if one existed.
+
+        The primary-key index is structural and cannot be dropped.
+        """
+        key = tuple(columns)
+        if key not in self._indexes:
+            return False
+        del self._indexes[key]
+        self._index_epoch += 1
+        return True
 
     def restore_version(self, version: int) -> None:
         """Set the data version (snapshot restore only); never rewinds."""

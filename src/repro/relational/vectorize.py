@@ -1,0 +1,1014 @@
+"""Columnar, batch-at-a-time plan execution.
+
+The vectorized executor runs a plan subtree over :class:`~repro.relational.
+batch.Batch` slices instead of row dicts, eliminating the per-row dict
+traffic that row-at-a-time streaming pays at every operator boundary.  It
+is the third executor of the same semantics: results must be identical to
+:mod:`repro.relational.interpret` (the spec) and to the streaming executor
+— ``tests/test_relational/test_vectorize_equivalence.py`` asserts that on
+randomized plans.
+
+Parity is by construction where it matters:
+
+- Expression kernels reuse the evaluator's own ``_compare``/``_arithmetic``
+  /``_like``/``_as_bool`` helpers (plus the same concrete-type fast paths
+  as :mod:`repro.expr.compile`), element by element.
+- AND/OR short-circuit over *sub-batches*: the right operand is evaluated
+  only on rows the left operand left undecided, so errors the row path
+  never raises (because it short-circuits) are not raised here either.
+- Grouping, distinct, and hash-join keys go through the shared
+  :func:`~repro.relational.algebra.canonical_key`, and aggregate results
+  through the shared ``_aggregate_values`` finalizer.
+
+Operators without a kernel (Pivot, Unpivot, Coerce) and the index probes
+(IndexLookup, InLookup) fall back per-subtree to the streaming executor;
+their rows are packed into batches at the boundary.  One intended
+divergence: when a plan raises, the batch path may surface the error from
+a different row than the row path (column-major vs row-major evaluation
+order), so only the exception *type* is comparable across executors.
+
+Obs hooks carry over: under a tracer every kernel's span records
+``rows_out``, ``batches``, ``rows_per_batch``, and wall time, so
+``explain_analyze`` stays truthful on both paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from itertools import islice
+from time import perf_counter
+from typing import Callable, Iterator
+
+from repro.errors import EvaluationError, QueryError
+from repro.expr.ast import (
+    BinaryOp,
+    Expression,
+    FunctionCall,
+    Identifier,
+    InList,
+    IsNull,
+    Literal,
+    UnaryOp,
+)
+from repro.expr.compile import (
+    _COMPARE_OPS,
+    _TOTAL_ARITHMETIC_OPS,
+    _boolean_valued,
+    compile_expression,
+)
+from repro.expr.evaluator import (
+    _arithmetic,
+    _as_bool,
+    _compare,
+    _like,
+    resolve_suffix_key,
+)
+from repro.expr.functions import default_registry
+from repro.relational.algebra import (
+    Aggregate,
+    Compute,
+    Distinct,
+    ExecContext,
+    IndexLookup,
+    InLookup,
+    Join,
+    Limit,
+    Plan,
+    Project,
+    Rename,
+    Row,
+    Scan,
+    Select,
+    Sort,
+    TopK,
+    Union,
+    Values,
+    _IDENTITY_KEY_TYPES,
+    _aggregate,
+    _aggregate_values,
+    _sort_key,
+    canonical_key,
+)
+from repro.relational.batch import BATCH_SIZE, Batch, concat
+from repro.relational.database import Database
+
+#: Estimated input rows below which the planner leaves a subtree on the
+#: row-at-a-time path: batch setup overhead only pays off with volume.
+VECTORIZE_MIN_ROWS = 256
+
+_DEFAULT_REGISTRY = default_registry()
+
+
+@dataclass(frozen=True)
+class Vectorized(Plan):
+    """Execute the child subtree batch-at-a-time.
+
+    Inserted by the optimizer's vectorize pass (never written by hand in
+    query builders); the interpreter refuses it, since it only ever sees
+    pre-optimization plans.
+    """
+
+    child: Plan
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
+        return iter(execute_vectorized(self.child, ctx))
+
+    def shares_storage(self) -> bool:
+        # Kernels build fresh dicts at the row boundary; a bare Scan root
+        # returns the table's engine-owned snapshot rows (not live storage,
+        # but shared between executions — read-only by contract, like
+        # ``Table.snapshot_rows``).
+        return False
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return ctx.columns(self.child)
+
+
+def execute_vectorized(plan: Plan, ctx: ExecContext) -> list[Row]:
+    """Run ``plan`` over batches and materialize the result rows."""
+    if type(plan) is Scan:
+        # The whole-table read needs no batching at all: the version-keyed
+        # row snapshot is the result, zero-copy.  The shared dicts are
+        # read-only by contract (``Table.snapshot_rows``) — a defensive
+        # copy would cost one dict per row, the same O(n) the row paths
+        # pay, and the entire point of this path is skipping it.  Callers
+        # that need mutable rows should use ``Table.rows()`` or any
+        # non-trivial plan, whose results are always freshly built.
+        rows = ctx.db.table(plan.table).snapshot_rows()
+        ctx.annotate(
+            plan,
+            rows_out=len(rows),
+            batches=1,
+            rows_per_batch=len(rows),
+            executor="batch",
+            access_path="row_snapshot",
+        )
+        return rows
+    out: list[Row] = []
+    for batch in _node_batches(plan, ctx):
+        out.extend(batch.to_rows())
+    return out
+
+
+def fully_vectorizable(plan: Plan) -> bool:
+    """True when every node of the subtree runs on the batch path.
+
+    Index probes count as vectorizable leaves: they stay row-wise (their
+    selectivity is the point) and are packed into batches at the boundary.
+    """
+    if isinstance(plan, (IndexLookup, InLookup)):
+        return True
+    if type(plan) not in _KERNELS:
+        return False
+    return all(fully_vectorizable(child) for child in plan.children())
+
+
+def estimated_input_rows(plan: Plan, db: Database) -> int:
+    """Planner estimate: total base rows feeding the subtree.
+
+    Index probes (IndexLookup, InLookup) count zero: they are selective by
+    construction, and batching their handful of rows would only add the
+    setup overhead the threshold exists to avoid.
+    """
+    total = 0
+    for node in plan.walk():
+        if type(node) is Scan:
+            if db.has_table(node.table):
+                total += len(db.table(node.table))
+        elif isinstance(node, Values):
+            total += len(node.rows)
+    return total
+
+
+# -- batch streams per node ----------------------------------------------------
+
+
+def _node_batches(plan: Plan, ctx: ExecContext) -> Iterator[Batch]:
+    kernel = _KERNELS.get(type(plan))
+    if kernel is None:
+        return _fallback_batches(plan, ctx)
+    if ctx.recorder is None:
+        return kernel(plan, ctx)
+    return _metered(plan, ctx, kernel(plan, ctx))
+
+
+def _metered(
+    plan: Plan, ctx: ExecContext, batches: Iterator[Batch]
+) -> Iterator[Batch]:
+    """Meter a kernel's batches into the node's span (mirrors wrap())."""
+    span = ctx.recorder.span_of(plan)  # type: ignore[union-attr]
+    if span is None:
+        return batches
+
+    def generate() -> Iterator[Batch]:
+        rows = 0
+        count = 0
+        timer = perf_counter
+        started = timer()
+        try:
+            for batch in batches:
+                span.duration_s += timer() - started
+                rows += batch.length
+                count += 1
+                yield batch
+                started = timer()
+            span.duration_s += timer() - started
+        finally:
+            attrs = span.attrs
+            attrs["rows_out"] = attrs.get("rows_out", 0) + rows
+            attrs["batches"] = attrs.get("batches", 0) + count
+            total_batches = attrs["batches"]
+            attrs["rows_per_batch"] = (
+                round(attrs["rows_out"] / total_batches, 1) if total_batches else 0
+            )
+            attrs["executor"] = "batch"
+
+    return generate()
+
+
+def _fallback_batches(plan: Plan, ctx: ExecContext) -> Iterator[Batch]:
+    """Row-wise subtree inside a batch pipeline: stream, then pack.
+
+    ``plan.stream`` meters the subtree's spans exactly as on the row path,
+    so the fallback boundary stays visible in ``explain_analyze``.
+    """
+    columns = ctx.columns(plan)
+    rows = plan.stream(ctx)
+    while True:
+        chunk = list(islice(rows, BATCH_SIZE))
+        if not chunk:
+            return
+        yield Batch.from_rows(columns, chunk)
+
+
+def _gather(batch: Batch, name: str) -> list[object]:
+    """``batch.column`` with ``row.get`` semantics: unknown names are NULL."""
+    try:
+        return batch.column(name)
+    except KeyError:
+        return [None] * batch.length
+
+
+def _scan_batches(plan: Scan, ctx: ExecContext) -> Iterator[Batch]:
+    table = ctx.db.table(plan.table)
+    names = table.schema.column_names
+    columns = table.column_snapshot()
+    n = len(table)
+    if n == 0:
+        return
+    if n <= BATCH_SIZE:
+        # Single-batch extents share the snapshot lists outright (read-only).
+        yield Batch(names, {name: columns[name] for name in names}, n)
+        return
+    for start in range(0, n, BATCH_SIZE):
+        end = min(start + BATCH_SIZE, n)
+        yield Batch(
+            names,
+            {name: columns[name][start:end] for name in names},
+            end - start,
+        )
+
+
+def _values_batches(plan: Values, ctx: ExecContext) -> Iterator[Batch]:
+    columns = plan.columns
+    rows = plan.rows
+    width = len(columns)
+    for start in range(0, len(rows), BATCH_SIZE):
+        chunk = rows[start : start + BATCH_SIZE]
+        data: dict[str, list[object]] = {}
+        for j in range(width):
+            data[columns[j]] = [
+                row[j] if j < len(row) else None for row in chunk
+            ]
+        yield Batch(columns, data, len(chunk))
+
+
+def _select_batches(plan: Select, ctx: ExecContext) -> Iterator[Batch]:
+    value_of = compile_batch_expression(plan.predicate)
+    for batch in _node_batches(plan.child, ctx):
+        values = value_of(batch)
+        kept = [i for i, value in enumerate(values) if value is True]
+        if not kept:
+            continue
+        if len(kept) == batch.length:
+            yield batch
+        else:
+            yield batch.take(kept)
+
+
+def _project_batches(plan: Project, ctx: ExecContext) -> Iterator[Batch]:
+    available = set(ctx.columns(plan.child))
+    missing = [column for column in plan.columns if column not in available]
+    if missing:
+        raise QueryError(f"projection references unknown column(s) {missing}")
+    columns = plan.columns
+    for batch in _node_batches(plan.child, ctx):
+        yield Batch(
+            columns,
+            {column: batch.column(column) for column in columns},
+            batch.length,
+        )
+
+
+def _compute_batches(plan: Compute, ctx: ExecContext) -> Iterator[Batch]:
+    compiled = tuple(
+        (name, compile_batch_expression(expression))
+        for name, expression in plan.derivations
+    )
+    columns = ctx.columns(plan)
+    for batch in _node_batches(plan.child, ctx):
+        # Derivations all evaluate against the child batch, not each other.
+        computed = [(name, value_of(batch)) for name, value_of in compiled]
+        data = batch.materialize()
+        for name, column in computed:
+            data[name] = column
+        yield Batch(columns, data, batch.length)
+
+
+def _rename_batches(plan: Rename, ctx: ExecContext) -> Iterator[Batch]:
+    table = dict(plan.mapping)
+    columns = ctx.columns(plan)
+    child_columns = ctx.columns(plan.child)
+    for batch in _node_batches(plan.child, ctx):
+        data: dict[str, list[object]] = {}
+        for column in child_columns:
+            data[table.get(column, column)] = batch.column(column)
+        yield Batch(columns, data, batch.length)
+
+
+def _union_batches(plan: Union, ctx: ExecContext) -> Iterator[Batch]:
+    if not plan.inputs:
+        return
+    columns = ctx.columns(plan)
+    column_set = set(columns)
+    for branch in plan.inputs:
+        branch_columns = set(ctx.columns(branch))
+        if branch_columns != column_set:
+            raise QueryError(
+                f"union inputs disagree on columns: {sorted(branch_columns)} "
+                f"vs {sorted(columns)}"
+            )
+    for branch in plan.inputs:
+        for batch in _node_batches(branch, ctx):
+            yield Batch(
+                columns,
+                {column: batch.column(column) for column in columns},
+                batch.length,
+            )
+
+
+def _distinct_batches(plan: Distinct, ctx: ExecContext) -> Iterator[Batch]:
+    columns = ctx.columns(plan.child)
+    seen: set[object] = set()
+    seen_add = seen.add
+    id_types = _IDENTITY_KEY_TYPES
+    single = len(columns) == 1
+    for batch in _node_batches(plan.child, ctx):
+        kept: list[int] = []
+        append = kept.append
+        if single:
+            for i, raw in enumerate(batch.column(columns[0])):
+                key = (
+                    raw
+                    if type(raw) in id_types or raw is None
+                    else canonical_key(raw)
+                )
+                if key not in seen:
+                    seen_add(key)
+                    append(i)
+        else:
+            cols = [batch.column(column) for column in columns]
+            rows = zip(*cols) if cols else iter([()] * batch.length)
+            for i, raw_row in enumerate(rows):
+                key = tuple(
+                    v if type(v) in id_types else canonical_key(v)
+                    for v in raw_row
+                )
+                if key not in seen:
+                    seen_add(key)
+                    append(i)
+        if not kept:
+            continue
+        if len(kept) == batch.length:
+            yield batch
+        else:
+            yield batch.take(kept)
+
+
+def _join_batches(plan: Join, ctx: ExecContext) -> Iterator[Batch]:
+    if plan.how not in ("inner", "left"):
+        raise QueryError(f"unsupported join type {plan.how!r}")
+    left_cols = ctx.columns(plan.left)
+    right_cols = ctx.columns(plan.right)
+    right_keys = {rk for _, rk in plan.on}
+    overlap = (set(left_cols) & set(right_cols)) - right_keys
+    if overlap:
+        raise QueryError(
+            f"join would collide on columns {sorted(overlap)}; rename one side"
+        )
+    payload_cols = tuple(c for c in right_cols if c not in right_keys)
+    out_columns = left_cols + payload_cols
+    on = plan.on
+    left_join = plan.how == "left"
+    single = len(on) == 1
+    id_types = _IDENTITY_KEY_TYPES
+
+    # Build side: key the whole right input once, payloads as value tuples
+    # (zip-transposed per batch, so no per-row tuple comprehension).
+    buckets: dict[object, list[tuple[object, ...]]] = {}
+    get = buckets.get
+    rks = [rk for _, rk in on]
+    for rbatch in _node_batches(plan.right, ctx):
+        pcols = [rbatch.column(c) for c in payload_cols]
+        prows = list(zip(*pcols)) if pcols else [()] * rbatch.length
+        if single:
+            for i, key in enumerate(_gather(rbatch, rks[0])):
+                if key is None:
+                    continue
+                if type(key) not in id_types:
+                    key = canonical_key(key)
+                bucket = get(key)
+                if bucket is None:
+                    buckets[key] = [prows[i]]
+                else:
+                    bucket.append(prows[i])
+        else:
+            kcols = [_gather(rbatch, rk) for rk in rks]
+            for i, kraw in enumerate(zip(*kcols)):
+                key = tuple(
+                    v if type(v) in id_types else canonical_key(v) for v in kraw
+                )
+                if None not in key:
+                    bucket = get(key)
+                    if bucket is None:
+                        buckets[key] = [prows[i]]
+                    else:
+                        bucket.append(prows[i])
+    null_payload = (None,) * len(payload_cols)
+
+    # Probe side: batch-at-a-time, gathering output columns by index lists
+    # instead of merging dicts per match.
+    lks = [lk for lk, _ in on]
+    for batch in _node_batches(plan.left, ctx):
+        left_idx: list[int] = []
+        payloads: list[tuple[object, ...]] = []
+        idx_append = left_idx.append
+        payload_append = payloads.append
+        if single:
+            for i, key in enumerate(_gather(batch, lks[0])):
+                if key is None:
+                    matches = None
+                else:
+                    if type(key) not in id_types:
+                        key = canonical_key(key)
+                    matches = get(key)
+                if matches:
+                    for payload in matches:
+                        idx_append(i)
+                        payload_append(payload)
+                elif left_join:
+                    idx_append(i)
+                    payload_append(null_payload)
+        else:
+            kcols = [_gather(batch, lk) for lk in lks]
+            for i, kraw in enumerate(zip(*kcols)):
+                key = tuple(
+                    v if type(v) in id_types else canonical_key(v) for v in kraw
+                )
+                matches = get(key) if None not in key else None
+                if matches:
+                    for payload in matches:
+                        idx_append(i)
+                        payload_append(payload)
+                elif left_join:
+                    idx_append(i)
+                    payload_append(null_payload)
+        if not left_idx:
+            continue
+        data: dict[str, list[object]] = {}
+        for name in left_cols:
+            col = batch.column(name)
+            data[name] = [col[i] for i in left_idx]
+        if payload_cols:
+            # One C-level transpose instead of a per-row/per-column loop.
+            for name, out_col in zip(payload_cols, zip(*payloads)):
+                data[name] = list(out_col)
+        yield Batch(out_columns, data, len(left_idx))
+
+
+def _aggregate_batches(plan: Aggregate, ctx: ExecContext) -> Iterator[Batch]:
+    group_by = plan.group_by
+    specs = tuple((spec, spec.func.upper()) for spec in plan.aggregates)
+    n_specs = len(specs)
+    # Per-group state: [row_count, values-per-spec...]; values lists feed the
+    # shared _aggregate_values finalizer, so results match the row paths
+    # exactly (including sum() over the same value sequence).
+    groups: dict[object, list] = {}
+    order: list[object] = []
+    representatives: dict[object, tuple[object, ...]] = {}
+    groups_get = groups.get
+    order_append = order.append
+    id_types = _IDENTITY_KEY_TYPES
+    single_group = len(group_by) == 1
+    for batch in _node_batches(plan.child, ctx):
+        # (state slot, value column) per spec that collects values.
+        value_entries = [
+            (j + 1, _gather(batch, spec.column))
+            for j, (spec, _) in enumerate(specs)
+            if spec.column is not None
+        ]
+        if single_group:
+            # Scalar keys: no per-row tuple, canonical_key inlined away for
+            # the int/float/str/None common case.
+            for i, raw in enumerate(_gather(batch, group_by[0])):
+                key = (
+                    raw
+                    if type(raw) in id_types or raw is None
+                    else canonical_key(raw)
+                )
+                state = groups_get(key)
+                if state is None:
+                    groups[key] = state = [0] + [[] for _ in range(n_specs)]
+                    order_append(key)
+                    representatives[key] = (raw,)
+                state[0] += 1
+                for j, col in value_entries:
+                    value = col[i]
+                    if value is not None:
+                        state[j].append(value)
+        else:
+            gcols = [_gather(batch, column) for column in group_by]
+            graws = zip(*gcols) if gcols else iter([()] * batch.length)
+            for i, graw in enumerate(graws):
+                key = tuple(
+                    v if type(v) in id_types else canonical_key(v) for v in graw
+                )
+                state = groups_get(key)
+                if state is None:
+                    groups[key] = state = [0] + [[] for _ in range(n_specs)]
+                    order_append(key)
+                    representatives[key] = graw
+                state[0] += 1
+                for j, col in value_entries:
+                    value = col[i]
+                    if value is not None:
+                        state[j].append(value)
+
+    # An alias may repeat a group column (or another alias); the row paths
+    # collapse those through dict assignment, so dedup to first-occurrence
+    # order here and let row_values below reproduce the last-wins value.
+    columns = tuple(dict.fromkeys(ctx.columns(plan)))
+    if not order:
+        if not group_by and plan.aggregates:
+            # Aggregating an empty input without grouping yields one row.
+            data = {
+                spec.alias: [_aggregate(spec, [])] for spec, _ in specs
+            }
+            yield Batch(columns, data, 1)
+        return
+    data = {column: [] for column in columns}
+    for key in order:
+        state = groups[key]
+        # Per-row dict first, so an alias shadowing a group column (or a
+        # repeated alias) overwrites exactly as the row paths' dicts do.
+        row_values: dict[str, object] = dict(zip(group_by, representatives[key]))
+        for j, (spec, func) in enumerate(specs):
+            if spec.column is None:
+                if func != "COUNT":
+                    raise QueryError(f"{func} requires a column")
+                result: object = state[0]
+            else:
+                result = _aggregate_values(func, state[j + 1], spec.func)
+            row_values[spec.alias] = result
+        for column in columns:
+            data[column].append(row_values[column])
+    yield Batch(columns, data, len(order))
+
+
+def _sort_batches(plan: Sort, ctx: ExecContext) -> Iterator[Batch]:
+    columns = ctx.columns(plan.child)
+    merged = concat(columns, _node_batches(plan.child, ctx))
+    n = merged.length
+    if n == 0:
+        return
+    indices = list(range(n))
+    # Apply keys right-to-left so stable sort yields composite ordering.
+    for column, ascending in reversed(plan.keys):
+        col = _gather(merged, column)
+        indices.sort(
+            key=lambda i, col=col: _sort_key(col[i]), reverse=not ascending
+        )
+    yield merged.take(indices)
+
+
+def _topk_batches(plan: TopK, ctx: ExecContext) -> Iterator[Batch]:
+    columns = ctx.columns(plan.child)
+    merged = concat(columns, _node_batches(plan.child, ctx))
+    n = merged.length
+    keys = plan.keys
+    directions = {ascending for _, ascending in keys}
+    if len(directions) <= 1:
+        select = heapq.nsmallest if directions != {False} else heapq.nlargest
+        if len(keys) == 1:
+            col = _gather(merged, keys[0][0])
+            chosen = select(plan.count, range(n), key=lambda i: _sort_key(col[i]))
+        else:
+            cols = [_gather(merged, column) for column, _ in keys]
+            chosen = select(
+                plan.count,
+                range(n),
+                key=lambda i: tuple(_sort_key(col[i]) for col in cols),
+            )
+    else:
+        indices = list(range(n))
+        for column, ascending in reversed(keys):
+            col = _gather(merged, column)
+            indices.sort(
+                key=lambda i, col=col: _sort_key(col[i]), reverse=not ascending
+            )
+        chosen = indices[: plan.count]
+    if chosen:
+        yield merged.take(chosen)
+
+
+def _limit_batches(plan: Limit, ctx: ExecContext) -> Iterator[Batch]:
+    count = plan.count
+    if count < 0:
+        # Negative counts keep Python slice semantics (drop from the end),
+        # which requires the full child extent.
+        columns = ctx.columns(plan.child)
+        merged = concat(columns, _node_batches(plan.child, ctx))
+        end = merged.length + count
+        if end > 0:
+            yield merged.take(range(end))
+        return
+    remaining = count
+    if remaining == 0:
+        return
+    for batch in _node_batches(plan.child, ctx):
+        if batch.length <= remaining:
+            yield batch
+            remaining -= batch.length
+        else:
+            yield batch.take(range(remaining))
+            remaining = 0
+        if remaining == 0:
+            return
+
+
+_KERNELS: dict[type, Callable[..., Iterator[Batch]]] = {
+    Scan: _scan_batches,
+    Values: _values_batches,
+    Select: _select_batches,
+    Project: _project_batches,
+    Compute: _compute_batches,
+    Rename: _rename_batches,
+    Union: _union_batches,
+    Distinct: _distinct_batches,
+    Join: _join_batches,
+    Aggregate: _aggregate_batches,
+    Sort: _sort_batches,
+    TopK: _topk_batches,
+    Limit: _limit_batches,
+}
+
+
+# -- batch expression compiler -------------------------------------------------
+
+#: A lowered expression: one call per batch, returning the value column.
+BatchExpression = Callable[[Batch], list[object]]
+
+# Identity-keyed memo, same policy (and the same structural-aliasing
+# rationale) as expr/compile.py: Literal(0) == Literal(False) under dict
+# equality, so entries pin the expression and key on id().
+_BATCH_CACHE: dict[int, tuple[Expression, BatchExpression]] = {}
+_BATCH_CACHE_LIMIT = 4096
+
+
+def compile_batch_expression(expr: Expression) -> BatchExpression:
+    """Lower ``expr`` to a column-at-a-time closure (default registry)."""
+    cached = _BATCH_CACHE.get(id(expr))
+    if cached is not None and cached[0] is expr:
+        return cached[1]
+    compiled = _lower_batch(expr)
+    if len(_BATCH_CACHE) >= _BATCH_CACHE_LIMIT:
+        _BATCH_CACHE.clear()
+    _BATCH_CACHE[id(expr)] = (expr, compiled)
+    return compiled
+
+
+def _lower_batch(expr: Expression) -> BatchExpression:
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda batch: [value] * batch.length
+    if isinstance(expr, Identifier):
+        return _lower_identifier_batch(expr)
+    if isinstance(expr, UnaryOp):
+        return _lower_unary_batch(expr)
+    if isinstance(expr, BinaryOp):
+        return _lower_binary_batch(expr)
+    if isinstance(expr, FunctionCall):
+        return _lower_function_call_batch(expr)
+    if isinstance(expr, InList):
+        return _lower_in_list_batch(expr)
+    if isinstance(expr, IsNull):
+        operand = _lower_batch(expr.operand)
+        if expr.negated:
+            return lambda batch: [value is not None for value in operand(batch)]
+        return lambda batch: [value is None for value in operand(batch)]
+    # Unknown node types fall back to the row-wise compiled closure.
+    fallback = compile_expression(expr)
+    return lambda batch: [fallback(row) for row in batch.to_rows()]
+
+
+def _lower_identifier_batch(expr: Identifier) -> BatchExpression:
+    name = expr.name
+    leaf = expr.leaf
+
+    def resolve(batch: Batch) -> list[object]:
+        try:
+            return batch.column(name)
+        except KeyError:
+            pass
+        if leaf != name:
+            try:
+                return batch.column(leaf)
+            except KeyError:
+                pass
+        # Same suffix fallback (and the same errors) as the row path; all
+        # rows of a batch share one column set, so resolving once per batch
+        # is equivalent to resolving per row.
+        return batch.column(resolve_suffix_key(name, leaf, batch.columns))
+
+    return resolve
+
+
+def _lower_unary_batch(expr: UnaryOp) -> BatchExpression:
+    operand = _lower_batch(expr.operand)
+    if expr.op == "-":
+
+        def negate(batch: Batch) -> list[object]:
+            out: list[object] = []
+            append = out.append
+            for value in operand(batch):
+                if value is None:
+                    append(None)
+                elif not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise EvaluationError(
+                        f"cannot negate non-numeric value {value!r}"
+                    )
+                else:
+                    append(-value)
+            return out
+
+        return negate
+    if expr.op == "NOT":
+
+        def invert(batch: Batch) -> list[object]:
+            out: list[object] = []
+            append = out.append
+            for value in operand(batch):
+                if value is None:
+                    append(None)
+                elif value is True:
+                    append(False)
+                elif value is False:
+                    append(True)
+                else:
+                    append(not _as_bool(value))  # raises the type error
+            return out
+
+        return invert
+    op = expr.op
+
+    def unknown(batch: Batch) -> list[object]:
+        raise EvaluationError(f"unknown unary operator {op!r}")
+
+    return unknown
+
+
+def _lower_logic_operand_batch(expr: Expression) -> BatchExpression:
+    fn = _lower_batch(expr)
+    if _boolean_valued(expr):
+        return fn
+
+    def checked(batch: Batch) -> list[object]:
+        out: list[object] = []
+        append = out.append
+        for value in fn(batch):
+            if value is None or value is True or value is False:
+                append(value)
+            else:
+                append(_as_bool(value))  # raises the interpreter's type error
+        return out
+
+    return checked
+
+
+def _lower_binary_batch(expr: BinaryOp) -> BatchExpression:
+    op = expr.op
+    if op in ("AND", "OR"):
+        left = _lower_logic_operand_batch(expr.left)
+        right = _lower_logic_operand_batch(expr.right)
+        # Kleene logic with *sub-batch* short-circuit: the right operand is
+        # evaluated only over rows the left side left undecided, matching
+        # the row path, which never evaluates (and never raises from) the
+        # right side of a decided conjunct.
+        if op == "AND":
+
+            def conjoin(batch: Batch) -> list[object]:
+                a = left(batch)
+                pending = [i for i, value in enumerate(a) if value is not False]
+                if not pending:
+                    return a
+                if len(pending) == len(a):
+                    b = right(batch)
+                    out: list[object] = []
+                    append = out.append
+                    for x, y in zip(a, b):
+                        if y is False:
+                            append(False)
+                        elif x is None or y is None:
+                            append(None)
+                        else:
+                            append(True)
+                    return out
+                b_sub = right(batch.take(pending))
+                # The left column may be a batch's own list; copy, then
+                # overwrite only the undecided slots (False stays False).
+                out = list(a)
+                for pos, i in enumerate(pending):
+                    y = b_sub[pos]
+                    if y is False:
+                        out[i] = False
+                    elif a[i] is None or y is None:
+                        out[i] = None
+                    else:
+                        out[i] = True
+                return out
+
+            return conjoin
+
+        def disjoin(batch: Batch) -> list[object]:
+            a = left(batch)
+            pending = [i for i, value in enumerate(a) if value is not True]
+            if not pending:
+                return a
+            if len(pending) == len(a):
+                b = right(batch)
+                out: list[object] = []
+                append = out.append
+                for x, y in zip(a, b):
+                    if y is True:
+                        append(True)
+                    elif x is None or y is None:
+                        append(None)
+                    else:
+                        append(False)
+                return out
+            b_sub = right(batch.take(pending))
+            out = list(a)
+            for pos, i in enumerate(pending):
+                y = b_sub[pos]
+                if y is True:
+                    out[i] = True
+                elif a[i] is None or y is None:
+                    out[i] = None
+                else:
+                    out[i] = False
+            return out
+
+        return disjoin
+    left = _lower_batch(expr.left)
+    right = _lower_batch(expr.right)
+    if op in ("+", "-", "*"):
+        op_fn = _TOTAL_ARITHMETIC_OPS[op]
+
+        def arith(batch: Batch) -> list[object]:
+            out: list[object] = []
+            append = out.append
+            for a, b in zip(left(batch), right(batch)):
+                if a is None or b is None:
+                    append(None)
+                elif (type(a) is int or type(a) is float) and (
+                    type(b) is int or type(b) is float
+                ):
+                    append(op_fn(a, b))
+                else:
+                    append(_arithmetic(op, a, b))
+            return out
+
+        return arith
+    if op in ("/", "%"):
+
+        def divide(batch: Batch) -> list[object]:
+            out: list[object] = []
+            append = out.append
+            for a, b in zip(left(batch), right(batch)):
+                if a is None or b is None:
+                    append(None)
+                else:
+                    append(_arithmetic(op, a, b))
+            return out
+
+        return divide
+    if op in _COMPARE_OPS:
+        op_fn = _COMPARE_OPS[op]
+
+        def compare(batch: Batch) -> list[object]:
+            out: list[object] = []
+            append = out.append
+            for a, b in zip(left(batch), right(batch)):
+                if a is None or b is None:
+                    append(None)
+                    continue
+                ta = type(a)
+                tb = type(b)
+                if ta is tb:
+                    if ta is int or ta is float or ta is str or ta is bool:
+                        append(op_fn(a, b))
+                        continue
+                elif (ta is int or ta is float) and (tb is int or tb is float):
+                    append(op_fn(a, b))
+                    continue
+                append(_compare(op, a, b))
+            return out
+
+        return compare
+    if op == "LIKE":
+
+        def like(batch: Batch) -> list[object]:
+            out: list[object] = []
+            append = out.append
+            for a, b in zip(left(batch), right(batch)):
+                if a is None or b is None:
+                    append(None)
+                else:
+                    append(_like(str(a), str(b)))
+            return out
+
+        return like
+
+    def unknown(batch: Batch) -> list[object]:
+        raise EvaluationError(f"unknown binary operator {op!r}")
+
+    return unknown
+
+
+def _lower_function_call_batch(expr: FunctionCall) -> BatchExpression:
+    name = expr.name
+    arg_fns = tuple(_lower_batch(arg) for arg in expr.args)
+    arg_count = len(arg_fns)
+    # Lazy binding after the first argument evaluation, like the row path:
+    # unknown-function errors only fire when a row actually reaches the call.
+    bound: list = [None]
+
+    def invoke(batch: Batch) -> list[object]:
+        columns = [fn(batch) for fn in arg_fns]
+        impl = bound[0]
+        if impl is None:
+            if batch.length == 0:
+                return []
+            bound[0] = impl = _DEFAULT_REGISTRY.bind(name, arg_count)
+        if not columns:
+            return [impl() for _ in range(batch.length)]
+        return [impl(*args) for args in zip(*columns)]
+
+    return invoke
+
+
+def _lower_in_list_batch(expr: InList) -> BatchExpression:
+    operand = _lower_batch(expr.operand)
+    item_fns = tuple(_lower_batch(item) for item in expr.items)
+    negated = expr.negated
+
+    def member(batch: Batch) -> list[object]:
+        values = operand(batch)
+        item_cols = [fn(batch) for fn in item_fns]
+        out: list[object] = []
+        append = out.append
+        for i, value in enumerate(values):
+            if value is None:
+                append(None)
+                continue
+            saw_null = False
+            result: object = negated
+            for col in item_cols:
+                candidate = col[i]
+                if candidate is None:
+                    saw_null = True
+                    continue
+                if _compare("=", value, candidate) is True:
+                    result = not negated
+                    break
+            else:
+                if saw_null:
+                    result = None
+            append(result)
+        return out
+
+    return member

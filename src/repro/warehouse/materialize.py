@@ -116,6 +116,10 @@ class MaterializationJob:
         the cache.
         """
         ec = self.entity_classifiers[source.name]
+        # The translated plan is structurally identical on every pull, so
+        # repeat extractions hit the source database's plan cache inside
+        # source.execute and skip re-lowering entirely (cold-cache pulls
+        # still pay translate + optimize once per source epoch).
         query = GTreeQuery(source.gtree(ec.form)).where(ec.condition)
         if record_ids is not None:
             return source.execute(query, record_ids=record_ids)
