@@ -26,7 +26,29 @@ from typing import Any, Callable, Sequence
 DEFAULT_THRESHOLD = 1.25
 DEFAULT_RUNS = 3
 
+#: Cases every committed baseline of a benchmark must carry: a
+#: re-promoted baseline that silently drops a tier (e.g. the partitioned/
+#: parallel PP cases) fails the gate instead of shrinking its coverage.
+REQUIRED_CASES: dict[str, tuple[str, ...]] = {
+    "relational_core": (
+        "filtered_scan",
+        "indexed_lookup",
+        "join_aggregate_vectorized",
+        "pp_point_pruned",
+        "pp_range_pruned",
+        "pp_scan_aggregate_serial",
+        "pp_scan_aggregate_parallel4",
+    ),
+}
+
 Payload = dict[str, Any]
+
+
+def missing_required(name: str, payload: Payload) -> list[str]:
+    """Required cases absent from a committed baseline payload."""
+    required = REQUIRED_CASES.get(name, ())
+    present = {str(row.get("case")) for row in payload.get("results", [])}
+    return [case for case in required if case not in present]
 
 
 def headline_metrics(payload: Payload) -> dict[str, float]:
@@ -87,8 +109,12 @@ def gate(
     """
     failures: dict[str, list[str]] = {}
     for name, payload in baselines.items():
+        problems = [
+            f"{case}: required case missing from committed baseline"
+            for case in missing_required(name, payload)
+        ]
         observed = merge_best([runner(name) for _ in range(max(1, runs))])
-        problems = compare(headline_metrics(payload), observed, threshold)
+        problems.extend(compare(headline_metrics(payload), observed, threshold))
         if problems:
             failures[name] = problems
     return failures

@@ -92,10 +92,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--executor",
-        choices=["row", "batch"],
+        choices=["row", "batch", "parallel"],
         default="batch",
-        help="query execution path: columnar batch kernels (default) or "
-        "row-at-a-time streaming (target query only)",
+        help="query execution path: columnar batch kernels (default), "
+        "row-at-a-time streaming, or morsel-parallel batch kernels "
+        "(target query only)",
+    )
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker threads for --executor parallel (default 4)",
     )
     trace.add_argument(
         "--json",
@@ -268,7 +275,9 @@ def _cmd_trace(args) -> int:
         plan = translate_query(
             GTreeQuery(source.gtree(ec.form)).where(ec.condition), source.chain
         )
-        report = explain_analyze(plan, source.db, executor=args.executor)
+        report = explain_analyze(
+            plan, source.db, executor=args.executor, workers=args.workers
+        )
         tracer: Tracer = report.tracer
     else:
         from repro.analysis.studies import STUDY1_ELEMENTS, build_cohort_study

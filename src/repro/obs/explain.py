@@ -111,7 +111,11 @@ class ExplainReport:
 
 
 def explain_analyze(
-    query: Query | Plan, db: Database, optimized: bool = True, executor: str = "batch"
+    query: Query | Plan,
+    db: Database,
+    optimized: bool = True,
+    executor: str = "batch",
+    workers: int | None = None,
 ) -> ExplainReport:
     """Optimize and execute ``query`` under tracing; return the profile.
 
@@ -121,15 +125,20 @@ def explain_analyze(
     EXPERIMENTS.md before/after traces are produced exactly that way.
     ``executor="row"`` disables the vectorize pass so the same query can be
     profiled on the row-at-a-time path (batch operator spans additionally
-    carry ``batches`` and ``rows_per_batch``).
+    carry ``batches`` and ``rows_per_batch``); ``executor="parallel"`` runs
+    any vectorized subtree morsel-parallel on ``workers`` threads
+    (default 4) and annotates per-worker utilization into its span.
     """
-    if executor not in ("row", "batch"):
-        raise ValueError(f"executor must be 'row' or 'batch', got {executor!r}")
+    if executor not in ("row", "batch", "parallel"):
+        raise ValueError(
+            f"executor must be 'row', 'batch', or 'parallel', got {executor!r}"
+        )
+    parallel = (workers or 4) if executor == "parallel" else None
     plan = query.plan if isinstance(query, Query) else query
     tracer = Tracer()
     with tracing(tracer):
         final = (
-            optimize(plan, db, vectorize=executor == "batch") if optimized else plan
+            optimize(plan, db, vectorize=executor != "row") if optimized else plan
         )
-        rows = final.execute(db)
+        rows = final.execute(db, parallel=parallel)
     return ExplainReport(rows=rows, plan=final, tracer=tracer, optimized=optimized)

@@ -6,7 +6,13 @@ light plan optimizer, and a SQL renderer used to document generated ETL.
 """
 
 from repro.relational.types import DataType
-from repro.relational.schema import Column, TableSchema
+from repro.relational.schema import (
+    Column,
+    HashPartitioning,
+    PartitionScheme,
+    RangePartitioning,
+    TableSchema,
+)
 from repro.relational.table import Table
 from repro.relational.database import Database
 from repro.relational.index import HashIndex
@@ -21,6 +27,7 @@ from repro.relational.algebra import (
     InLookup,
     Join,
     Limit,
+    PartitionScan,
     Pivot,
     Plan,
     Project,
@@ -39,6 +46,7 @@ from repro.relational.interpret import execute_interpreted
 from repro.relational.query import Query, optimize, plan_fingerprint, prepare_stream_plan
 from repro.relational.snapshot import database_version, load_database, save_database
 from repro.relational.sql import to_sql
+from repro.relational.parallel import ThreadWorkerPool, execute_parallel
 from repro.relational.vectorize import Vectorized, execute_vectorized
 
 __all__ = [
@@ -54,20 +62,25 @@ __all__ = [
     "Distinct",
     "ExecContext",
     "HashIndex",
+    "HashPartitioning",
     "IndexLookup",
     "InLookup",
     "Join",
     "Limit",
+    "PartitionScan",
+    "PartitionScheme",
     "Pivot",
     "Plan",
     "Project",
     "Query",
+    "RangePartitioning",
     "Rename",
     "Scan",
     "Select",
     "Sort",
     "Table",
     "TableSchema",
+    "ThreadWorkerPool",
     "TopK",
     "Union",
     "Unpivot",
@@ -75,6 +88,7 @@ __all__ = [
     "Vectorized",
     "canonical_key",
     "execute_interpreted",
+    "execute_parallel",
     "execute_vectorized",
     "database_version",
     "load_database",

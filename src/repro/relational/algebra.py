@@ -56,13 +56,23 @@ class ExecContext:
     base :meth:`Plan.stream` meters every node's iterator into the
     recorder's span tree.  The disabled cost is one attribute check per
     operator per execution — never per row.
+
+    ``parallel`` (normally None) is a worker count: when set, Vectorized
+    subtrees route to the morsel-parallel executor in
+    :mod:`repro.relational.parallel` instead of the serial batch loop.
     """
 
-    __slots__ = ("db", "recorder", "_columns")
+    __slots__ = ("db", "recorder", "parallel", "_columns")
 
-    def __init__(self, db: Database, recorder: TreeRecorder | None = None):
+    def __init__(
+        self,
+        db: Database,
+        recorder: TreeRecorder | None = None,
+        parallel: int | None = None,
+    ):
         self.db = db
         self.recorder = recorder
+        self.parallel = parallel
         # Keyed by node identity; the entry pins the node so a recycled id()
         # of a garbage-collected plan can never alias a stale cache hit.
         self._columns: dict[int, tuple["Plan", tuple[str, ...]]] = {}
@@ -90,29 +100,32 @@ class Plan:
     def children(self) -> tuple["Plan", ...]:
         return ()
 
-    def execute(self, db: Database) -> list[Row]:
+    def execute(self, db: Database, parallel: int | None = None) -> list[Row]:
         """Run the plan against ``db`` and materialize the result.
 
         Under an installed tracer (``repro.obs.tracing()``) the execution
         is profiled: a span tree mirroring the plan records per-node row
-        counts and wall time.
+        counts and wall time.  ``parallel`` carries a worker count down to
+        any ``Vectorized`` subtree, which then runs morsel-parallel.
         """
         tracer = current_tracer()
         if tracer is not None:
-            return self._execute_traced(db, tracer)
-        rows = self.stream(ExecContext(db))
+            return self._execute_traced(db, tracer, parallel)
+        rows = self.stream(ExecContext(db, parallel=parallel))
         if self.shares_storage():
             # The stream may yield dicts owned by table storage; copy at the
             # boundary so callers can mutate results freely.
             return [dict(row) for row in rows]
         return list(rows)
 
-    def _execute_traced(self, db: Database, tracer) -> list[Row]:
+    def _execute_traced(
+        self, db: Database, tracer, parallel: int | None = None
+    ) -> list[Row]:
         with tracer.span(f"execute:{type(self).__name__}") as root:
             recorder = TreeRecorder(
                 self, root, label=trace_label, children=lambda p: p.children()
             )
-            rows = self.stream(ExecContext(db, recorder))
+            rows = self.stream(ExecContext(db, recorder, parallel))
             if self.shares_storage():
                 result = [dict(row) for row in rows]
             else:
@@ -281,6 +294,50 @@ class InLookup(Plan):
             bucket_rows=len(positions),
         )
         return table.rows_at(sorted(positions))
+
+    def shares_storage(self) -> bool:
+        return True
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return ctx.db.table(self.table).schema.column_names
+
+
+@dataclass(frozen=True)
+class PartitionScan(Plan):
+    """Read only the listed partitions of a partitioned base table.
+
+    Produced by the optimizer when a conjunct on the partition key proves
+    the other partitions cannot hold matching rows.  The *full* original
+    predicate always stays behind in a residual :class:`Select` above this
+    node — pruning narrows the scanned superset, it never filters — so a
+    stale or mismatched scheme at execution time can safely fall back to a
+    full scan.  Merged partition positions are ascending, so rows stream in
+    extent (insertion) order, exactly like the scan this replaces.
+    """
+
+    table: str
+    partitions: tuple[int, ...]
+
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
+        table = ctx.db.table(self.table)
+        scheme = table.partitioning
+        total = scheme.partition_count if scheme is not None else 0
+        if scheme is None or any(pid >= total for pid in self.partitions):
+            # The scheme changed under a cached/hand-built plan; the pruning
+            # decision no longer applies, so scan everything (the residual
+            # Select above still enforces the predicate).
+            ctx.annotate(self, access_path="scan_fallback")
+            return table.iter_rows()
+        positions = table.positions_for_partitions(self.partitions)
+        ctx.annotate(
+            self,
+            access_path="partition",
+            partitions_scanned=len(set(self.partitions)),
+            partitions_pruned=total - len(set(self.partitions)),
+            partitions_total=total,
+            bucket_rows=len(positions),
+        )
+        return table.rows_at(positions)
 
     def shares_storage(self) -> bool:
         return True
@@ -851,6 +908,8 @@ def trace_label(plan: Plan) -> str:
         return f"IndexLookup[{plan.table}: {columns}]"
     if isinstance(plan, InLookup):
         return f"InLookup[{plan.table}.{plan.column} IN ({len(plan.values)})]"
+    if isinstance(plan, PartitionScan):
+        return f"PartitionScan[{plan.table}: {len(plan.partitions)} parts]"
     if isinstance(plan, Values):
         return f"Values[{len(plan.rows)} rows]"
     if isinstance(plan, Select):

@@ -29,15 +29,16 @@ class Database:
         """Monotone schema/data/index version for plan-cache keying.
 
         Sums the structural counter (table create/drop) with every table's
-        data version and index epoch.  Each component only ever increases
-        within one process, so the sum is monotone: any insert, delete,
-        update, index create/drop, or table create/drop yields a new epoch
-        and invalidates cached plans.  (``snapshot.database_version`` — data
-        versions only — is left untouched; the GUAVA change feed keys on it.)
+        data version, index epoch, and partition epoch.  Each component only
+        ever increases within one process, so the sum is monotone: any
+        insert, delete, update, index create/drop, table create/drop, or
+        repartition yields a new epoch and invalidates cached plans.
+        (``snapshot.database_version`` — data versions only — is left
+        untouched; the GUAVA change feed keys on it.)
         """
         total = self._structure_version
         for table in self._tables.values():
-            total += table.version + table.index_epoch
+            total += table.version + table.index_epoch + table.partition_epoch
         return total
 
     def plan_cache_get(self, fingerprint: str, epoch: int) -> object | None:
@@ -82,7 +83,9 @@ class Database:
         dropped = self._tables.pop(name)
         # Fold the dropped table's contribution into the structural counter so
         # the epoch never rewinds to a value it held before the drop.
-        self._structure_version += 1 + dropped.version + dropped.index_epoch
+        self._structure_version += (
+            1 + dropped.version + dropped.index_epoch + dropped.partition_epoch
+        )
 
     def table(self, name: str) -> Table:
         """Look up a table by name."""

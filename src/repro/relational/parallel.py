@@ -1,0 +1,414 @@
+"""Morsel-driven parallel execution of vectorized subtrees.
+
+The third execution strategy over the same plan semantics: a fully
+vectorized subtree is decomposed into *morsels* — contiguous runs of
+source batches (partition × chunk work units for a pruned
+:class:`~repro.relational.algebra.PartitionScan`) — and the per-morsel
+work self-schedules onto a shared worker pool, the dispatch discipline of
+Leis et al.'s morsel-driven parallelism: a worker that finishes early
+claims the next unstarted morsel, so load imbalance is stolen away at
+morsel granularity without a separate stealing protocol.
+
+Reuse over reimplementation: each morsel task substitutes its batches for
+the pipeline's source leaf (via the :class:`_BatchSource` kernel) and runs
+the *existing* batch kernels from :mod:`repro.relational.vectorize`.
+Partition-wise operators share state the same way —
+
+- Aggregate: each morsel consumes into its own
+  :class:`~repro.relational.vectorize.GroupedAggregation`; partials merge
+  in morsel order, reproducing the serial pass's first-seen group order
+  and per-group value order exactly.
+- Join: one :class:`~repro.relational.vectorize.JoinBuild` is built
+  serially and shared read-only across workers probing left-side morsels.
+- Everything else (Sort, TopK, Distinct, Limit, Union, …) runs serially
+  over its children's parallelized outputs.
+
+Determinism contract: morsel outputs are concatenated in morsel index
+order, which is source batch order, which is extent order — so results
+are row-for-row identical (values AND order) to the serial batch executor
+and therefore to the interpreter.  When a morsel raises, the exception of
+the lowest morsel index is re-raised (error-*type* parity only, the same
+relaxation the batch path documents).
+
+Honesty about the GIL: on CPython threads the pool buys parallel speedup
+only for the allocator/C-level slices of the work; measured speedups are
+reported as-is in EXPERIMENTS.md, and per-worker utilization is annotated
+into the trace so numbers are explainable.  The pool is pluggable
+(:func:`set_worker_pool_factory`) so a process pool or a free-threaded
+runtime can slot in without touching the executor.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Iterator, Sequence
+
+from repro.relational.algebra import (
+    Aggregate,
+    Compute,
+    ExecContext,
+    Join,
+    PartitionScan,
+    Plan,
+    Project,
+    Rename,
+    Row,
+    Scan,
+    Select,
+)
+from repro.relational.batch import Batch
+from repro.relational.query import _with_children
+from repro.relational.vectorize import (
+    _KERNELS,
+    GroupedAggregation,
+    JoinBuild,
+    _node_batches,
+    aggregate_output_columns,
+)
+
+#: Source batches per morsel: 8 × BATCH_SIZE = 8192 rows.  Large enough to
+#: amortize per-task scheduling, small enough that work stealing can
+#: rebalance a skewed pipeline.
+MORSEL_BATCHES = 8
+
+
+# -- worker pool ---------------------------------------------------------------
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker accounting for one pool run."""
+
+    worker: int
+    morsels: int = 0
+    busy_s: float = 0.0
+
+
+class ThreadWorkerPool:
+    """Self-scheduling thread pool over a shared morsel queue.
+
+    ``run(tasks)`` executes every task and returns ``(results, stats)``
+    with results in task order.  Workers claim the next unstarted task
+    under a lock — the morsel-driven equivalent of work stealing, since an
+    early finisher takes work a slower worker would otherwise have run.
+    A single worker (or a single task) runs inline on the calling thread.
+    Task exceptions are collected and the one with the lowest task index
+    is re-raised after the pool drains.
+    """
+
+    def __init__(self, workers: int):
+        self.workers = max(1, int(workers))
+
+    def run(
+        self, tasks: Sequence[Callable[[], object]]
+    ) -> tuple[list[object], list[WorkerStats]]:
+        n = len(tasks)
+        count = min(self.workers, n) if n else 1
+        stats = [WorkerStats(i) for i in range(count)]
+        results: list[object] = [None] * n
+        errors: list[BaseException | None] = [None] * n
+        cursor = [0]
+        lock = threading.Lock()
+
+        def drain(stat: WorkerStats) -> None:
+            timer = perf_counter
+            while True:
+                with lock:
+                    i = cursor[0]
+                    if i >= n:
+                        return
+                    cursor[0] = i + 1
+                started = timer()
+                try:
+                    results[i] = tasks[i]()
+                except BaseException as exc:  # re-raised below, by index
+                    errors[i] = exc
+                stat.busy_s += timer() - started
+                stat.morsels += 1
+
+        if count == 1:
+            drain(stats[0])
+        else:
+            threads = [
+                threading.Thread(
+                    target=drain,
+                    args=(stat,),
+                    name=f"repro-morsel-{stat.worker}",
+                    daemon=True,
+                )
+                for stat in stats
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        for error in errors:
+            if error is not None:
+                raise error
+        return results, stats
+
+
+#: Pool constructor used by the engine; swap via set_worker_pool_factory.
+_POOL_FACTORY: Callable[[int], ThreadWorkerPool] = ThreadWorkerPool
+
+
+def set_worker_pool_factory(
+    factory: Callable[[int], ThreadWorkerPool] | None = None,
+) -> None:
+    """Install a custom worker-pool factory (None restores threads).
+
+    The contract is ``factory(workers).run(tasks) -> (results, stats)``
+    with results in task order; a process pool or a free-threaded runtime
+    can slot in here without touching the executor.
+    """
+    global _POOL_FACTORY
+    _POOL_FACTORY = ThreadWorkerPool if factory is None else factory
+
+
+# -- morsel source substitution ------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class _BatchSource(Plan):
+    """A plan leaf standing in for precomputed batches (one morsel's input).
+
+    Per-morsel tasks clone the pipeline with its Scan/PartitionScan leaf
+    replaced by one of these, so every existing batch kernel runs unchanged
+    over just that morsel's rows.
+    """
+
+    source_columns: tuple[str, ...]
+    batches: tuple[Batch, ...]
+
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
+        for batch in self.batches:
+            yield from batch.to_rows()
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return self.source_columns
+
+
+def _batch_source_batches(plan: _BatchSource, ctx: ExecContext) -> Iterator[Batch]:
+    return iter(plan.batches)
+
+
+_KERNELS[_BatchSource] = _batch_source_batches
+
+
+#: Record-wise operators that fuse into a morsel task.
+_PIPELINE_OPS = (Select, Project, Compute, Rename)
+
+
+def _pipeline_source(plan: Plan) -> Plan | None:
+    """The Scan/PartitionScan under a record-wise chain, or None."""
+    node = plan
+    while isinstance(node, _PIPELINE_OPS):
+        node = node.child
+    return node if type(node) in (Scan, PartitionScan) else None
+
+
+def _replace_source(plan: Plan, source: Plan, replacement: Plan) -> Plan:
+    if plan is source:
+        return replacement
+    return _with_children(
+        plan,
+        tuple(
+            _replace_source(child, source, replacement)
+            for child in plan.children()
+        ),
+    )
+
+
+def _morsels(batches: list[Batch]) -> list[list[Batch]]:
+    return [
+        batches[start : start + MORSEL_BATCHES]
+        for start in range(0, len(batches), MORSEL_BATCHES)
+    ]
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+class _Engine:
+    """One parallel execution: pool bookkeeping plus the recursive driver."""
+
+    def __init__(self, ctx: ExecContext, workers: int):
+        self.ctx = ctx
+        self.workers = workers
+        self.morsels = 0
+        self.stages = 0
+        self.wall_s = 0.0
+        self._busy: dict[int, float] = {}
+        self._claimed: dict[int, int] = {}
+
+    def run_tasks(self, tasks: list[Callable[[], object]]) -> list[object]:
+        started = perf_counter()
+        results, stats = _POOL_FACTORY(self.workers).run(tasks)
+        self.wall_s += perf_counter() - started
+        self.stages += 1
+        self.morsels += len(tasks)
+        for stat in stats:
+            self._busy[stat.worker] = (
+                self._busy.get(stat.worker, 0.0) + stat.busy_s
+            )
+            self._claimed[stat.worker] = (
+                self._claimed.get(stat.worker, 0) + stat.morsels
+            )
+        return results
+
+    def worker_report(self) -> list[dict[str, object]]:
+        """Per-worker utilization (busy time / pool wall time) for the trace."""
+        wall = self.wall_s
+        return [
+            {
+                "worker": worker,
+                "morsels": self._claimed.get(worker, 0),
+                "busy_s": round(busy, 6),
+                "utilization": round(busy / wall, 3) if wall else 0.0,
+            }
+            for worker, busy in sorted(self._busy.items())
+        ]
+
+    # -- drivers ---------------------------------------------------------------
+
+    def batches(self, plan: Plan) -> list[Batch]:
+        """All output batches of ``plan``, parallelizing where possible."""
+        source = _pipeline_source(plan)
+        if source is not None:
+            return self._run_pipeline(plan, source)
+        if isinstance(plan, Aggregate):
+            source = _pipeline_source(plan.child)
+            if source is not None:
+                return self._run_aggregate(plan, source)
+        if isinstance(plan, Join):
+            source = _pipeline_source(plan.left)
+            if source is not None:
+                return self._run_join(plan, source)
+        children = plan.children()
+        if not children:
+            return list(_node_batches(plan, self.ctx))
+        # Serial operator over parallelized children: each child's batches
+        # become a _BatchSource and the node's own kernel runs unchanged.
+        replaced = tuple(
+            _BatchSource(self.ctx.columns(child), tuple(self.batches(child)))
+            for child in children
+        )
+        return list(_node_batches(_with_children(plan, replaced), self.ctx))
+
+    def _source_morsels(self, source: Plan) -> list[list[Batch]]:
+        # Source batches materialize serially (they are slice copies; the
+        # per-row work lives in the pipeline above) through the *traced*
+        # context, so PartitionScan prune gauges land in the span tree.
+        return _morsels(list(_node_batches(source, self.ctx)))
+
+    def _morsel_plans(
+        self, plan: Plan, source: Plan, morsels: list[list[Batch]]
+    ) -> list[Plan]:
+        columns = self.ctx.columns(source)
+        return [
+            _replace_source(plan, source, _BatchSource(columns, tuple(morsel)))
+            for morsel in morsels
+        ]
+
+    def _run_pipeline(self, plan: Plan, source: Plan) -> list[Batch]:
+        morsels = self._source_morsels(source)
+        if not morsels:
+            return []
+        db = self.ctx.db
+        tasks = [
+            (lambda sub=sub: list(_node_batches(sub, ExecContext(db))))
+            for sub in self._morsel_plans(plan, source, morsels)
+        ]
+        results = self.run_tasks(tasks)
+        return [batch for out in results for batch in out]
+
+    def _run_aggregate(self, plan: Aggregate, source: Plan) -> list[Batch]:
+        columns = aggregate_output_columns(plan, self.ctx)
+        morsels = self._source_morsels(source)
+        if not morsels:
+            return list(GroupedAggregation(plan).finalize(columns))
+        db = self.ctx.db
+
+        def make_task(sub: Plan) -> Callable[[], GroupedAggregation]:
+            def task() -> GroupedAggregation:
+                grouped = GroupedAggregation(plan)
+                for batch in _node_batches(sub, ExecContext(db)):
+                    grouped.consume(batch)
+                return grouped
+
+            return task
+
+        partials = self.run_tasks(
+            [make_task(sub) for sub in self._morsel_plans(plan.child, source, morsels)]
+        )
+        merged = partials[0]
+        for partial in partials[1:]:
+            merged.merge(partial)
+        return list(merged.finalize(columns))
+
+    def _run_join(self, plan: Join, source: Plan) -> list[Batch]:
+        build = JoinBuild(plan, self.ctx)
+        for rbatch in self.batches(plan.right):
+            build.add(rbatch)
+        morsels = self._source_morsels(source)
+        if not morsels:
+            return []
+        db = self.ctx.db
+
+        def make_task(sub: Plan) -> Callable[[], list[Batch]]:
+            def task() -> list[Batch]:
+                out: list[Batch] = []
+                for batch in _node_batches(sub, ExecContext(db)):
+                    joined = build.probe(batch)
+                    if joined is not None:
+                        out.append(joined)
+                return out
+
+            return task
+
+        results = self.run_tasks(
+            [make_task(sub) for sub in self._morsel_plans(plan.left, source, morsels)]
+        )
+        return [batch for out in results for batch in out]
+
+
+def execute_parallel(
+    plan: Plan, ctx: ExecContext, annotate: Plan | None = None
+) -> list[Row]:
+    """Run a vectorized subtree morsel-parallel and materialize the rows.
+
+    ``ctx.parallel`` carries the worker count (1 = inline, still through
+    the morsel machinery).  ``annotate`` names the plan node whose span
+    receives the executor gauges — the optimizer's ``Vectorized`` wrapper
+    when routed from there.
+    """
+    workers = ctx.parallel or 1
+    target = annotate if annotate is not None else plan
+    if type(plan) is Scan:
+        # The whole-table read keeps the serial path's zero-copy shortcut:
+        # there is no per-row work to parallelize, only copying to lose.
+        rows = ctx.db.table(plan.table).snapshot_rows()
+        ctx.annotate(
+            target,
+            rows_out=len(rows),
+            executor="parallel-batch",
+            workers=workers,
+            morsels=0,
+            access_path="row_snapshot",
+        )
+        return rows
+    engine = _Engine(ctx, workers)
+    out: list[Row] = []
+    for batch in engine.batches(plan):
+        out.extend(batch.to_rows())
+    ctx.annotate(
+        target,
+        executor="parallel-batch",
+        workers=workers,
+        morsels=engine.morsels,
+        parallel_stages=engine.stages,
+        worker_utilization=engine.worker_report(),
+    )
+    return out

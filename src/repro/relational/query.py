@@ -21,6 +21,7 @@ from repro.expr.ast import (
     Expression,
     Identifier,
     InList,
+    IsNull,
     Literal,
     conjunction,
 )
@@ -36,6 +37,7 @@ from repro.relational.algebra import (
     InLookup,
     Join,
     Limit,
+    PartitionScan,
     Pivot,
     Plan,
     Project,
@@ -376,11 +378,26 @@ def _rewrite_select(plan: Select, ctx: _OptContext) -> Plan:
     # Push select into a join side when its columns come from one side.
     if isinstance(child, Join) and child.how == "inner":
         return _push_into_join(plan.predicate, child, ctx)
-    # Lower equality filters over a base table onto a hash index.
+    # Lower equality filters over a base table onto a hash index; when no
+    # index covers the filter, try pruning partitions of a partitioned
+    # table instead (an index probe is strictly more selective, so it wins
+    # whenever both would apply).
     if isinstance(child, Scan):
         lowered = _lower_index_lookup(plan.predicate, child, ctx)
         if lowered is not None:
             return lowered
+        pruned = _lower_partition_scan(plan.predicate, child.table, None, ctx)
+        if pruned is not None:
+            return pruned
+    # A select merged down onto an already-pruned scan (select_merge above
+    # rebuilds the conjunction): re-prune and intersect with the existing
+    # partition choice.
+    if isinstance(child, PartitionScan):
+        pruned = _lower_partition_scan(
+            plan.predicate, child.table, child.partitions, ctx
+        )
+        if pruned is not None:
+            return pruned
     return plan
 
 
@@ -465,6 +482,100 @@ def _lower_index_lookup(
         ],
     )
     return Select(lookup, conjunction(rest)) if rest else lookup
+
+
+#: ``literal <op> column`` reads as ``column <flipped op> literal``.
+_FLIPPED_COMPARE = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _lower_partition_scan(
+    predicate: Expression,
+    table_name: str,
+    current: tuple[int, ...] | None,
+    ctx: _OptContext,
+) -> Plan | None:
+    """``Select(Scan, pred)`` → ``Select(PartitionScan, pred)`` when conjuncts
+    on the partition key rule partitions out.
+
+    Pruning only narrows the scanned superset — the FULL predicate stays as
+    the residual select — so a conjunct the analysis cannot use simply
+    prunes nothing.  ``current`` carries an existing PartitionScan's
+    partition choice to intersect with (None when lowering a bare Scan).
+    Returns None when nothing (further) prunes.
+    """
+    if ctx.db is None or not ctx.db.has_table(table_name):
+        return None
+    scheme = ctx.db.table(table_name).partitioning
+    if scheme is None or scheme.partition_count <= 1:
+        return None
+    candidates = _partition_candidates(predicate, scheme)
+    if candidates is None:
+        return None
+    baseline = (
+        set(current)
+        if current is not None
+        else set(range(scheme.partition_count))
+    )
+    chosen = baseline & candidates
+    if chosen == baseline:
+        return None  # nothing new pruned
+    ctx.note(
+        "partition_prune",
+        table=table_name,
+        scheme=scheme.describe(),
+        scanned=len(chosen),
+        pruned=scheme.partition_count - len(chosen),
+    )
+    return Select(PartitionScan(table_name, tuple(sorted(chosen))), predicate)
+
+
+def _partition_candidates(predicate: Expression, scheme) -> set[int] | None:
+    """Partitions that can hold predicate-satisfying rows; None = no pruning."""
+    allowed: set[int] | None = None
+    for conjunct in _conjuncts(predicate):
+        candidate = _conjunct_partitions(conjunct, scheme)
+        if candidate is None:
+            continue
+        allowed = candidate if allowed is None else allowed & candidate
+    return allowed
+
+
+def _conjunct_partitions(conjunct: Expression, scheme) -> set[int] | None:
+    """Partitions one conjunct confines the key to; None = no information.
+
+    Every rule is sound against the residual re-filter: a partition is only
+    dropped when no row inside it can satisfy this conjunct under
+    ``sql_equal``/comparison semantics (NULL comparisons filter out).
+    """
+    key = {scheme.column}
+    item = _equality_item(conjunct, key)
+    if item is not None:
+        return {scheme.partition_of(item[1])}
+    probe = _in_list_item(conjunct, key)
+    if probe is not None:
+        # NULL items were dropped; an all-NULL list keeps no rows at all.
+        return {scheme.partition_of(value) for value in probe[1]}
+    if (
+        isinstance(conjunct, IsNull)
+        and not conjunct.negated
+        and isinstance(conjunct.operand, Identifier)
+        and len(conjunct.operand.path) == 1
+        and conjunct.operand.name == scheme.column
+    ):
+        return {scheme.null_partition}
+    if isinstance(conjunct, BinaryOp) and conjunct.op in _FLIPPED_COMPARE:
+        for ident, literal, op in (
+            (conjunct.left, conjunct.right, conjunct.op),
+            (conjunct.right, conjunct.left, _FLIPPED_COMPARE[conjunct.op]),
+        ):
+            if not (isinstance(ident, Identifier) and isinstance(literal, Literal)):
+                continue
+            if len(ident.path) != 1 or ident.name != scheme.column:
+                continue
+            spanned = scheme.partitions_for_compare(op, literal.value)
+            if spanned is not None:
+                return set(spanned)
+    return None
 
 
 def _conjuncts(expr: Expression):
@@ -666,7 +777,7 @@ def prepare_stream_plan(plan: Plan, db: Database) -> Plan:
         # access path (the cost-based choice needs the index to exist).
         if not (
             isinstance(node, Select)
-            and isinstance(node.child, (Scan, IndexLookup, InLookup))
+            and isinstance(node.child, (Scan, IndexLookup, InLookup, PartitionScan))
         ):
             continue
         if not db.has_table(node.child.table):

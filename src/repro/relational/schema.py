@@ -1,11 +1,150 @@
-"""Table schemas: columns, types, nullability, primary keys."""
+"""Table schemas: columns, types, nullability, primary keys, partitioning."""
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 
 from repro.errors import SchemaError
 from repro.relational.types import DataType
+
+# Unforgeable tag keeping BOOLEAN keys out of their hash-equal integers'
+# partitions — the same segregation rule as ``canonical_key`` (which lives
+# above this module in the import graph, so the tag is duplicated here).
+_BOOL_TAG = object()
+
+
+def _partition_key(value: object) -> object:
+    """A hashable stand-in for ``value`` in partition assignment.
+
+    Must satisfy one direction only: values that are SQL-equal map to the
+    same key (so pruning by a literal can never miss a matching row).
+    Collisions the other way — SQL-distinct values sharing a partition —
+    are harmless, they just scan a superset.
+    """
+    if isinstance(value, bool):
+        return (_BOOL_TAG, value)
+    try:
+        hash(value)
+    except TypeError:
+        return repr(value)
+    return value
+
+
+@dataclass(frozen=True)
+class HashPartitioning:
+    """Hash-partition a table by one column into a fixed partition count.
+
+    NULL keys all land in partition 0 (so ``IS NULL`` can prune to one
+    partition); everything else buckets on ``hash(_partition_key(value))``.
+    Hash order is meaningless, so range predicates never prune here.
+    """
+
+    column: str
+    partitions: int
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1:
+            raise SchemaError("hash partitioning needs at least one partition")
+
+    @property
+    def partition_count(self) -> int:
+        return self.partitions
+
+    @property
+    def null_partition(self) -> int:
+        return 0
+
+    def partition_of(self, value: object) -> int:
+        if value is None:
+            return self.null_partition
+        return hash(_partition_key(value)) % self.partitions
+
+    def partitions_for_compare(self, op: str, value: object) -> frozenset[int] | None:
+        """Partitions possibly satisfying ``column <op> value``; None = all."""
+        return None  # hash scatters the ordering pruning would need
+
+    def describe(self) -> str:
+        return f"hash({self.column}) % {self.partitions}"
+
+
+@dataclass(frozen=True)
+class RangePartitioning:
+    """Range-partition a table by one column over sorted boundary literals.
+
+    ``boundaries`` ``(b1, …, bk)`` define ``k + 1`` partitions: partition 0
+    holds values below ``b1`` (and all NULLs, which sort first), partition
+    ``i`` holds ``[b_i, b_{i+1})``, and the last holds ``[b_k, ∞)``.
+    Boundaries must be mutually comparable and strictly increasing.
+    """
+
+    column: str
+    boundaries: tuple
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.boundaries, tuple):
+            object.__setattr__(self, "boundaries", tuple(self.boundaries))
+        if not self.boundaries:
+            raise SchemaError("range partitioning needs at least one boundary")
+        try:
+            increasing = all(
+                a < b for a, b in zip(self.boundaries, self.boundaries[1:])
+            )
+        except TypeError as exc:
+            raise SchemaError(f"range boundaries are not comparable: {exc}") from exc
+        if not increasing:
+            raise SchemaError("range boundaries must be strictly increasing")
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.boundaries) + 1
+
+    @property
+    def null_partition(self) -> int:
+        return 0
+
+    def partition_of(self, value: object) -> int:
+        if value is None:
+            return self.null_partition
+        try:
+            return bisect_right(self.boundaries, value)
+        except TypeError:
+            # Values incomparable with the boundaries (mixed-type columns)
+            # collapse into partition 0; pruning stays conservative there.
+            return 0
+
+    def partitions_for_compare(self, op: str, value: object) -> frozenset[int] | None:
+        """Partitions possibly satisfying ``column <op> value``; None = all.
+
+        Comparisons against a value incomparable with the boundaries keep
+        every partition — a NULL-yielding or raising comparison must not
+        prune rows the residual predicate is entitled to see.
+        """
+        if value is None:
+            return frozenset()  # col <op> NULL is NULL for every row
+        try:
+            pivot = bisect_right(self.boundaries, value)
+        except TypeError:
+            return None
+        last = len(self.boundaries)
+        if op in (">", ">="):
+            return frozenset(range(pivot, last + 1))
+        if op == "<=":
+            # Partition `pivot` starts at a boundary <= value, so it can
+            # still hold smaller values; everything above it cannot.
+            return frozenset(range(0, pivot + 1))
+        if op == "<":
+            # Strict: a value sitting exactly on a boundary excludes the
+            # partition that starts there (bisect_left lands below it).
+            return frozenset(range(0, bisect_left(self.boundaries, value) + 1))
+        return None
+
+    def describe(self) -> str:
+        return f"range({self.column}: {len(self.boundaries)} boundaries)"
+
+
+#: Either concrete scheme; tables accept one or none.
+PartitionScheme = HashPartitioning | RangePartitioning
 
 
 @dataclass(frozen=True)
@@ -27,11 +166,12 @@ class Column:
 
 @dataclass(frozen=True)
 class TableSchema:
-    """Ordered columns plus an optional primary key."""
+    """Ordered columns plus an optional primary key and partition scheme."""
 
     name: str
     columns: tuple[Column, ...]
     primary_key: tuple[str, ...] = field(default=())
+    partitioning: PartitionScheme | None = field(default=None)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -45,6 +185,10 @@ class TableSchema:
                 raise SchemaError(
                     f"primary key column {key_column!r} not in table {self.name}"
                 )
+        if self.partitioning is not None and self.partitioning.column not in names:
+            raise SchemaError(
+                f"partition column {self.partitioning.column!r} not in table {self.name}"
+            )
 
     @classmethod
     def build(
@@ -52,6 +196,7 @@ class TableSchema:
         name: str,
         columns: list[Column] | list[tuple[str, DataType]],
         primary_key: tuple[str, ...] | list[str] = (),
+        partition_by: PartitionScheme | None = None,
     ) -> "TableSchema":
         """Convenience constructor accepting ``(name, dtype)`` pairs."""
         normalized: list[Column] = []
@@ -61,7 +206,7 @@ class TableSchema:
             else:
                 col_name, dtype = item
                 normalized.append(Column(col_name, dtype))
-        return cls(name, tuple(normalized), tuple(primary_key))
+        return cls(name, tuple(normalized), tuple(primary_key), partition_by)
 
     @property
     def column_names(self) -> tuple[str, ...]:
@@ -79,13 +224,22 @@ class TableSchema:
 
     def with_columns(self, extra: list[Column]) -> "TableSchema":
         """A copy of this schema with ``extra`` columns appended."""
-        return TableSchema(self.name, self.columns + tuple(extra), self.primary_key)
+        return TableSchema(
+            self.name, self.columns + tuple(extra), self.primary_key, self.partitioning
+        )
 
     def renamed(self, new_name: str) -> "TableSchema":
         """A copy of this schema under a different table name."""
-        return TableSchema(new_name, self.columns, self.primary_key)
+        return TableSchema(new_name, self.columns, self.primary_key, self.partitioning)
+
+    def repartitioned(self, partitioning: PartitionScheme | None) -> "TableSchema":
+        """A copy of this schema under a different partition scheme."""
+        return TableSchema(self.name, self.columns, self.primary_key, partitioning)
 
     def __str__(self) -> str:
         cols = ", ".join(str(column) for column in self.columns)
         pk = f", PRIMARY KEY ({', '.join(self.primary_key)})" if self.primary_key else ""
-        return f"{self.name}({cols}{pk})"
+        part = (
+            f" PARTITION BY {self.partitioning.describe()}" if self.partitioning else ""
+        )
+        return f"{self.name}({cols}{pk}){part}"

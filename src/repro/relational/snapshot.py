@@ -15,7 +15,13 @@ from pathlib import Path
 
 from repro.errors import RelationalError
 from repro.relational.database import Database
-from repro.relational.schema import Column, TableSchema
+from repro.relational.schema import (
+    Column,
+    HashPartitioning,
+    PartitionScheme,
+    RangePartitioning,
+    TableSchema,
+)
 from repro.relational.types import DataType
 
 FORMAT_VERSION = 1
@@ -38,25 +44,27 @@ def database_to_dict(db: Database) -> dict:
     for name in db.table_names():
         table = db.table(name)
         schema = table.schema
-        tables.append(
-            {
-                "name": schema.name,
-                "columns": [
-                    {
-                        "name": column.name,
-                        "type": column.dtype.value,
-                        "nullable": column.nullable,
-                    }
-                    for column in schema.columns
-                ],
-                "primary_key": list(schema.primary_key),
-                "version": table.version,
-                "rows": [
-                    [_encode(row[column]) for column in schema.column_names]
-                    for row in table.rows()
-                ],
-            }
-        )
+        doc = {
+            "name": schema.name,
+            "columns": [
+                {
+                    "name": column.name,
+                    "type": column.dtype.value,
+                    "nullable": column.nullable,
+                }
+                for column in schema.columns
+            ],
+            "primary_key": list(schema.primary_key),
+            "version": table.version,
+            "rows": [
+                [_encode(row[column]) for column in schema.column_names]
+                for row in table.rows()
+            ],
+        }
+        partitioning = _encode_partitioning(schema.partitioning)
+        if partitioning is not None:
+            doc["partitioning"] = partitioning
+        tables.append(doc)
     return {"format": FORMAT_VERSION, "database": db.name, "tables": tables}
 
 
@@ -73,7 +81,10 @@ def database_from_dict(document: dict) -> Database:
             for c in table_doc["columns"]
         )
         schema = TableSchema(
-            table_doc["name"], columns, tuple(table_doc.get("primary_key", ()))
+            table_doc["name"],
+            columns,
+            tuple(table_doc.get("primary_key", ())),
+            _decode_partitioning(table_doc.get("partitioning"), columns),
         )
         table = db.create_table(schema)
         names = schema.column_names
@@ -103,3 +114,36 @@ def _encode(value: object) -> object:
     if isinstance(value, date):
         return value.isoformat()
     return value
+
+
+def _encode_partitioning(scheme: PartitionScheme | None) -> dict | None:
+    if scheme is None:
+        return None
+    if isinstance(scheme, HashPartitioning):
+        return {"kind": "hash", "column": scheme.column, "partitions": scheme.partitions}
+    return {
+        "kind": "range",
+        "column": scheme.column,
+        "boundaries": [_encode(boundary) for boundary in scheme.boundaries],
+    }
+
+
+def _decode_partitioning(
+    doc: dict | None, columns: tuple[Column, ...]
+) -> PartitionScheme | None:
+    if doc is None:
+        return None
+    kind = doc.get("kind")
+    if kind == "hash":
+        return HashPartitioning(doc["column"], int(doc["partitions"]))
+    if kind == "range":
+        # Boundaries share the partition column's type; coercing through its
+        # dtype revives dates stored in ISO form.
+        dtype = next(
+            (c.dtype for c in columns if c.name == doc["column"]), None
+        )
+        boundaries = tuple(
+            dtype.coerce(b) if dtype is not None else b for b in doc["boundaries"]
+        )
+        return RangePartitioning(doc["column"], boundaries)
+    raise RelationalError(f"unsupported partitioning kind {kind!r}")

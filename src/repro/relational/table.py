@@ -6,7 +6,7 @@ from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.errors import IntegrityError, SchemaError
 from repro.relational.index import HashIndex
-from repro.relational.schema import TableSchema
+from repro.relational.schema import PartitionScheme, TableSchema
 
 Row = dict[str, object]
 
@@ -27,10 +27,20 @@ class Table:
         self._pk_index: HashIndex | None = None
         self._version = 0
         self._index_epoch = 0
+        self._partition_epoch = 0
         self._row_snapshot: tuple[int, list[Row]] | None = None
         self._column_snapshot: tuple[int, dict[str, list[object]]] | None = None
+        # Ascending row positions per partition; [] placeholder lists until
+        # first build.  None for unpartitioned tables.
+        self._partition_positions: list[list[int]] | None = None
+        # pid → (version, column → value list), filled lazily per partition.
+        self._partition_columns_cache: dict[int, tuple[int, dict[str, list[object]]]] = {}
         if schema.primary_key:
             self._pk_index = HashIndex(schema.primary_key)
+        if schema.partitioning is not None:
+            self._partition_positions = [
+                [] for _ in range(schema.partitioning.partition_count)
+            ]
 
     # -- reading -------------------------------------------------------------
 
@@ -105,6 +115,112 @@ class Table:
         rows = self._rows
         return (rows[position] for position in positions)
 
+    # -- partitioning ---------------------------------------------------------
+
+    @property
+    def partitioning(self) -> PartitionScheme | None:
+        """The active partition scheme, if any."""
+        return self.schema.partitioning
+
+    @property
+    def partition_epoch(self) -> int:
+        """Monotone partition-structure version: bumps on :meth:`repartition`.
+
+        Folded into :attr:`Database.epoch` so cached plans that baked in a
+        pruning decision are invalidated when the scheme changes.
+        """
+        return self._partition_epoch
+
+    @property
+    def partition_count(self) -> int:
+        """Number of partitions (1 when unpartitioned)."""
+        scheme = self.schema.partitioning
+        return scheme.partition_count if scheme is not None else 1
+
+    def repartition(self, partitioning: PartitionScheme | None) -> None:
+        """Switch the partition scheme, redistributing every stored row.
+
+        Rows keep their storage positions — only the partition membership
+        lists are rebuilt — so scan order is unaffected.  Passing ``None``
+        removes partitioning.
+        """
+        if partitioning is not None and not self.schema.has_column(partitioning.column):
+            raise SchemaError(
+                f"partition column {partitioning.column!r} not in table {self.name}"
+            )
+        self.schema = self.schema.repartitioned(partitioning)
+        self._partition_epoch += 1
+        self._partition_columns_cache.clear()
+        if partitioning is None:
+            self._partition_positions = None
+        else:
+            self._rebuild_partitions()
+
+    def partition_positions(self, partition: int) -> list[int]:
+        """Ascending row positions stored in ``partition`` (read-only)."""
+        positions = self._partition_positions
+        if positions is None:
+            raise SchemaError(f"table {self.name} is not partitioned")
+        return positions[partition]
+
+    def positions_for_partitions(self, partitions: Iterable[int]) -> list[int]:
+        """Ascending merged row positions across ``partitions``.
+
+        Insertion order is preserved because per-partition position lists are
+        themselves ascending; merging sorted runs keeps the global order.
+        """
+        lists = self._partition_positions
+        if lists is None:
+            raise SchemaError(f"table {self.name} is not partitioned")
+        selected = [lists[pid] for pid in sorted(set(partitions))]
+        selected = [run for run in selected if run]
+        if not selected:
+            return []
+        if len(selected) == 1:
+            return selected[0]
+        merged: list[int] = []
+        for run in selected:
+            merged.extend(run)
+        merged.sort()
+        return merged
+
+    def partition_columns(self, partition: int) -> dict[str, list[object]]:
+        """One partition as column → value list, cached per data version.
+
+        Columnar source for partition-pruned and morsel-parallel scans.
+        Shared and read-only under the same contract as
+        :meth:`column_snapshot`.
+        """
+        cached = self._partition_columns_cache.get(partition)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        rows = self._rows
+        positions = self.partition_positions(partition)
+        columns = {
+            name: [rows[pos][name] for pos in positions]
+            for name in self.schema.column_names
+        }
+        self._partition_columns_cache[partition] = (self._version, columns)
+        return columns
+
+    def partition_row_counts(self) -> list[int]:
+        """Row count per partition (single entry when unpartitioned)."""
+        if self._partition_positions is None:
+            return [len(self._rows)]
+        return [len(run) for run in self._partition_positions]
+
+    def _rebuild_partitions(self) -> None:
+        scheme = self.schema.partitioning
+        if scheme is None:
+            self._partition_positions = None
+            return
+        lists: list[list[int]] = [[] for _ in range(scheme.partition_count)]
+        column = scheme.column
+        partition_of = scheme.partition_of
+        for position, row in enumerate(self._rows):
+            lists[partition_of(row[column])].append(position)
+        self._partition_positions = lists
+
     def matching_index(self, columns: Iterable[str]) -> HashIndex | None:
         """The widest index whose columns all appear in ``columns``."""
         available = set(columns)
@@ -158,6 +274,11 @@ class Table:
             self._pk_index.add(row, position)
         for index in self._indexes.values():
             index.add(row, position)
+        scheme = self.schema.partitioning
+        if scheme is not None and self._partition_positions is not None:
+            self._partition_positions[scheme.partition_of(row[scheme.column])].append(
+                position
+            )
         return dict(row)
 
     def insert_many(self, rows: Iterable[Mapping[str, object]]) -> int:
@@ -186,6 +307,7 @@ class Table:
         if updated:
             self._version += 1
             self._rebuild_indexes()
+            self._rebuild_partitions()
         return updated
 
     def delete(self, predicate: Callable[[Row], bool]) -> int:
@@ -196,6 +318,7 @@ class Table:
         if removed:
             self._version += 1
             self._rebuild_indexes()
+            self._rebuild_partitions()
         return removed
 
     def create_index(self, columns: tuple[str, ...] | list[str]) -> HashIndex:

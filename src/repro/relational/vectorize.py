@@ -35,6 +35,7 @@ Obs hooks carry over: under a tracer every kernel's span records
 from __future__ import annotations
 
 import heapq
+import operator
 from dataclasses import dataclass
 from itertools import islice
 from time import perf_counter
@@ -74,6 +75,7 @@ from repro.relational.algebra import (
     InLookup,
     Join,
     Limit,
+    PartitionScan,
     Plan,
     Project,
     Rename,
@@ -99,6 +101,13 @@ VECTORIZE_MIN_ROWS = 256
 
 _DEFAULT_REGISTRY = default_registry()
 
+_DIVISION_OPS = {"/": operator.truediv, "%": operator.mod}
+
+#: Types whose values are their own canonical key, NULL included: a column
+#: whose ``set(map(type, col))`` stays inside this set (a C-level sweep)
+#: needs no per-value canonicalization at all.
+_CLEAN_KEY_TYPES = frozenset((int, float, str, type(None)))
+
 
 @dataclass(frozen=True)
 class Vectorized(Plan):
@@ -115,6 +124,12 @@ class Vectorized(Plan):
         return (self.child,)
 
     def _stream(self, ctx: ExecContext) -> Iterator[Row]:
+        if ctx.parallel is not None:
+            # Route to the morsel-parallel executor; lazy import because
+            # parallel.py builds on this module's kernels.
+            from repro.relational.parallel import execute_parallel
+
+            return iter(execute_parallel(self.child, ctx, annotate=self))
         return iter(execute_vectorized(self.child, ctx))
 
     def shares_storage(self) -> bool:
@@ -179,6 +194,18 @@ def estimated_input_rows(plan: Plan, db: Database) -> int:
         if type(node) is Scan:
             if db.has_table(node.table):
                 total += len(db.table(node.table))
+        elif type(node) is PartitionScan:
+            if db.has_table(node.table):
+                table = db.table(node.table)
+                if table.partitioning is None:
+                    total += len(table)
+                else:
+                    counts = table.partition_row_counts()
+                    total += sum(
+                        counts[pid]
+                        for pid in set(node.partitions)
+                        if pid < len(counts)
+                    )
         elif isinstance(node, Values):
             total += len(node.rows)
     return total
@@ -270,6 +297,59 @@ def _scan_batches(plan: Scan, ctx: ExecContext) -> Iterator[Batch]:
             names,
             {name: columns[name][start:end] for name in names},
             end - start,
+        )
+
+
+def _partition_scan_batches(plan: PartitionScan, ctx: ExecContext) -> Iterator[Batch]:
+    table = ctx.db.table(plan.table)
+    scheme = table.partitioning
+    total = scheme.partition_count if scheme is not None else 0
+    if scheme is None or any(pid >= total for pid in plan.partitions):
+        # Stale pruning decision (scheme changed under the plan): scan all;
+        # the residual Select above still enforces the predicate.
+        ctx.annotate(plan, access_path="scan_fallback")
+        yield from _scan_batches(Scan(plan.table), ctx)
+        return
+    wanted = sorted(set(plan.partitions))
+    names = table.schema.column_names
+    ctx.annotate(
+        plan,
+        access_path="partition",
+        partitions_scanned=len(wanted),
+        partitions_pruned=total - len(wanted),
+        partitions_total=total,
+    )
+    if len(wanted) == 1:
+        # The common pruned point/range query: one partition's columnar run
+        # feeds batches zero-copy (positions within a partition are already
+        # an ascending subsequence of the extent, so order is preserved).
+        columns = table.partition_columns(wanted[0])
+        n = len(columns[names[0]]) if names else 0
+        if n == 0:
+            return
+        if n <= BATCH_SIZE:
+            yield Batch(names, {name: columns[name] for name in names}, n)
+            return
+        for start in range(0, n, BATCH_SIZE):
+            end = min(start + BATCH_SIZE, n)
+            yield Batch(
+                names,
+                {name: columns[name][start:end] for name in names},
+                end - start,
+            )
+        return
+    # Multi-partition selection: gather merged ascending positions from the
+    # whole-table columnar snapshot, chunk by chunk.
+    positions = table.positions_for_partitions(wanted)
+    if not positions:
+        return
+    snapshot = table.column_snapshot()
+    for start in range(0, len(positions), BATCH_SIZE):
+        chunk = positions[start : start + BATCH_SIZE]
+        yield Batch(
+            names,
+            {name: [snapshot[name][pos] for pos in chunk] for name in names},
+            len(chunk),
         )
 
 
@@ -399,34 +479,68 @@ def _distinct_batches(plan: Distinct, ctx: ExecContext) -> Iterator[Batch]:
             yield batch.take(kept)
 
 
-def _join_batches(plan: Join, ctx: ExecContext) -> Iterator[Batch]:
-    if plan.how not in ("inner", "left"):
-        raise QueryError(f"unsupported join type {plan.how!r}")
-    left_cols = ctx.columns(plan.left)
-    right_cols = ctx.columns(plan.right)
-    right_keys = {rk for _, rk in plan.on}
-    overlap = (set(left_cols) & set(right_cols)) - right_keys
-    if overlap:
-        raise QueryError(
-            f"join would collide on columns {sorted(overlap)}; rename one side"
-        )
-    payload_cols = tuple(c for c in right_cols if c not in right_keys)
-    out_columns = left_cols + payload_cols
-    on = plan.on
-    left_join = plan.how == "left"
-    single = len(on) == 1
-    id_types = _IDENTITY_KEY_TYPES
+class JoinBuild:
+    """The build side of a vectorized hash join, probe-ready.
 
-    # Build side: key the whole right input once, payloads as value tuples
-    # (zip-transposed per batch, so no per-row tuple comprehension).
-    buckets: dict[object, list[tuple[object, ...]]] = {}
-    get = buckets.get
-    rks = [rk for _, rk in on]
-    for rbatch in _node_batches(plan.right, ctx):
-        pcols = [rbatch.column(c) for c in payload_cols]
+    Constructed once per execution: validates the join, keys the whole
+    right input into buckets (payloads as value tuples, zip-transposed per
+    batch so there is no per-row tuple comprehension).  :meth:`probe` is
+    read-only on the build state afterwards, so the morsel-parallel
+    executor shares one build across worker threads and probes left
+    morsels concurrently.
+    """
+
+    __slots__ = (
+        "on",
+        "left_cols",
+        "payload_cols",
+        "out_columns",
+        "left_join",
+        "single",
+        "buckets",
+        "null_payload",
+    )
+
+    def __init__(self, plan: Join, ctx: ExecContext):
+        if plan.how not in ("inner", "left"):
+            raise QueryError(f"unsupported join type {plan.how!r}")
+        left_cols = ctx.columns(plan.left)
+        right_cols = ctx.columns(plan.right)
+        right_keys = {rk for _, rk in plan.on}
+        overlap = (set(left_cols) & set(right_cols)) - right_keys
+        if overlap:
+            raise QueryError(
+                f"join would collide on columns {sorted(overlap)}; rename one side"
+            )
+        self.on = plan.on
+        self.left_cols = left_cols
+        self.payload_cols = tuple(c for c in right_cols if c not in right_keys)
+        self.out_columns = left_cols + self.payload_cols
+        self.left_join = plan.how == "left"
+        self.single = len(plan.on) == 1
+        self.buckets: dict[object, list[tuple[object, ...]]] = {}
+        self.null_payload = (None,) * len(self.payload_cols)
+
+    def add(self, rbatch: Batch) -> None:
+        """Consume one build-side batch into the hash table."""
+        buckets = self.buckets
+        get = buckets.get
+        id_types = _IDENTITY_KEY_TYPES
+        rks = [rk for _, rk in self.on]
+        pcols = [rbatch.column(c) for c in self.payload_cols]
         prows = list(zip(*pcols)) if pcols else [()] * rbatch.length
-        if single:
-            for i, key in enumerate(_gather(rbatch, rks[0])):
+        if self.single:
+            kcol = _gather(rbatch, rks[0])
+            if set(map(type, kcol)) <= id_types:
+                # No NULLs, no exotic types: drop both per-row checks.
+                for i, key in enumerate(kcol):
+                    bucket = get(key)
+                    if bucket is None:
+                        buckets[key] = [prows[i]]
+                    else:
+                        bucket.append(prows[i])
+                return
+            for i, key in enumerate(kcol):
                 if key is None:
                     continue
                 if type(key) not in id_types:
@@ -448,31 +562,51 @@ def _join_batches(plan: Join, ctx: ExecContext) -> Iterator[Batch]:
                         buckets[key] = [prows[i]]
                     else:
                         bucket.append(prows[i])
-    null_payload = (None,) * len(payload_cols)
 
-    # Probe side: batch-at-a-time, gathering output columns by index lists
-    # instead of merging dicts per match.
-    lks = [lk for lk, _ in on]
-    for batch in _node_batches(plan.left, ctx):
+    def probe(self, batch: Batch) -> Batch | None:
+        """Join one probe-side batch against the build; None when empty.
+
+        Gathers output columns by index lists instead of merging dicts per
+        match.  Pure with respect to build state — safe to call from
+        multiple threads once the build is complete.
+        """
+        get = self.buckets.get
+        id_types = _IDENTITY_KEY_TYPES
+        left_join = self.left_join
+        null_payload = self.null_payload
+        lks = [lk for lk, _ in self.on]
         left_idx: list[int] = []
         payloads: list[tuple[object, ...]] = []
         idx_append = left_idx.append
         payload_append = payloads.append
-        if single:
-            for i, key in enumerate(_gather(batch, lks[0])):
-                if key is None:
-                    matches = None
-                else:
-                    if type(key) not in id_types:
-                        key = canonical_key(key)
+        if self.single:
+            kcol = _gather(batch, lks[0])
+            if set(map(type, kcol)) <= id_types:
+                # No NULLs, no exotic types: probe keys directly.
+                for i, key in enumerate(kcol):
                     matches = get(key)
-                if matches:
-                    for payload in matches:
+                    if matches:
+                        for payload in matches:
+                            idx_append(i)
+                            payload_append(payload)
+                    elif left_join:
                         idx_append(i)
-                        payload_append(payload)
-                elif left_join:
-                    idx_append(i)
-                    payload_append(null_payload)
+                        payload_append(null_payload)
+            else:
+                for i, key in enumerate(kcol):
+                    if key is None:
+                        matches = None
+                    else:
+                        if type(key) not in id_types:
+                            key = canonical_key(key)
+                        matches = get(key)
+                    if matches:
+                        for payload in matches:
+                            idx_append(i)
+                            payload_append(payload)
+                    elif left_join:
+                        idx_append(i)
+                        payload_append(null_payload)
         else:
             kcols = [_gather(batch, lk) for lk in lks]
             for i, kraw in enumerate(zip(*kcols)):
@@ -488,40 +622,66 @@ def _join_batches(plan: Join, ctx: ExecContext) -> Iterator[Batch]:
                     idx_append(i)
                     payload_append(null_payload)
         if not left_idx:
-            continue
+            return None
         data: dict[str, list[object]] = {}
-        for name in left_cols:
+        for name in self.left_cols:
             col = batch.column(name)
             data[name] = [col[i] for i in left_idx]
-        if payload_cols:
+        if self.payload_cols:
             # One C-level transpose instead of a per-row/per-column loop.
-            for name, out_col in zip(payload_cols, zip(*payloads)):
+            for name, out_col in zip(self.payload_cols, zip(*payloads)):
                 data[name] = list(out_col)
-        yield Batch(out_columns, data, len(left_idx))
+        return Batch(self.out_columns, data, len(left_idx))
 
 
-def _aggregate_batches(plan: Aggregate, ctx: ExecContext) -> Iterator[Batch]:
-    group_by = plan.group_by
-    specs = tuple((spec, spec.func.upper()) for spec in plan.aggregates)
-    n_specs = len(specs)
-    # Per-group state: [row_count, values-per-spec...]; values lists feed the
-    # shared _aggregate_values finalizer, so results match the row paths
-    # exactly (including sum() over the same value sequence).
-    groups: dict[object, list] = {}
-    order: list[object] = []
-    representatives: dict[object, tuple[object, ...]] = {}
-    groups_get = groups.get
-    order_append = order.append
-    id_types = _IDENTITY_KEY_TYPES
-    single_group = len(group_by) == 1
-    for batch in _node_batches(plan.child, ctx):
+def _join_batches(plan: Join, ctx: ExecContext) -> Iterator[Batch]:
+    build = JoinBuild(plan, ctx)
+    for rbatch in _node_batches(plan.right, ctx):
+        build.add(rbatch)
+    for batch in _node_batches(plan.left, ctx):
+        joined = build.probe(batch)
+        if joined is not None:
+            yield joined
+
+
+class GroupedAggregation:
+    """Incremental group-by state behind the Aggregate kernel.
+
+    Holds per-group ``[row_count, values-per-spec...]`` states; values
+    lists feed the shared ``_aggregate_values`` finalizer, so results match
+    the row paths exactly (including ``sum()`` over the same value
+    sequence).  The serial kernel consumes every batch into one instance;
+    the morsel-parallel executor consumes each morsel into its own and
+    merges them in morsel order — first-seen group order and per-group
+    value order are then identical to the serial pass by construction.
+    """
+
+    __slots__ = ("plan", "group_by", "specs", "groups", "order", "representatives")
+
+    def __init__(self, plan: Aggregate):
+        self.plan = plan
+        self.group_by = plan.group_by
+        self.specs = tuple((spec, spec.func.upper()) for spec in plan.aggregates)
+        self.groups: dict[object, list] = {}
+        self.order: list[object] = []
+        self.representatives: dict[object, tuple[object, ...]] = {}
+
+    def consume(self, batch: Batch) -> None:
+        group_by = self.group_by
+        specs = self.specs
+        n_specs = len(specs)
+        groups = self.groups
+        groups_get = groups.get
+        order_append = self.order.append
+        representatives = self.representatives
+        id_types = _IDENTITY_KEY_TYPES
         # (state slot, value column) per spec that collects values.
         value_entries = [
             (j + 1, _gather(batch, spec.column))
             for j, (spec, _) in enumerate(specs)
             if spec.column is not None
         ]
-        if single_group:
+        if len(group_by) == 1:
             # Scalar keys: no per-row tuple, canonical_key inlined away for
             # the int/float/str/None common case.
             for i, raw in enumerate(_gather(batch, group_by[0])):
@@ -542,51 +702,99 @@ def _aggregate_batches(plan: Aggregate, ctx: ExecContext) -> Iterator[Batch]:
                         state[j].append(value)
         else:
             gcols = [_gather(batch, column) for column in group_by]
-            graws = zip(*gcols) if gcols else iter([()] * batch.length)
-            for i, graw in enumerate(graws):
-                key = tuple(
-                    v if type(v) in id_types else canonical_key(v) for v in graw
-                )
+            raws = list(zip(*gcols)) if gcols else [()] * batch.length
+            # One C-level type sweep per column decides whether any value
+            # needs canonicalization; in the common all-identity case the
+            # zip tuples above are the keys — no per-row tuple comprehension.
+            clean_types = _CLEAN_KEY_TYPES
+            tcols = [
+                col
+                if set(map(type, col)) <= clean_types
+                else [
+                    v if v is None or type(v) in id_types else canonical_key(v)
+                    for v in col
+                ]
+                for col in gcols
+            ]
+            keys = raws if all(t is c for t, c in zip(tcols, gcols)) else list(
+                zip(*tcols)
+            )
+            for i, key in enumerate(keys):
                 state = groups_get(key)
                 if state is None:
                     groups[key] = state = [0] + [[] for _ in range(n_specs)]
                     order_append(key)
-                    representatives[key] = graw
+                    representatives[key] = raws[i]
                 state[0] += 1
                 for j, col in value_entries:
                     value = col[i]
                     if value is not None:
                         state[j].append(value)
 
-    # An alias may repeat a group column (or another alias); the row paths
-    # collapse those through dict assignment, so dedup to first-occurrence
-    # order here and let row_values below reproduce the last-wins value.
-    columns = tuple(dict.fromkeys(ctx.columns(plan)))
-    if not order:
-        if not group_by and plan.aggregates:
-            # Aggregating an empty input without grouping yields one row.
-            data = {
-                spec.alias: [_aggregate(spec, [])] for spec, _ in specs
-            }
-            yield Batch(columns, data, 1)
-        return
-    data = {column: [] for column in columns}
-    for key in order:
-        state = groups[key]
-        # Per-row dict first, so an alias shadowing a group column (or a
-        # repeated alias) overwrites exactly as the row paths' dicts do.
-        row_values: dict[str, object] = dict(zip(group_by, representatives[key]))
-        for j, (spec, func) in enumerate(specs):
-            if spec.column is None:
-                if func != "COUNT":
-                    raise QueryError(f"{func} requires a column")
-                result: object = state[0]
+    def merge(self, other: "GroupedAggregation") -> None:
+        """Fold ``other``'s partial state into this one (in morsel order)."""
+        groups = self.groups
+        for key in other.order:
+            incoming = other.groups[key]
+            state = groups.get(key)
+            if state is None:
+                groups[key] = incoming
+                self.order.append(key)
+                self.representatives[key] = other.representatives[key]
             else:
-                result = _aggregate_values(func, state[j + 1], spec.func)
-            row_values[spec.alias] = result
-        for column in columns:
-            data[column].append(row_values[column])
-    yield Batch(columns, data, len(order))
+                state[0] += incoming[0]
+                for j in range(1, len(state)):
+                    state[j].extend(incoming[j])
+
+    def finalize(self, columns: tuple[str, ...]) -> Iterator[Batch]:
+        """Yield the result batch (``columns`` pre-deduped, see kernel)."""
+        specs = self.specs
+        order = self.order
+        if not order:
+            if not self.group_by and self.plan.aggregates:
+                # Aggregating an empty input without grouping yields one row.
+                data = {
+                    spec.alias: [_aggregate(spec, [])] for spec, _ in specs
+                }
+                yield Batch(columns, data, 1)
+            return
+        group_by = self.group_by
+        groups = self.groups
+        representatives = self.representatives
+        data = {column: [] for column in columns}
+        for key in order:
+            state = groups[key]
+            # Per-row dict first, so an alias shadowing a group column (or a
+            # repeated alias) overwrites exactly as the row paths' dicts do.
+            row_values: dict[str, object] = dict(zip(group_by, representatives[key]))
+            for j, (spec, func) in enumerate(specs):
+                if spec.column is None:
+                    if func != "COUNT":
+                        raise QueryError(f"{func} requires a column")
+                    result: object = state[0]
+                else:
+                    result = _aggregate_values(func, state[j + 1], spec.func)
+                row_values[spec.alias] = result
+            for column in columns:
+                data[column].append(row_values[column])
+        yield Batch(columns, data, len(order))
+
+
+def aggregate_output_columns(plan: Aggregate, ctx: ExecContext) -> tuple[str, ...]:
+    """The Aggregate result's column tuple, deduped to first occurrence.
+
+    An alias may repeat a group column (or another alias); the row paths
+    collapse those through dict assignment, so the batch result dedups the
+    column list and lets ``finalize`` reproduce the last-wins value.
+    """
+    return tuple(dict.fromkeys(ctx.columns(plan)))
+
+
+def _aggregate_batches(plan: Aggregate, ctx: ExecContext) -> Iterator[Batch]:
+    grouped = GroupedAggregation(plan)
+    for batch in _node_batches(plan.child, ctx):
+        grouped.consume(batch)
+    yield from grouped.finalize(aggregate_output_columns(plan, ctx))
 
 
 def _sort_batches(plan: Sort, ctx: ExecContext) -> Iterator[Batch]:
@@ -662,6 +870,7 @@ def _limit_batches(plan: Limit, ctx: ExecContext) -> Iterator[Batch]:
 
 _KERNELS: dict[type, Callable[..., Iterator[Batch]]] = {
     Scan: _scan_batches,
+    PartitionScan: _partition_scan_batches,
     Values: _values_batches,
     Select: _select_batches,
     Project: _project_batches,
@@ -904,6 +1113,7 @@ def _lower_binary_batch(expr: BinaryOp) -> BatchExpression:
 
         return arith
     if op in ("/", "%"):
+        div_fn = _DIVISION_OPS[op]
 
         def divide(batch: Batch) -> list[object]:
             out: list[object] = []
@@ -911,6 +1121,12 @@ def _lower_binary_batch(expr: BinaryOp) -> BatchExpression:
             for a, b in zip(left(batch), right(batch)):
                 if a is None or b is None:
                     append(None)
+                elif (type(a) is int or type(a) is float) and (
+                    type(b) is int or type(b) is float
+                ):
+                    # b == 0 also catches -0.0; either raises
+                    # ZeroDivisionError in the evaluator, which maps to NULL.
+                    append(None if b == 0 else div_fn(a, b))
                 else:
                     append(_arithmetic(op, a, b))
             return out

@@ -2,16 +2,23 @@
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 from benchmarks.check_regression import (
     DEFAULT_THRESHOLD,
+    REQUIRED_CASES,
     compare,
     gate,
     headline_metrics,
     merge_best,
+    missing_required,
 )
 
+# A synthetic benchmark name on purpose: it carries no REQUIRED_CASES, so
+# these tests isolate the timing comparison from the coverage floor.
 BASELINE = {
-    "benchmark": "relational_core",
+    "benchmark": "synthetic",
     "results": [
         {"case": "filtered_scan", "optimized_ms": 1.5, "interpreted_ms": 9.0},
         {"case": "topk", "optimized_ms": 1.4},
@@ -59,7 +66,7 @@ class TestCompare:
 class TestGate:
     def test_passes_on_unchanged_timings(self):
         runner = lambda name: dict(headline_metrics(BASELINE))  # noqa: E731
-        assert gate({"relational_core": BASELINE}, runner, runs=3) == {}
+        assert gate({"synthetic": BASELINE}, runner, runs=3) == {}
 
     def test_fails_on_synthetic_2x_slowdown(self):
         # The acceptance demonstration: every case twice as slow must
@@ -67,10 +74,10 @@ class TestGate:
         slowed = {
             case: value * 2 for case, value in headline_metrics(BASELINE).items()
         }
-        failures = gate({"relational_core": BASELINE}, lambda name: slowed, runs=3)
-        assert "relational_core" in failures
-        assert len(failures["relational_core"]) == 3
-        for problem in failures["relational_core"]:
+        failures = gate({"synthetic": BASELINE}, lambda name: slowed, runs=3)
+        assert "synthetic" in failures
+        assert len(failures["synthetic"]) == 3
+        for problem in failures["synthetic"]:
             assert "x2.00" in problem
 
     def test_best_of_n_absorbs_one_noisy_run(self):
@@ -82,7 +89,7 @@ class TestGate:
             ]
         )
         failures = gate(
-            {"relational_core": BASELINE}, lambda name: next(calls), runs=3
+            {"synthetic": BASELINE}, lambda name: next(calls), runs=3
         )
         assert failures == {}
 
@@ -93,3 +100,28 @@ class TestGate:
         assert gate({"b": BASELINE}, lambda name: slowed, threshold=1.5) == {}
         assert gate({"b": BASELINE}, lambda name: slowed, threshold=1.25) != {}
         assert DEFAULT_THRESHOLD == 1.25
+
+
+class TestRequiredCases:
+    def test_relational_core_requires_the_pp_tier(self):
+        assert "pp_point_pruned" in REQUIRED_CASES["relational_core"]
+        problems = missing_required("relational_core", BASELINE)
+        assert "pp_point_pruned" in problems
+        assert "pp_scan_aggregate_parallel4" in problems
+
+    def test_gate_fails_on_baseline_missing_required_cases(self):
+        stripped = {"benchmark": "relational_core", "results": BASELINE["results"]}
+        runner = lambda name: dict(headline_metrics(stripped))  # noqa: E731
+        failures = gate({"relational_core": stripped}, runner, runs=1)
+        assert any(
+            "required case missing" in problem
+            for problem in failures.get("relational_core", [])
+        )
+
+    def test_committed_baseline_carries_every_required_case(self):
+        path = pathlib.Path(__file__).resolve().parents[2] / "BENCH_relational_core.json"
+        payload = json.loads(path.read_text())
+        assert missing_required("relational_core", payload) == []
+
+    def test_unknown_benchmarks_have_no_floor(self):
+        assert missing_required("synthetic", BASELINE) == []
