@@ -47,6 +47,17 @@ from repro.relational.query import Query, optimize, plan_fingerprint, prepare_st
 from repro.relational.snapshot import database_version, load_database, save_database
 from repro.relational.sql import to_sql
 from repro.relational.parallel import ThreadWorkerPool, execute_parallel
+from repro.relational.stats import (
+    ChunkStats,
+    Dictionary,
+    SelectAnalysis,
+    column_zone_map,
+    encoded_columns,
+    encoding_states,
+    set_statistics_enabled,
+    statistics_enabled,
+    table_statistics_report,
+)
 from repro.relational.vectorize import Vectorized, execute_vectorized
 
 __all__ = [
@@ -54,9 +65,11 @@ __all__ = [
     "AggregateSpec",
     "BATCH_SIZE",
     "Batch",
+    "ChunkStats",
     "Coerce",
     "Column",
     "Compute",
+    "Dictionary",
     "DataType",
     "Database",
     "Distinct",
@@ -77,6 +90,7 @@ __all__ = [
     "Rename",
     "Scan",
     "Select",
+    "SelectAnalysis",
     "Sort",
     "Table",
     "TableSchema",
@@ -87,6 +101,9 @@ __all__ = [
     "Values",
     "Vectorized",
     "canonical_key",
+    "column_zone_map",
+    "encoded_columns",
+    "encoding_states",
     "execute_interpreted",
     "execute_parallel",
     "execute_vectorized",
@@ -96,5 +113,8 @@ __all__ = [
     "plan_fingerprint",
     "prepare_stream_plan",
     "save_database",
+    "set_statistics_enabled",
+    "statistics_enabled",
+    "table_statistics_report",
     "to_sql",
 ]

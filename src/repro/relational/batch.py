@@ -36,7 +36,16 @@ class Batch:
     demand.  All column lists share one ``length``.
     """
 
-    __slots__ = ("columns", "length", "data", "_source", "_indices", "_runs")
+    __slots__ = (
+        "columns",
+        "length",
+        "data",
+        "zone",
+        "_source",
+        "_indices",
+        "_runs",
+        "_encodings",
+    )
 
     def __init__(
         self,
@@ -45,6 +54,8 @@ class Batch:
         length: int,
         _source: "Batch | None" = None,
         _indices: Sequence[int] | None = None,
+        zone: "tuple[object, int | None, int] | None" = None,
+        encodings: "dict[str, tuple[object, list[int | None]] | None] | None" = None,
     ):
         self.columns = columns
         self.data = data
@@ -55,6 +66,15 @@ class Batch:
         # gather: a list of (start, stop) slices, None when per-element
         # gathering is cheaper, False while not yet computed.
         self._runs: "list[tuple[int, int]] | None | bool" = False
+        # Zone-map identity: (table, partition | None, chunk index) when
+        # this batch's rows are a subset of one scanned chunk, else None.
+        # Propagated through take() — every skip/all-match rule stays sound
+        # on row subsets of the chunk it was computed for.
+        self.zone = zone
+        # column → (dictionary, code list aligned with this batch's rows)
+        # or None (= known unencoded); also the per-batch memo for
+        # :meth:`codes` gathers.  None when nothing is known yet.
+        self._encodings = encodings
 
     def __len__(self) -> int:
         return self.length
@@ -124,9 +144,58 @@ class Batch:
         self._runs = computed
         return computed
 
+    def codes(self, name: str) -> "tuple[object, list[int | None]] | None":
+        """Dictionary codes for ``name`` aligned with this batch, or None.
+
+        Returns ``(dictionary, code_list)`` when the column is
+        dictionary-encoded (codes gather lazily through the same run
+        decomposition as values); None means the column is not encoded and
+        the caller must use :meth:`column` values.  The answer is memoized
+        per batch either way.
+        """
+        encodings = self._encodings
+        if encodings is None:
+            encodings = self._encodings = {}
+        entry = encodings.get(name, False)
+        if entry is not False:
+            return entry  # type: ignore[return-value]
+        source = self._source
+        base = source.codes(name) if source is not None else None
+        if base is None:
+            encodings[name] = None
+            return None
+        dictionary, base_codes = base
+        runs = self._gather_runs()
+        if runs is None:
+            codes = [base_codes[i] for i in self._indices]  # type: ignore[union-attr]
+        elif len(runs) == 1:
+            start, stop = runs[0]
+            codes = base_codes[start:stop]
+        else:
+            codes = []
+            extend = codes.extend
+            for start, stop in runs:
+                extend(base_codes[start:stop])
+        entry = (dictionary, codes)
+        encodings[name] = entry
+        return entry
+
     def take(self, indices: Sequence[int]) -> "Batch":
-        """A lazy gather of the given row positions (columns on demand)."""
-        return Batch(self.columns, {}, len(indices), self, indices)
+        """A lazy gather of the given row positions (columns on demand).
+
+        Taking from a batch that is itself an unmaterialized gather
+        *composes* the index maps instead of chaining ``_source`` hops, so
+        any take chain stays at most one gather away from a materialized
+        source — deep Select chains would otherwise re-gather per level.
+        """
+        source = self._source
+        if source is not None:
+            own = self._indices
+            composed = [own[i] for i in indices]  # type: ignore[index]
+            return Batch(
+                self.columns, {}, len(composed), source, composed, zone=self.zone
+            )
+        return Batch(self.columns, {}, len(indices), self, indices, zone=self.zone)
 
     def materialize(self) -> dict[str, list[object]]:
         """All columns, gathered: column name → value list."""
@@ -142,8 +211,13 @@ class Batch:
     ) -> "Batch":
         """Pack row dicts into one batch (the fallback boundary).
 
-        Uses ``row.get`` so rows missing a column contribute NULL, the same
-        as every row-wise operator that rebuilds rows.
+        One ``row.get`` comprehension per column, measured fastest at
+        batch sizes: single-pass alternatives (generated per-row tuple
+        packers + a ``zip(*...)`` transpose, per-column appends in one
+        loop, ``itemgetter``) all lose to CPython's C-dispatched
+        comprehension loop — 0.3–0.95x at 1024+ rows (see EXPERIMENTS.md
+        ZM).  Missing keys contribute NULL, matching every row-wise
+        operator that rebuilds rows.
         """
         return cls(
             columns,
@@ -168,7 +242,6 @@ def concat(columns: tuple[str, ...], batches: Iterable[Batch]) -> Batch:
 # ~2x faster than dict(zip(...)) per row.  Builders are cached per column
 # tuple; the cache is tiny (one entry per distinct output schema).
 _ROW_BUILDERS: dict[tuple[str, ...], Callable[[Batch], list[Row]]] = {}
-
 
 def _row_builder(columns: tuple[str, ...]) -> Callable[[Batch], list[Row]]:
     builder = _ROW_BUILDERS.get(columns)

@@ -60,6 +60,7 @@ from repro.relational.algebra import (
 )
 from repro.relational.batch import Batch
 from repro.relational.query import _with_children
+from repro.relational.stats import SKIP_CHUNK, SelectAnalysis, statistics_enabled
 from repro.relational.vectorize import (
     _KERNELS,
     GroupedAggregation,
@@ -209,6 +210,16 @@ def _pipeline_source(plan: Plan) -> Plan | None:
     return node if type(node) in (Scan, PartitionScan) else None
 
 
+def _source_select(pipeline: Plan, source: Plan) -> Select | None:
+    """The Select sitting directly on the pipeline's source leaf, if any."""
+    node = pipeline
+    while isinstance(node, _PIPELINE_OPS):
+        if isinstance(node, Select) and node.child is source:
+            return node
+        node = node.child
+    return None
+
+
 def _replace_source(plan: Plan, source: Plan, replacement: Plan) -> Plan:
     if plan is source:
         return replacement
@@ -297,11 +308,50 @@ class _Engine:
         )
         return list(_node_batches(_with_children(plan, replaced), self.ctx))
 
-    def _source_morsels(self, source: Plan) -> list[list[Batch]]:
-        # Source batches materialize serially (they are slice copies; the
-        # per-row work lives in the pipeline above) through the *traced*
-        # context, so PartitionScan prune gauges land in the span tree.
-        return _morsels(list(_node_batches(source, self.ctx)))
+    def _source_morsels(
+        self, source: Plan, pipeline: Plan | None = None
+    ) -> list[list[Batch]]:
+        # Source batches materialize serially (they are lazy chunk views;
+        # the per-row work lives in the pipeline above) through the
+        # *traced* context, so PartitionScan prune gauges land in the span
+        # tree.  When the pipeline filters directly over the source, chunks
+        # the zone maps rule out are dropped here — before any morsel is
+        # formed — and the skip gauges annotate the Select's span (the
+        # in-task contexts have no recorder, so this is where they must
+        # land).  Retained batches keep their zone tags; the per-task
+        # Select kernel still drops the all-match conjuncts.
+        batches = list(_node_batches(source, self.ctx))
+        select = (
+            _source_select(pipeline, source) if pipeline is not None else None
+        )
+        if select is not None and statistics_enabled():
+            analysis = SelectAnalysis(select.predicate)
+            if analysis.analyzable:
+                chunks_total = 0
+                chunks_skipped = 0
+                short_circuited = 0
+                retained: list[Batch] = []
+                for batch in batches:
+                    zone = batch.zone
+                    if zone is None:
+                        retained.append(batch)
+                        continue
+                    chunks_total += 1
+                    decision = analysis.decide(zone[0], zone[1], zone[2])
+                    if decision is SKIP_CHUNK:
+                        chunks_skipped += 1
+                        continue
+                    short_circuited += decision[1]
+                    retained.append(batch)
+                if chunks_total:
+                    self.ctx.annotate(
+                        select,
+                        chunks_total=chunks_total,
+                        chunks_skipped=chunks_skipped,
+                        conjuncts_short_circuited=short_circuited,
+                    )
+                batches = retained
+        return _morsels(batches)
 
     def _morsel_plans(
         self, plan: Plan, source: Plan, morsels: list[list[Batch]]
@@ -313,7 +363,7 @@ class _Engine:
         ]
 
     def _run_pipeline(self, plan: Plan, source: Plan) -> list[Batch]:
-        morsels = self._source_morsels(source)
+        morsels = self._source_morsels(source, plan)
         if not morsels:
             return []
         db = self.ctx.db
@@ -326,7 +376,7 @@ class _Engine:
 
     def _run_aggregate(self, plan: Aggregate, source: Plan) -> list[Batch]:
         columns = aggregate_output_columns(plan, self.ctx)
-        morsels = self._source_morsels(source)
+        morsels = self._source_morsels(source, plan.child)
         if not morsels:
             return list(GroupedAggregation(plan).finalize(columns))
         db = self.ctx.db
@@ -352,7 +402,7 @@ class _Engine:
         build = JoinBuild(plan, self.ctx)
         for rbatch in self.batches(plan.right):
             build.add(rbatch)
-        morsels = self._source_morsels(source)
+        morsels = self._source_morsels(source, plan.left)
         if not morsels:
             return []
         db = self.ctx.db

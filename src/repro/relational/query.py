@@ -50,6 +50,15 @@ from repro.relational.algebra import (
     Unpivot,
 )
 from repro.relational.database import Database
+
+# Conjunct decomposition and the equality/IN/range item analyzers are
+# shared with the zone-map probe builders and live in stats.py.
+from repro.relational.stats import (
+    _FLIPPED_COMPARE,
+    _conjuncts,
+    _equality_item,
+    _in_list_item,
+)
 from repro.relational.vectorize import (
     VECTORIZE_MIN_ROWS,
     Vectorized,
@@ -484,10 +493,6 @@ def _lower_index_lookup(
     return Select(lookup, conjunction(rest)) if rest else lookup
 
 
-#: ``literal <op> column`` reads as ``column <flipped op> literal``.
-_FLIPPED_COMPARE = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
-
-
 def _lower_partition_scan(
     predicate: Expression,
     table_name: str,
@@ -576,75 +581,6 @@ def _conjunct_partitions(conjunct: Expression, scheme) -> set[int] | None:
             if spanned is not None:
                 return set(spanned)
     return None
-
-
-def _conjuncts(expr: Expression):
-    if isinstance(expr, BinaryOp) and expr.op == "AND":
-        yield from _conjuncts(expr.left)
-        yield from _conjuncts(expr.right)
-    else:
-        yield expr
-
-
-def _equality_item(
-    conjunct: Expression, columns: set[str]
-) -> tuple[str, object] | None:
-    """``col = literal`` (either side) over a plain existing column, or None."""
-    if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
-        return None
-    for ident, literal in (
-        (conjunct.left, conjunct.right),
-        (conjunct.right, conjunct.left),
-    ):
-        if not (isinstance(ident, Identifier) and isinstance(literal, Literal)):
-            continue
-        if len(ident.path) != 1 or ident.name not in columns:
-            continue
-        value = literal.value
-        # NULL never matches (stays in the residual predicate and filters
-        # everything); unhashable values cannot probe a hash bucket.
-        if value is None:
-            continue
-        try:
-            hash(value)
-        except TypeError:
-            continue
-        return (ident.name, value)
-    return None
-
-
-def _in_list_item(
-    conjunct: Expression, columns: set[str]
-) -> tuple[str, tuple[object, ...]] | None:
-    """``col IN (literals)`` over a plain existing column, or None.
-
-    NULL items are dropped from the probe tuple: in filter context a row
-    either matches a non-NULL item (kept either way) or yields NULL
-    (dropped either way), so the kept set is unchanged.  Negated lists
-    never lower — ``NOT IN`` with a NULL item filters everything.
-    """
-    if not (isinstance(conjunct, InList) and not conjunct.negated):
-        return None
-    ident = conjunct.operand
-    if not (
-        isinstance(ident, Identifier)
-        and len(ident.path) == 1
-        and ident.name in columns
-    ):
-        return None
-    values: list[object] = []
-    for item in conjunct.items:
-        if not isinstance(item, Literal):
-            return None
-        value = item.value
-        if value is None:
-            continue
-        try:
-            hash(value)
-        except TypeError:
-            return None
-        values.append(value)
-    return (ident.name, tuple(values))
 
 
 def _lookup_predicate(lookup: IndexLookup | InLookup) -> Expression:

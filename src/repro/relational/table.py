@@ -35,6 +35,9 @@ class Table:
         self._partition_positions: list[list[int]] | None = None
         # pid → (version, column → value list), filled lazily per partition.
         self._partition_columns_cache: dict[int, tuple[int, dict[str, list[object]]]] = {}
+        # key → (version, value): arbitrary derived artifacts (zone maps,
+        # dictionaries) cached per data version; see :meth:`derived`.
+        self._derived: dict[object, tuple[int, object]] = {}
         if schema.primary_key:
             self._pk_index = HashIndex(schema.primary_key)
         if schema.partitioning is not None:
@@ -102,6 +105,25 @@ class Table:
         self._column_snapshot = (self._version, columns)
         return columns
 
+    def derived(self, key: object, build: Callable[[], object]) -> object:
+        """A derived artifact cached per data version (zone maps, encodings).
+
+        ``build()`` runs when the cache misses or the entry was computed at
+        an older version; the result is shared and read-only under the same
+        contract as :meth:`column_snapshot`.  Mutations invalidate simply by
+        bumping ``version`` — no explicit eviction, so derivers need no new
+        invalidation channel beyond what the plan cache already uses.
+        Partition-scoped keys must be cleared on :meth:`repartition` (which
+        does not bump the data version); ``repartition`` drops the whole
+        cache for that.
+        """
+        cached = self._derived.get(key)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        value = build()
+        self._derived[key] = (self._version, value)
+        return value
+
     def iter_rows(self) -> Iterator[Row]:
         """Iterate the extent without copying.
 
@@ -151,6 +173,10 @@ class Table:
         self.schema = self.schema.repartitioned(partitioning)
         self._partition_epoch += 1
         self._partition_columns_cache.clear()
+        # Partition-scoped derived artifacts (per-partition zone maps /
+        # dictionaries) are keyed by pid but versioned by data version,
+        # which repartition does NOT bump — drop them explicitly.
+        self._derived.clear()
         if partitioning is None:
             self._partition_positions = None
         else:

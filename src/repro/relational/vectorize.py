@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import heapq
 import operator
+from collections import Counter
 from dataclasses import dataclass
 from itertools import islice
 from time import perf_counter
@@ -51,6 +52,7 @@ from repro.expr.ast import (
     IsNull,
     Literal,
     UnaryOp,
+    conjunction,
 )
 from repro.expr.compile import (
     _COMPARE_OPS,
@@ -94,6 +96,12 @@ from repro.relational.algebra import (
 )
 from repro.relational.batch import BATCH_SIZE, Batch, concat
 from repro.relational.database import Database
+from repro.relational.stats import (
+    SKIP_CHUNK,
+    SelectAnalysis,
+    encoded_columns,
+    statistics_enabled,
+)
 
 #: Estimated input rows below which the planner leaves a subtree on the
 #: row-at-a-time path: batch setup overhead only pays off with volume.
@@ -282,21 +290,52 @@ def _gather(batch: Batch, name: str) -> list[object]:
 
 def _scan_batches(plan: Scan, ctx: ExecContext) -> Iterator[Batch]:
     table = ctx.db.table(plan.table)
+    yield from _extent_batches(table, None, table.column_snapshot(), ctx, plan)
+
+
+def _extent_batches(
+    table, partition: int | None, columns: dict[str, list[object]], ctx, plan
+) -> Iterator[Batch]:
+    """Chunk one columnar extent into *lazy* batches over one extent batch.
+
+    The extent batch shares the snapshot lists zero-copy (read-only by the
+    snapshot contract) and carries dictionary encodings; each chunk batch
+    is a lazy range gather tagged with its zone-map identity, so a chunk a
+    downstream Select skips never slices a single column — the win that
+    makes zone-map skipping worth more than the predicate it avoids.
+    """
     names = table.schema.column_names
-    columns = table.column_snapshot()
-    n = len(table)
+    n = len(columns[names[0]]) if names else 0
     if n == 0:
         return
+    encodings = None
+    if statistics_enabled():
+        built = encoded_columns(table, partition)
+        if built:
+            encodings = {
+                name: (dictionary, dictionary.codes)
+                for name, dictionary in built.items()
+            }
+            ctx.annotate(plan, dictionary_columns=sorted(built))
+    extent = Batch(
+        names,
+        {name: columns[name] for name in names},
+        n,
+        encodings=encodings,
+    )
     if n <= BATCH_SIZE:
-        # Single-batch extents share the snapshot lists outright (read-only).
-        yield Batch(names, {name: columns[name] for name in names}, n)
+        extent.zone = (table, partition, 0)
+        yield extent
         return
-    for start in range(0, n, BATCH_SIZE):
+    for index, start in enumerate(range(0, n, BATCH_SIZE)):
         end = min(start + BATCH_SIZE, n)
         yield Batch(
             names,
-            {name: columns[name][start:end] for name in names},
+            {},
             end - start,
+            extent,
+            range(start, end),
+            zone=(table, partition, index),
         )
 
 
@@ -323,20 +362,11 @@ def _partition_scan_batches(plan: PartitionScan, ctx: ExecContext) -> Iterator[B
         # The common pruned point/range query: one partition's columnar run
         # feeds batches zero-copy (positions within a partition are already
         # an ascending subsequence of the extent, so order is preserved).
-        columns = table.partition_columns(wanted[0])
-        n = len(columns[names[0]]) if names else 0
-        if n == 0:
-            return
-        if n <= BATCH_SIZE:
-            yield Batch(names, {name: columns[name] for name in names}, n)
-            return
-        for start in range(0, n, BATCH_SIZE):
-            end = min(start + BATCH_SIZE, n)
-            yield Batch(
-                names,
-                {name: columns[name][start:end] for name in names},
-                end - start,
-            )
+        # Zone maps and dictionaries are per-partition here, so the residual
+        # Select above still skips/short-circuits inside the partition.
+        yield from _extent_batches(
+            table, wanted[0], table.partition_columns(wanted[0]), ctx, plan
+        )
         return
     # Multi-partition selection: gather merged ascending positions from the
     # whole-table columnar snapshot, chunk by chunk.
@@ -369,15 +399,85 @@ def _values_batches(plan: Values, ctx: ExecContext) -> Iterator[Batch]:
 
 def _select_batches(plan: Select, ctx: ExecContext) -> Iterator[Batch]:
     value_of = compile_batch_expression(plan.predicate)
-    for batch in _node_batches(plan.child, ctx):
-        values = value_of(batch)
-        kept = [i for i, value in enumerate(values) if value is True]
-        if not kept:
-            continue
-        if len(kept) == batch.length:
-            yield batch
-        else:
-            yield batch.take(kept)
+    analysis: SelectAnalysis | None = None
+    if statistics_enabled():
+        candidate = SelectAnalysis(plan.predicate)
+        if candidate.analyzable:
+            analysis = candidate
+    if analysis is None:
+        for batch in _node_batches(plan.child, ctx):
+            values = value_of(batch)
+            kept = [i for i, value in enumerate(values) if value is True]
+            if not kept:
+                continue
+            if len(kept) == batch.length:
+                yield batch
+            else:
+                yield batch.take(kept)
+        return
+    yield from _select_batches_analyzed(plan, ctx, value_of, analysis)
+
+
+def _select_batches_analyzed(
+    plan: Select,
+    ctx: ExecContext,
+    value_of: BatchExpression,
+    analysis: SelectAnalysis,
+) -> Iterator[Batch]:
+    """Select with the zone-map trichotomy per zone-tagged chunk.
+
+    *skip* chunks are dropped without gathering a column; *all-match*
+    conjuncts are removed from the chunk's predicate (residual conjunctions
+    are compiled once per distinct kept-set and memoized); everything else
+    evaluates exactly as the plain kernel.  Dropping a conjunct is only
+    done when the probe proves it True for every row without evaluation
+    errors, so 3VL results and error behaviour are unchanged.
+    """
+    conjuncts = analysis.conjuncts
+    full = tuple(range(len(conjuncts)))
+    compiled: dict[tuple[int, ...], BatchExpression] = {full: value_of}
+    chunks_total = 0
+    chunks_skipped = 0
+    short_circuited = 0
+    try:
+        for batch in _node_batches(plan.child, ctx):
+            zone = batch.zone
+            if zone is None:
+                values = value_of(batch)
+            else:
+                chunks_total += 1
+                decision = analysis.decide(zone[0], zone[1], zone[2])
+                if decision is SKIP_CHUNK:
+                    chunks_skipped += 1
+                    continue
+                kept_ids, dropped = decision
+                short_circuited += dropped
+                if not kept_ids:
+                    # Every conjunct holds for every row of the chunk.
+                    yield batch
+                    continue
+                fn = compiled.get(kept_ids)
+                if fn is None:
+                    fn = compile_batch_expression(
+                        conjunction([conjuncts[i] for i in kept_ids])
+                    )
+                    compiled[kept_ids] = fn
+                values = fn(batch)
+            kept = [i for i, value in enumerate(values) if value is True]
+            if not kept:
+                continue
+            if len(kept) == batch.length:
+                yield batch
+            else:
+                yield batch.take(kept)
+    finally:
+        if chunks_total:
+            ctx.annotate(
+                plan,
+                chunks_total=chunks_total,
+                chunks_skipped=chunks_skipped,
+                conjuncts_short_circuited=short_circuited,
+            )
 
 
 def _project_batches(plan: Project, ctx: ExecContext) -> Iterator[Batch]:
@@ -447,19 +547,42 @@ def _distinct_batches(plan: Distinct, ctx: ExecContext) -> Iterator[Batch]:
     seen_add = seen.add
     id_types = _IDENTITY_KEY_TYPES
     single = len(columns) == 1
+    # (dictionary, per-code seen flags) for the single-column coded path;
+    # flags and the ``seen`` set stay consistent so coded and raw batches
+    # can interleave (e.g. across partitions with different dictionaries).
+    dict_state: tuple[object, list[bool]] | None = None
     for batch in _node_batches(plan.child, ctx):
         kept: list[int] = []
         append = kept.append
         if single:
-            for i, raw in enumerate(batch.column(columns[0])):
-                key = (
-                    raw
-                    if type(raw) in id_types or raw is None
-                    else canonical_key(raw)
-                )
-                if key not in seen:
-                    seen_add(key)
-                    append(i)
+            entry = batch.codes(columns[0])
+            if entry is not None:
+                dictionary, codes = entry
+                if dict_state is None or dict_state[0] is not dictionary:
+                    dict_state = (dictionary, [False] * len(dictionary.values))
+                flags = dict_state[1]
+                values = dictionary.values
+                for i, code in enumerate(codes):
+                    if code is None:
+                        if None not in seen:
+                            seen_add(None)
+                            append(i)
+                    elif not flags[code]:
+                        flags[code] = True
+                        value = values[code]
+                        if value not in seen:
+                            seen_add(value)
+                            append(i)
+            else:
+                for i, raw in enumerate(batch.column(columns[0])):
+                    key = (
+                        raw
+                        if type(raw) in id_types or raw is None
+                        else canonical_key(raw)
+                    )
+                    if key not in seen:
+                        seen_add(key)
+                        append(i)
         else:
             cols = [batch.column(column) for column in columns]
             rows = zip(*cols) if cols else iter([()] * batch.length)
@@ -499,6 +622,7 @@ class JoinBuild:
         "single",
         "buckets",
         "null_payload",
+        "_probe_map",
     )
 
     def __init__(self, plan: Join, ctx: ExecContext):
@@ -520,6 +644,11 @@ class JoinBuild:
         self.single = len(plan.on) == 1
         self.buckets: dict[object, list[tuple[object, ...]]] = {}
         self.null_payload = (None,) * len(self.payload_cols)
+        # (dictionary, code → bucket|None) translation for dictionary-coded
+        # probe columns: one buckets.get per distinct *string*, not per row.
+        # Recomputing on a dictionary change (or a concurrent-probe race) is
+        # benign — the map is a pure function of build state + dictionary.
+        self._probe_map: tuple[object, list] | None = None
 
     def add(self, rbatch: Batch) -> None:
         """Consume one build-side batch into the hash table."""
@@ -580,6 +709,28 @@ class JoinBuild:
         idx_append = left_idx.append
         payload_append = payloads.append
         if self.single:
+            entry = batch.codes(lks[0])
+            if entry is not None:
+                dictionary, codes = entry
+                cached = self._probe_map
+                if cached is None or cached[0] is not dictionary:
+                    bucket_of = self.buckets.get
+                    cached = (
+                        dictionary,
+                        [bucket_of(value) for value in dictionary.values],  # type: ignore[attr-defined]
+                    )
+                    self._probe_map = cached
+                probe_map = cached[1]
+                for i, code in enumerate(codes):
+                    matches = probe_map[code] if code is not None else None
+                    if matches:
+                        for payload in matches:
+                            idx_append(i)
+                            payload_append(payload)
+                    elif left_join:
+                        idx_append(i)
+                        payload_append(null_payload)
+                return self._emit(batch, left_idx, payloads)
             kcol = _gather(batch, lks[0])
             if set(map(type, kcol)) <= id_types:
                 # No NULLs, no exotic types: probe keys directly.
@@ -621,6 +772,14 @@ class JoinBuild:
                 elif left_join:
                     idx_append(i)
                     payload_append(null_payload)
+        return self._emit(batch, left_idx, payloads)
+
+    def _emit(
+        self,
+        batch: Batch,
+        left_idx: list[int],
+        payloads: list[tuple[object, ...]],
+    ) -> Batch | None:
         if not left_idx:
             return None
         data: dict[str, list[object]] = {}
@@ -656,7 +815,15 @@ class GroupedAggregation:
     value order are then identical to the serial pass by construction.
     """
 
-    __slots__ = ("plan", "group_by", "specs", "groups", "order", "representatives")
+    __slots__ = (
+        "plan",
+        "group_by",
+        "specs",
+        "groups",
+        "order",
+        "representatives",
+        "_code_groups",
+    )
 
     def __init__(self, plan: Aggregate):
         self.plan = plan
@@ -665,6 +832,11 @@ class GroupedAggregation:
         self.groups: dict[object, list] = {}
         self.order: list[object] = []
         self.representatives: dict[object, tuple[object, ...]] = {}
+        # (dictionary, code → group state|None) for the single-key coded
+        # path: replaces one string hash + dict probe per row with a list
+        # index.  Group keys stay the decoded strings, so merge/finalize
+        # (and interleaving with un-coded batches) are unaffected.
+        self._code_groups: tuple[object, list] | None = None
 
     def consume(self, batch: Batch) -> None:
         group_by = self.group_by
@@ -682,6 +854,59 @@ class GroupedAggregation:
             if spec.column is not None
         ]
         if len(group_by) == 1:
+            entry = batch.codes(group_by[0])
+            if entry is not None:
+                dictionary, codes = entry
+                values = dictionary.values  # type: ignore[attr-defined]
+                if not value_entries:
+                    # Count-only aggregates: one C-level Counter pass over
+                    # the codes replaces the per-row Python loop.  Counter
+                    # (a dict) yields codes in first-occurrence order, so
+                    # group creation order still matches the row-at-a-time
+                    # first-seen order exactly.
+                    for code, count in Counter(codes).items():
+                        key = None if code is None else values[code]
+                        state = groups_get(key)
+                        if state is None:
+                            groups[key] = state = [0] + [
+                                [] for _ in range(n_specs)
+                            ]
+                            order_append(key)
+                            representatives[key] = (key,)
+                        state[0] += count
+                    return
+                cached = self._code_groups
+                if cached is None or cached[0] is not dictionary:
+                    cached = (dictionary, [None] * len(dictionary.values))
+                    self._code_groups = cached
+                state_by_code = cached[1]
+                for i, code in enumerate(codes):
+                    if code is None:
+                        state = groups_get(None)
+                        if state is None:
+                            groups[None] = state = [0] + [
+                                [] for _ in range(n_specs)
+                            ]
+                            order_append(None)
+                            representatives[None] = (None,)
+                    else:
+                        state = state_by_code[code]
+                        if state is None:
+                            key = values[code]
+                            state = groups_get(key)
+                            if state is None:
+                                groups[key] = state = [0] + [
+                                    [] for _ in range(n_specs)
+                                ]
+                                order_append(key)
+                                representatives[key] = (key,)
+                            state_by_code[code] = state
+                    state[0] += 1
+                    for j, col in value_entries:
+                        value = col[i]
+                        if value is not None:
+                            state[j].append(value)
+                return
             # Scalar keys: no per-row tuple, canonical_key inlined away for
             # the int/float/str/None common case.
             for i, raw in enumerate(_gather(batch, group_by[0])):
@@ -1154,6 +1379,10 @@ def _lower_binary_batch(expr: BinaryOp) -> BatchExpression:
                 append(_compare(op, a, b))
             return out
 
+        if op in ("=", "!="):
+            coded = _wrap_code_equality(expr, op, compare)
+            if coded is not None:
+                return coded
         return compare
     if op == "LIKE":
 
@@ -1167,12 +1396,102 @@ def _lower_binary_batch(expr: BinaryOp) -> BatchExpression:
                     append(_like(str(a), str(b)))
             return out
 
+        coded_like = _wrap_code_like(expr, like)
+        if coded_like is not None:
+            return coded_like
         return like
 
     def unknown(batch: Batch) -> list[object]:
         raise EvaluationError(f"unknown binary operator {op!r}")
 
     return unknown
+
+
+def _wrap_code_equality(
+    expr: BinaryOp, op: str, generic: BatchExpression
+) -> BatchExpression | None:
+    """Code-space ``col = literal`` / ``col != literal`` (either orientation).
+
+    On a dictionary-coded column one ``code_of`` lookup replaces the
+    per-row value comparison; every 3VL case matches the generic kernel
+    exactly: coded columns hold only str/None, so a non-str or absent
+    literal can never equal any value (``=`` → False, ``!=`` → True for
+    non-null rows) and a NULL literal yields NULL everywhere.  Columns
+    without codes fall through to ``generic`` untouched.
+    """
+    for ident, literal in ((expr.left, expr.right), (expr.right, expr.left)):
+        if not (
+            isinstance(ident, Identifier)
+            and len(ident.path) == 1
+            and isinstance(literal, Literal)
+        ):
+            continue
+        name = ident.name
+        value = literal.value
+        negated = op == "!="
+
+        def coded(batch: Batch) -> list[object]:
+            entry = batch.codes(name)
+            if entry is None:
+                return generic(batch)
+            dictionary, codes = entry
+            if value is None:
+                return [None] * batch.length
+            target = (
+                dictionary.code_of.get(value)  # type: ignore[attr-defined]
+                if type(value) is str
+                else None
+            )
+            if target is None:
+                return [None if c is None else negated for c in codes]
+            if negated:
+                return [None if c is None else c != target for c in codes]
+            return [None if c is None else c == target for c in codes]
+
+        return coded
+    return None
+
+
+def _wrap_code_like(
+    expr: BinaryOp, generic: BatchExpression
+) -> BatchExpression | None:
+    """Code-space ``col LIKE 'pattern'``: match once per dictionary entry.
+
+    The per-dictionary mask is memoized on the compiled closure (holding
+    the dictionary pins its id, so the identity check stays valid); each
+    row is then one list index instead of a regex match.
+    """
+    if not (
+        isinstance(expr.left, Identifier)
+        and len(expr.left.path) == 1
+        and isinstance(expr.right, Literal)
+    ):
+        return None
+    name = expr.left.name
+    pattern = expr.right.value
+    memo: dict[int, tuple[object, list[bool]]] = {}
+
+    def coded(batch: Batch) -> list[object]:
+        entry = batch.codes(name)
+        if entry is None:
+            return generic(batch)
+        dictionary, codes = entry
+        if pattern is None:
+            return [None] * batch.length
+        cached = memo.get(id(dictionary))
+        if cached is None or cached[0] is not dictionary:
+            if len(memo) > 8:
+                memo.clear()
+            text = str(pattern)
+            mask = [
+                _like(value, text)
+                for value in dictionary.values  # type: ignore[attr-defined]
+            ]
+            memo[id(dictionary)] = cached = (dictionary, mask)
+        mask = cached[1]
+        return [None if c is None else mask[c] for c in codes]
+
+    return coded
 
 
 def _lower_function_call_batch(expr: FunctionCall) -> BatchExpression:
@@ -1227,4 +1546,49 @@ def _lower_in_list_batch(expr: InList) -> BatchExpression:
             append(result)
         return out
 
+    coded = _wrap_code_membership(expr, member)
+    if coded is not None:
+        return coded
     return member
+
+
+def _wrap_code_membership(
+    expr: InList, generic: BatchExpression
+) -> BatchExpression | None:
+    """Code-space ``col IN (literals)`` / ``NOT IN`` over a coded column.
+
+    Matches the row semantics exactly: a non-null value that equals some
+    non-NULL item yields ``not negated``; otherwise NULL when any item is
+    NULL, else ``negated``.  Non-str items can never equal a coded (str)
+    value, so they only matter through the saw-NULL case — which is
+    decided entirely at compile time.
+    """
+    ident = expr.operand
+    if not (
+        isinstance(ident, Identifier)
+        and len(ident.path) == 1
+        and all(isinstance(item, Literal) for item in expr.items)
+    ):
+        return None
+    name = ident.name
+    negated = expr.negated
+    literals = [item.value for item in expr.items]
+    str_items = [value for value in literals if type(value) is str]
+    miss: object = None if any(value is None for value in literals) else negated
+    hit = not negated
+
+    def coded(batch: Batch) -> list[object]:
+        entry = batch.codes(name)
+        if entry is None:
+            return generic(batch)
+        dictionary, codes = entry
+        code_of = dictionary.code_of  # type: ignore[attr-defined]
+        matched = {code_of[value] for value in str_items if value in code_of}
+        if not matched:
+            return [None if c is None else miss for c in codes]
+        return [
+            None if c is None else (hit if c in matched else miss)
+            for c in codes
+        ]
+
+    return coded
