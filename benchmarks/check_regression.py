@@ -40,6 +40,9 @@ REQUIRED_CASES: dict[str, tuple[str, ...]] = {
         "pp_scan_aggregate_parallel4",
         "zm_selective_scan",
         "zm_groupby_dict",
+        "cb_build_side_flip",
+        "cb_join_reorder",
+        "cb_conjunct_reorder",
     ),
 }
 

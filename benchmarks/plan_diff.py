@@ -1,0 +1,85 @@
+"""Plan before/after artifact for the cost-based (CB) planning tier.
+
+Renders each CB benchmark case twice through ``explain_analyze`` — once
+with :func:`set_costing_enabled` off (the authored plan shape) and once
+with costing on (build-side flip, join-chain reorder, conjunct reorder)
+— and writes both annotated traces side by side.  The artifact makes the
+planning decision itself reviewable in CI: the operator tree changes,
+``estimated_rows``/``q_error`` quantify the estimates behind it, and the
+row counts prove the rewrite changed nothing but the shape.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/plan_diff.py bench-out/plan_diff_cb.txt
+
+``REPRO_PP_ROWS`` scales the fixture down for quick runs, exactly as it
+does for ``bench_relational_core.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+try:  # package import under pytest, bare import as a standalone script
+    from benchmarks.bench_relational_core import (
+        _cb_chain_plan,
+        _cb_conjunct_plan,
+        _cb_flip_plan,
+        build_pp_database,
+    )
+except ImportError:  # pragma: no cover - script mode
+    from bench_relational_core import (
+        _cb_chain_plan,
+        _cb_conjunct_plan,
+        _cb_flip_plan,
+        build_pp_database,
+    )
+
+from repro.obs import explain_analyze
+from repro.relational import set_costing_enabled
+
+CASES = (
+    ("cb_build_side_flip", _cb_flip_plan),
+    ("cb_join_reorder", _cb_chain_plan),
+    ("cb_conjunct_reorder", _cb_conjunct_plan),
+)
+
+
+def render_case(name: str, plan, db) -> str:
+    previous = set_costing_enabled(False)
+    try:
+        before = explain_analyze(plan, db)
+    finally:
+        set_costing_enabled(previous)
+    after = explain_analyze(plan, db)
+    assert before.rows == after.rows, f"{name}: costing changed the result rows"
+    return "\n".join(
+        [
+            f"==== {name} ====",
+            "",
+            "---- costing disabled (authored plan shape) ----",
+            before.render(),
+            "",
+            "---- costing enabled ----",
+            after.render(),
+            "",
+        ]
+    )
+
+
+def main(argv: list[str]) -> int:
+    out_path = argv[0] if argv else "bench-out/plan_diff_cb.txt"
+    db = build_pp_database()
+    sections = [render_case(name, build(), db) for name, build in CASES]
+    parent = os.path.dirname(out_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

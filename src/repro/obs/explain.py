@@ -19,6 +19,7 @@ from typing import Any
 
 from repro.obs.trace import Span, Tracer, tracing
 from repro.relational.algebra import Plan
+from repro.relational.cost import estimate_plan_rows
 from repro.relational.database import Database
 from repro.relational.query import Query, optimize
 
@@ -128,6 +129,12 @@ def explain_analyze(
     carry ``batches`` and ``rows_per_batch``); ``executor="parallel"`` runs
     any vectorized subtree morsel-parallel on ``workers`` threads
     (default 4) and annotates per-worker utilization into its span.
+
+    Every operator span that reports actual ``rows_out`` is additionally
+    annotated post-execution with the planner's ``estimated_rows`` and the
+    resulting ``q_error`` — ``max(est/actual, actual/est)`` with both
+    sides floored at one row, so 1.0 is a perfect estimate and the metric
+    is symmetric in over- and under-estimation.
     """
     if executor not in ("row", "batch", "parallel"):
         raise ValueError(
@@ -141,4 +148,29 @@ def explain_analyze(
             optimize(plan, db, vectorize=executor != "row") if optimized else plan
         )
         rows = final.execute(db, parallel=parallel)
-    return ExplainReport(rows=rows, plan=final, tracer=tracer, optimized=optimized)
+    report = ExplainReport(rows=rows, plan=final, tracer=tracer, optimized=optimized)
+    _annotate_estimates(report, db)
+    return report
+
+
+def _annotate_estimates(report: ExplainReport, db: Database) -> None:
+    """Attach ``estimated_rows``/``q_error`` to every measured operator span."""
+    memo: dict[int, float] = {}
+    for node, span in report.node_spans():
+        actual = span.attrs.get("rows_out")
+        if not isinstance(actual, int):
+            continue
+        estimate = estimate_plan_rows(node, db, memo)
+        floored_estimate = max(estimate, 1.0)
+        floored_actual = max(float(actual), 1.0)
+        span.set("estimated_rows", round(estimate, 1))
+        span.set(
+            "q_error",
+            round(
+                max(
+                    floored_estimate / floored_actual,
+                    floored_actual / floored_estimate,
+                ),
+                2,
+            ),
+        )

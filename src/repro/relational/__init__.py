@@ -42,6 +42,15 @@ from repro.relational.algebra import (
 )
 from repro.relational.algebra import canonical_key
 from repro.relational.batch import BATCH_SIZE, Batch
+from repro.relational.cost import (
+    column_ndv,
+    column_null_fraction,
+    conjunct_error_free,
+    costing_enabled,
+    estimate_plan_rows,
+    refresh_planning_stats,
+    set_costing_enabled,
+)
 from repro.relational.interpret import execute_interpreted
 from repro.relational.query import Query, optimize, plan_fingerprint, prepare_stream_plan
 from repro.relational.snapshot import database_version, load_database, save_database
@@ -101,9 +110,16 @@ __all__ = [
     "Values",
     "Vectorized",
     "canonical_key",
+    "column_ndv",
+    "column_null_fraction",
     "column_zone_map",
+    "conjunct_error_free",
+    "costing_enabled",
     "encoded_columns",
     "encoding_states",
+    "estimate_plan_rows",
+    "refresh_planning_stats",
+    "set_costing_enabled",
     "execute_interpreted",
     "execute_parallel",
     "execute_vectorized",

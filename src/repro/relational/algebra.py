@@ -472,12 +472,19 @@ class Join(Plan):
     Non-join columns of the two sides must be disjoint; collide-by-accident
     joins are a classic silent-corruption source in hand-written ETL, so we
     refuse them and force an explicit :class:`Rename`.
+
+    ``build`` is a physical hint set by the cost-based optimizer: hash
+    executors build their table on that side (``"right"``, the default, or
+    ``"left"``).  It never changes output rows, order, or columns — the
+    left-build batch algorithm re-emits matches left-major — so the
+    streaming and interpreted executors are free to ignore it.
     """
 
     left: Plan
     right: Plan
     on: tuple[tuple[str, str], ...]
     how: str = "inner"
+    build: str = "right"
 
     def children(self) -> tuple[Plan, ...]:
         return (self.left, self.right)
@@ -922,7 +929,8 @@ def trace_label(plan: Plan) -> str:
         return f"Rename[{','.join(f'{old}->{new}' for old, new in plan.mapping)}]"
     if isinstance(plan, Join):
         on = ",".join(f"{lk}={rk}" for lk, rk in plan.on)
-        return f"Join[{plan.how}: {on}]"
+        side = "" if plan.build == "right" else f" build={plan.build}"
+        return f"Join[{plan.how}: {on}{side}]"
     if isinstance(plan, Union):
         return f"Union[{len(plan.inputs)} inputs]"
     if isinstance(plan, Pivot):

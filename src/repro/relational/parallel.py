@@ -65,6 +65,7 @@ from repro.relational.vectorize import (
     _KERNELS,
     GroupedAggregation,
     JoinBuild,
+    JoinBuildLeft,
     _node_batches,
     aggregate_output_columns,
 )
@@ -294,6 +295,8 @@ class _Engine:
             if source is not None:
                 return self._run_aggregate(plan, source)
         if isinstance(plan, Join):
+            if plan.build == "left":
+                return self._run_join_left(plan)
             source = _pipeline_source(plan.left)
             if source is not None:
                 return self._run_join(plan, source)
@@ -422,6 +425,43 @@ class _Engine:
             [make_task(sub) for sub in self._morsel_plans(plan.left, source, morsels)]
         )
         return [batch for out in results for batch in out]
+
+    def _run_join_left(self, plan: Join) -> list[Batch]:
+        """Shared left-side build; right morsels probe it concurrently.
+
+        Each task returns its morsel's (left position, payload) pairs
+        without touching shared state; the serial absorb loop then merges
+        them in task order — which *is* right-stream order — so the final
+        left-major emission is bit-identical to the serial executors.
+        """
+        build = JoinBuildLeft(plan, self.ctx)
+        for lbatch in self.batches(plan.left):
+            build.add_left(lbatch)
+        source = _pipeline_source(plan.right)
+        if source is None:
+            for rbatch in self.batches(plan.right):
+                build.add_right(rbatch)
+            return list(build.emit())
+        morsels = self._source_morsels(source, plan.right)
+        if not morsels:
+            return list(build.emit())
+        db = self.ctx.db
+
+        def make_task(sub: Plan) -> Callable[[], list]:
+            def task() -> list:
+                pairs: list = []
+                for batch in _node_batches(sub, ExecContext(db)):
+                    pairs.extend(build.collect(batch))
+                return pairs
+
+            return task
+
+        results = self.run_tasks(
+            [make_task(sub) for sub in self._morsel_plans(plan.right, source, morsels)]
+        )
+        for pairs in results:
+            build.absorb(pairs)
+        return list(build.emit())
 
 
 def execute_parallel(

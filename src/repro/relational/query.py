@@ -48,6 +48,15 @@ from repro.relational.algebra import (
     TopK,
     Union,
     Unpivot,
+    Values,
+)
+from repro.relational.cost import (
+    _key_ndv,
+    conjunct_cost,
+    conjunct_error_free,
+    conjunct_selectivity,
+    costing_enabled,
+    estimate_plan_rows,
 )
 from repro.relational.database import Database
 
@@ -58,6 +67,7 @@ from repro.relational.stats import (
     _conjuncts,
     _equality_item,
     _in_list_item,
+    statistics_enabled,
 )
 from repro.relational.vectorize import (
     VECTORIZE_MIN_ROWS,
@@ -155,12 +165,18 @@ def optimize(plan: Plan, db: Database | None = None, *, vectorize: bool = True) 
     database they run against.
 
     With a database the result is also memoized in the database's plan
-    cache, keyed by (structural plan fingerprint, vectorize flag,
-    ``Database.epoch``): GUAVA pattern chains re-translate structurally
-    identical plans on every pull, and re-lowering them is pure overhead
-    while nothing changed.  Any insert, delete, index create/drop, or table
-    create/drop bumps the epoch and invalidates every cached plan, so a
-    stale plan (e.g. one probing a dropped index) is never served.
+    cache, keyed by (structural plan fingerprint, vectorize flag, the
+    statistics and costing toggles, ``Database.epoch``): GUAVA pattern
+    chains re-translate structurally identical plans on every pull, and
+    re-lowering them is pure overhead while nothing changed.  Any insert,
+    delete, index create/drop, or table create/drop bumps the epoch and
+    invalidates every cached plan, so a stale plan (e.g. one probing a
+    dropped index) is never served.  The toggles are in the key because
+    planning now *consults* statistics (build sides, join order, conjunct
+    order): a plan costed under one regime must never serve the other.
+    Derived-statistics versions need no separate key component — every
+    stats artifact is cached per table data ``version`` via
+    ``Table.derived``, and those versions already fold into the epoch.
 
     Under an installed tracer (``repro.obs.tracing()``) the pass opens an
     ``optimize`` span counting each rewrite applied and logging the costed
@@ -173,7 +189,10 @@ def optimize(plan: Plan, db: Database | None = None, *, vectorize: bool = True) 
     fingerprint: str | None = None
     epoch = 0
     if db is not None:
-        fingerprint = ("V1:" if vectorize else "V0:") + plan_fingerprint(plan)
+        fingerprint = (
+            f"V{int(vectorize)}S{int(statistics_enabled())}C{int(costing_enabled())}:"
+            + plan_fingerprint(plan)
+        )
         # Captured before planning: a mutation racing the rewrite pass can
         # only make the entry stale-keyed (a harmless miss), never fresh.
         epoch = db.epoch
@@ -186,6 +205,8 @@ def optimize(plan: Plan, db: Database | None = None, *, vectorize: bool = True) 
     ctx = _OptContext(db)
     if tracer is None:
         optimized = _rewrite(plan, ctx)
+        if db is not None and costing_enabled():
+            optimized = _cost_pass(optimized, ctx)
         if db is not None and vectorize:
             optimized = _vectorize_tree(optimized, db, ctx)
     else:
@@ -193,6 +214,8 @@ def optimize(plan: Plan, db: Database | None = None, *, vectorize: bool = True) 
             ctx.trace = trace
             trace.set("plan_cache", "miss" if db is not None else "off")
             optimized = _rewrite(plan, ctx)
+            if db is not None and costing_enabled():
+                optimized = _cost_pass(optimized, ctx)
             if db is not None and vectorize:
                 optimized = _vectorize_tree(optimized, db, ctx)
     if db is not None and fingerprint is not None:
@@ -247,6 +270,244 @@ def _vectorize_tree(plan: Plan, db: Database, ctx: _OptContext) -> Plan:
         return Vectorized(plan)
     children = tuple(_vectorize_tree(child, db, ctx) for child in plan.children())
     return _with_children(plan, children)
+
+
+def _cost_pass(plan: Plan, ctx: _OptContext) -> Plan:
+    """Cost-based physical decisions, applied top-down after the rewrites.
+
+    Three decisions, each gated on its own soundness proof (the estimate
+    picks *among* equivalent plans; the proof establishes equivalence):
+
+    * join-chain reordering (≥3 stacked PK joins, greedy most-selective
+      first, original column order restored by a projection),
+    * hash-join build-side selection (build on the estimated-smaller
+      input when the left subtree provably cannot raise),
+    * Select conjunct reordering (selectivity/cost rank, permuting only
+      within runs of provably error-free conjuncts).
+    """
+    if isinstance(plan, Join):
+        plan = _reorder_join_chain(plan, ctx)
+    if isinstance(plan, Join):
+        plan = _choose_build_side(plan, ctx)
+    if isinstance(plan, Select):
+        plan = _reorder_conjuncts(plan, ctx)
+    children = tuple(_cost_pass(child, ctx) for child in plan.children())
+    return _with_children(plan, children)
+
+
+def _choose_build_side(join: Join, ctx: _OptContext) -> Join:
+    """Build the hash table on the estimated-smaller join input.
+
+    Every executor builds on the right by default; when the left input is
+    estimated at less than half the right's rows, flipping saves hashing
+    the bulk side.  Soundness: the left-build algorithm emits the exact
+    right-build output (rows, order, columns), and consuming the left
+    side *first* is only observable through errors — so the flip requires
+    a proof that the left subtree cannot raise.  The 2x margin keeps
+    near-tie estimates on the default path.
+    """
+    db = ctx.db
+    assert db is not None
+    if join.build != "right" or join.how not in ("inner", "left"):
+        return join
+    left_rows = estimate_plan_rows(join.left, db)
+    right_rows = estimate_plan_rows(join.right, db)
+    if left_rows * 2.0 >= right_rows:
+        return join
+    if not _error_free_subtree(join.left, ctx):
+        return join
+    ctx.note(
+        "join_build_side",
+        build="left",
+        estimated_left=round(left_rows),
+        estimated_right=round(right_rows),
+    )
+    return Join(join.left, join.right, join.on, join.how, "left")
+
+
+def _error_free_subtree(plan: Plan, ctx: _OptContext) -> bool:
+    """True when streaming this subtree cannot raise on any row.
+
+    Conservative by construction: base-table access paths never raise
+    (``sql_equal`` residuals included), row-preserving wrappers inherit
+    their child's proof, and a Select qualifies only when every conjunct
+    is provably error-free over its base table.  Everything else — joins,
+    computed columns, aggregates — answers False.
+    """
+    db = ctx.db
+    if db is None:
+        return False
+    if isinstance(plan, (Scan, PartitionScan, IndexLookup, InLookup)):
+        return db.has_table(plan.table)
+    if isinstance(plan, Values):
+        return True
+    if isinstance(plan, (Distinct, Limit)):
+        return _error_free_subtree(plan.child, ctx)
+    if isinstance(plan, Select):
+        child = plan.child
+        if not isinstance(child, (Scan, PartitionScan, IndexLookup, InLookup)):
+            return False
+        if not db.has_table(child.table):
+            return False
+        table = db.table(child.table)
+        return all(
+            conjunct_error_free(table, conjunct)
+            for conjunct in _conjuncts(plan.predicate)
+        )
+    return False
+
+
+def _reorder_conjuncts(select: Select, ctx: _OptContext) -> Select:
+    """Order AND-conjuncts by estimated selectivity x evaluation cost.
+
+    The 3VL AND chain short-circuits left to right, so conjunct ``k``
+    evaluates on a row exactly when every earlier conjunct was non-False.
+    Permuting *provably error-free* conjuncts among themselves can
+    therefore change neither the kept rows nor which error surfaces
+    first; conjuncts without a proof act as barriers — they keep their
+    position and nothing moves across them, preserving the interpreted
+    oracle's error parity exactly.
+    """
+    db = ctx.db
+    assert db is not None
+    child = select.child
+    if not isinstance(child, (Scan, PartitionScan, IndexLookup, InLookup)):
+        return select
+    if not db.has_table(child.table):
+        return select
+    table = db.table(child.table)
+    conjuncts = list(_conjuncts(select.predicate))
+    if len(conjuncts) < 2:
+        return select
+
+    def rank(conjunct: Expression) -> float:
+        # Per-row benefit over cost: most-negative first means "cheapest
+        # way to discard the most rows" runs earliest.
+        return (conjunct_selectivity(table, conjunct) - 1.0) / conjunct_cost(
+            table, conjunct
+        )
+
+    ordered: list[Expression] = []
+    run: list[Expression] = []
+    for conjunct in conjuncts:
+        if conjunct_error_free(table, conjunct):
+            run.append(conjunct)
+        else:
+            ordered.extend(sorted(run, key=rank))
+            run.clear()
+            ordered.append(conjunct)  # barrier: stays in place
+    ordered.extend(sorted(run, key=rank))
+    if ordered == conjuncts:
+        return select
+    ctx.note(
+        "conjunct_reorder",
+        table=child.table,
+        order=[conjunct.to_source() for conjunct in ordered],
+    )
+    return Select(child, conjunction(ordered))
+
+
+def _reorder_join_chain(join: Join, ctx: _OptContext) -> Plan:
+    """Greedily reorder a left-spine chain of >=3 inner PK joins.
+
+    Soundness conditions (all required, checked structurally):
+
+    * every spine join is inner with default build;
+    * each right side is a bare Scan/PartitionScan whose table's declared
+      primary key is exactly the join's right-key set — so each probe
+      matches at most one row, every step emits a subset of the base rows
+      in base order, and the chain's output is permutation-invariant;
+    * each join's left keys come from the base (leftmost) input, so key
+      values are identical at any chain position;
+    * neither the original nor the reordered chain has a column collision
+      (else the authored plan's own error must surface unchanged).
+
+    Dimension scans are error-free, so permuting their consumption order
+    cannot reorder errors.  The reordered chain appends payload columns
+    in the new order; a final projection restores the authored column
+    order, making the rewrite bit-identical end to end.
+    """
+    db = ctx.db
+    assert db is not None
+    spine: list[Join] = []  # outermost first
+    node: Plan = join
+    while isinstance(node, Join) and node.how == "inner" and node.build == "right":
+        spine.append(node)
+        node = node.left
+    if len(spine) < 3:
+        return join
+    base = node
+    base_cols = ctx.column_set(base)
+    original_columns = ctx.columns_of(join)
+    if base_cols is None or original_columns is None:
+        return join
+
+    dims: list[tuple[Join, float]] = []  # innermost first, with selectivity
+    base_rows = estimate_plan_rows(base, db)
+    for step in reversed(spine):
+        right = step.right
+        if not isinstance(right, (Scan, PartitionScan)):
+            return join
+        if not db.has_table(right.table):
+            return join
+        rtable = db.table(right.table)
+        right_keys = {rk for _, rk in step.on}
+        if not rtable.schema.primary_key:
+            return join
+        if set(rtable.schema.primary_key) != right_keys:
+            return join
+        left_keys = tuple(lk for lk, _ in step.on)
+        if not set(left_keys) <= base_cols:
+            return join
+        key_ndv = _key_ndv(base, left_keys, db, base_rows)
+        selectivity = min(len(rtable) / max(key_ndv, 1.0), 1.0)
+        dims.append((step, selectivity))
+
+    reordered = sorted(dims, key=lambda item: item[1])  # stable: ties keep order
+    if [step for step, _ in reordered] == [step for step, _ in dims]:
+        return join
+    if not (
+        _chain_collision_free(base, [s for s, _ in dims], ctx)
+        and _chain_collision_free(base, [s for s, _ in reordered], ctx)
+    ):
+        return join
+    rebuilt: Plan = base
+    for step, _selectivity in reordered:
+        rebuilt = Join(rebuilt, step.right, step.on, step.how, step.build)
+    ctx.note(
+        "join_reorder",
+        order=[
+            (
+                step.right.table
+                if isinstance(step.right, (Scan, PartitionScan))
+                else type(step.right).__name__,
+                round(selectivity, 4),
+            )
+            for step, selectivity in reordered
+        ],
+    )
+    # Payload columns now append in the new order; restore the authored
+    # column order so the rewrite is invisible to every consumer.
+    return Project(rebuilt, original_columns)
+
+
+def _chain_collision_free(
+    base: Plan, steps: list[Join], ctx: _OptContext
+) -> bool:
+    """Would this chain order pass every step's column-collision check?"""
+    acc = ctx.column_set(base)
+    if acc is None:
+        return False
+    acc = set(acc)
+    for step in steps:
+        right_cols = ctx.column_set(step.right)
+        if right_cols is None:
+            return False
+        right_keys = {rk for _, rk in step.on}
+        if (acc & right_cols) - right_keys:
+            return False
+        acc |= right_cols - right_keys
+    return True
 
 
 class _OptContext:
@@ -417,12 +678,20 @@ def _push_into_join(predicate: Expression, join: Join, ctx: _OptContext) -> Plan
     if left_cols is not None and names <= left_cols:
         ctx.note("select_into_join")
         return Join(
-            _rewrite(Select(join.left, predicate), ctx), join.right, join.on, join.how
+            _rewrite(Select(join.left, predicate), ctx),
+            join.right,
+            join.on,
+            join.how,
+            join.build,
         )
     if right_cols is not None and names <= right_cols:
         ctx.note("select_into_join")
         return Join(
-            join.left, _rewrite(Select(join.right, predicate), ctx), join.on, join.how
+            join.left,
+            _rewrite(Select(join.right, predicate), ctx),
+            join.on,
+            join.how,
+            join.build,
         )
     return Select(join, predicate)
 
@@ -691,7 +960,9 @@ def _push_project_into_join(
         if len(right_keep) < len(right_cols)
         else join.right
     )
-    return Project(Join(new_left, new_right, join.on, join.how), project.columns)
+    return Project(
+        Join(new_left, new_right, join.on, join.how, join.build), project.columns
+    )
 
 
 def prepare_stream_plan(plan: Plan, db: Database) -> Plan:
@@ -777,7 +1048,7 @@ def _with_children(plan: Plan, children: tuple[Plan, ...]) -> Plan:
     if isinstance(plan, Rename):
         return Rename(children[0], plan.mapping)
     if isinstance(plan, Join):
-        return Join(children[0], children[1], plan.on, plan.how)
+        return Join(children[0], children[1], plan.on, plan.how, plan.build)
     if isinstance(plan, Union):
         return Union(children)
     if isinstance(plan, Distinct):

@@ -614,7 +614,11 @@ def encoding_states(
 # -- inspection (CLI ``trace query --stats``) ---------------------------------
 
 def table_statistics_report(table: "Table") -> dict[str, object]:
-    """Zone-map and dictionary state for one table, building on demand."""
+    """Zone-map, dictionary, and NDV state for one table, building on demand."""
+    # Function-level import: cost.py imports this module for its probe
+    # machinery, so the enrichment direction must stay lazy.
+    from repro.relational.cost import column_ndv
+
     columns: list[dict[str, object]] = []
     states = encoding_states(table)
     for column in table.schema.columns:
@@ -635,6 +639,10 @@ def table_statistics_report(table: "Table") -> dict[str, object]:
             # (e.g. after a stray write) are not mutually comparable.
             entry["min"] = min(stats.lo for stats in banded)  # type: ignore[type-var]
             entry["max"] = max(stats.hi for stats in banded)  # type: ignore[type-var]
+        ndv = column_ndv(table, column.name)
+        if ndv is not None:
+            entry["ndv"] = round(ndv[0], 1)
+            entry["ndv_source"] = ndv[1]
         state = states.get(column.name)
         if isinstance(state, Dictionary):
             entry["dictionary"] = {

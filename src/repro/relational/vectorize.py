@@ -793,7 +793,217 @@ class JoinBuild:
         return Batch(self.out_columns, data, len(left_idx))
 
 
+class JoinBuildLeft:
+    """Left-build variant of the vectorized hash join.
+
+    Chosen by the cost-based optimizer (``Join.build == "left"``) when the
+    left input is estimated far smaller than the right: the left input is
+    materialized and hashed (key → global left positions), the right input
+    streams past it once, appending matching payload tuples per left
+    position in right-stream order, and a final left-major emission
+    reproduces the right-build output *exactly* — same rows, same order,
+    same columns, same batch boundaries.  The optimizer only selects this
+    path when the left subtree provably cannot raise, so consuming the
+    left side first never changes which error surfaces.
+
+    :meth:`collect` is read-only on build state, so the morsel-parallel
+    executor probes right morsels concurrently and absorbs the pair lists
+    serially in morsel order.
+    """
+
+    __slots__ = (
+        "on",
+        "left_cols",
+        "payload_cols",
+        "out_columns",
+        "left_join",
+        "single",
+        "positions",
+        "matches",
+        "null_payload",
+        "batches",
+        "_total",
+    )
+
+    def __init__(self, plan: Join, ctx: ExecContext):
+        if plan.how not in ("inner", "left"):
+            raise QueryError(f"unsupported join type {plan.how!r}")
+        left_cols = ctx.columns(plan.left)
+        right_cols = ctx.columns(plan.right)
+        right_keys = {rk for _, rk in plan.on}
+        overlap = (set(left_cols) & set(right_cols)) - right_keys
+        if overlap:
+            raise QueryError(
+                f"join would collide on columns {sorted(overlap)}; rename one side"
+            )
+        self.on = plan.on
+        self.left_cols = left_cols
+        self.payload_cols = tuple(c for c in right_cols if c not in right_keys)
+        self.out_columns = left_cols + self.payload_cols
+        self.left_join = plan.how == "left"
+        self.single = len(plan.on) == 1
+        #: key → global left row positions, in left-stream order.
+        self.positions: dict[object, list[int]] = {}
+        #: global left position → matched payloads, in right-stream order.
+        self.matches: dict[int, list[tuple[object, ...]]] = {}
+        self.null_payload = (None,) * len(self.payload_cols)
+        self.batches: list[Batch] = []
+        self._total = 0
+
+    def add_left(self, batch: Batch) -> None:
+        """Materialize and hash one left batch into the position table."""
+        offset = self._total
+        self.batches.append(batch)
+        self._total = offset + batch.length
+        positions = self.positions
+        get = positions.get
+        id_types = _IDENTITY_KEY_TYPES
+        lks = [lk for lk, _ in self.on]
+        if self.single:
+            kcol = _gather(batch, lks[0])
+            if set(map(type, kcol)) <= id_types:
+                for i, key in enumerate(kcol):
+                    bucket = get(key)
+                    if bucket is None:
+                        positions[key] = [offset + i]
+                    else:
+                        bucket.append(offset + i)
+                return
+            for i, key in enumerate(kcol):
+                if key is None:
+                    continue  # NULL keys never match; emit() handles them
+                if type(key) not in id_types:
+                    key = canonical_key(key)
+                bucket = get(key)
+                if bucket is None:
+                    positions[key] = [offset + i]
+                else:
+                    bucket.append(offset + i)
+        else:
+            kcols = [_gather(batch, lk) for lk in lks]
+            for i, kraw in enumerate(zip(*kcols)):
+                key = tuple(
+                    v if type(v) in id_types else canonical_key(v) for v in kraw
+                )
+                if None not in key:
+                    bucket = get(key)
+                    if bucket is None:
+                        positions[key] = [offset + i]
+                    else:
+                        bucket.append(offset + i)
+
+    def collect(self, rbatch: Batch) -> list[tuple[int, tuple[object, ...]]]:
+        """(left position, payload) pairs for one right batch, in row order.
+
+        Pure with respect to build state — safe to call from multiple
+        threads once the left side is fully added.
+        """
+        get = self.positions.get
+        id_types = _IDENTITY_KEY_TYPES
+        rks = [rk for _, rk in self.on]
+        # Payload tuples are built per *matched* row, not batch-wide: the
+        # optimizer picks the left build exactly when probes mostly miss,
+        # so an eager transpose would pay for rows that never join.
+        pcols = [rbatch.column(c) for c in self.payload_cols]
+        empty = ()
+        pairs: list[tuple[int, tuple[object, ...]]] = []
+        append = pairs.append
+        if self.single:
+            kcol = _gather(rbatch, rks[0])
+            if set(map(type, kcol)) <= id_types:
+                for i, key in enumerate(kcol):
+                    bucket = get(key)
+                    if bucket:
+                        payload = tuple(c[i] for c in pcols) if pcols else empty
+                        for pos in bucket:
+                            append((pos, payload))
+                return pairs
+            for i, key in enumerate(kcol):
+                if key is None:
+                    continue
+                if type(key) not in id_types:
+                    key = canonical_key(key)
+                bucket = get(key)
+                if bucket:
+                    payload = tuple(c[i] for c in pcols) if pcols else empty
+                    for pos in bucket:
+                        append((pos, payload))
+        else:
+            kcols = [_gather(rbatch, rk) for rk in rks]
+            for i, kraw in enumerate(zip(*kcols)):
+                key = tuple(
+                    v if type(v) in id_types else canonical_key(v) for v in kraw
+                )
+                if None in key:
+                    continue
+                bucket = get(key)
+                if bucket:
+                    payload = tuple(c[i] for c in pcols) if pcols else empty
+                    for pos in bucket:
+                        append((pos, payload))
+        return pairs
+
+    def absorb(self, pairs: list[tuple[int, tuple[object, ...]]]) -> None:
+        """Merge one right batch's pairs; call in right-stream order."""
+        matches = self.matches
+        get = matches.get
+        for pos, payload in pairs:
+            bucket = get(pos)
+            if bucket is None:
+                matches[pos] = [payload]
+            else:
+                bucket.append(payload)
+
+    def add_right(self, rbatch: Batch) -> None:
+        self.absorb(self.collect(rbatch))
+
+    def emit(self) -> Iterator[Batch]:
+        """Left-major emission: one output batch per non-empty left batch.
+
+        Per left row, payloads come out in right-stream order — exactly
+        the bucket order a right-side build would have produced — so the
+        output is bit-identical to :class:`JoinBuild`'s.
+        """
+        matches_get = self.matches.get
+        left_join = self.left_join
+        null_payload = self.null_payload
+        offset = 0
+        for batch in self.batches:
+            left_idx: list[int] = []
+            payloads: list[tuple[object, ...]] = []
+            idx_append = left_idx.append
+            payload_append = payloads.append
+            for i in range(batch.length):
+                matched = matches_get(offset + i)
+                if matched:
+                    for payload in matched:
+                        idx_append(i)
+                        payload_append(payload)
+                elif left_join:
+                    idx_append(i)
+                    payload_append(null_payload)
+            offset += batch.length
+            if not left_idx:
+                continue
+            data: dict[str, list[object]] = {}
+            for name in self.left_cols:
+                col = batch.column(name)
+                data[name] = [col[i] for i in left_idx]
+            if self.payload_cols:
+                for name, out_col in zip(self.payload_cols, zip(*payloads)):
+                    data[name] = list(out_col)
+            yield Batch(self.out_columns, data, len(left_idx))
+
+
 def _join_batches(plan: Join, ctx: ExecContext) -> Iterator[Batch]:
+    if plan.build == "left":
+        build_left = JoinBuildLeft(plan, ctx)
+        for lbatch in _node_batches(plan.left, ctx):
+            build_left.add_left(lbatch)
+        for rbatch in _node_batches(plan.right, ctx):
+            build_left.add_right(rbatch)
+        yield from build_left.emit()
+        return
     build = JoinBuild(plan, ctx)
     for rbatch in _node_batches(plan.right, ctx):
         build.add(rbatch)

@@ -1,0 +1,451 @@
+"""Cost-based planning never changes query results — only their speed.
+
+The three cost-based decisions (hash-join build side, join-chain order,
+Select conjunct order) must be *bit-identical* to the interpreted oracle
+in rows AND row order across the serial streaming, vectorized batch, and
+morsel-parallel executors — including NULL-heavy columns and skewed join
+keys.  Error parity is exact for the reorders (a pinned case proves an
+error-raising conjunct is never hoisted past the conjunct that would
+have short-circuited it), and the plan cache must never serve a plan
+costed under one statistics/costing regime to the other.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.expr.parser import parse
+from repro.relational import (
+    BATCH_SIZE,
+    Database,
+    DataType,
+    Query,
+    TableSchema,
+    Vectorized,
+    costing_enabled,
+    execute_interpreted,
+    set_costing_enabled,
+    set_statistics_enabled,
+)
+from repro.relational.algebra import Join, Scan, Select
+from repro.relational.cost import column_ndv, refresh_planning_stats
+from repro.relational.query import optimize
+from repro.obs.explain import explain_analyze
+
+ROWS = BATCH_SIZE * 2 + 77  # two full chunks plus a ragged tail
+
+VENDORS = ["acme", "globex", "initech", None]
+
+
+def _build_db() -> Database:
+    db = Database("cost-eq")
+    db.create_table(
+        TableSchema.build(
+            "big",
+            [
+                ("seq", DataType.INTEGER),
+                ("key", DataType.INTEGER),
+                ("vendor", DataType.TEXT),
+                ("value", DataType.INTEGER),
+                ("note", DataType.TEXT),
+                ("mixed", DataType.TEXT),
+            ],
+        )
+    )
+    db.insert(
+        "big",
+        [
+            {
+                "seq": i,
+                # Skewed: 80% of non-null keys collapse onto key=1.
+                "key": None if i % 13 == 0 else (1 if i % 5 else i % 40),
+                "vendor": VENDORS[i % len(VENDORS)],
+                # NULL-heavy: every third value missing.
+                "value": None if i % 3 == 0 else (i * 37) % 50,
+                "note": f"note-{i % 11}",
+                # String column an ordering-vs-number comparison raises on.
+                "mixed": f"m{i}",
+            }
+            for i in range(ROWS)
+        ],
+    )
+    db.create_table(
+        TableSchema.build(
+            "small",
+            [("key", DataType.INTEGER), ("label", DataType.TEXT)],
+            primary_key=("key",),
+        )
+    )
+    db.insert("small", [{"key": i, "label": f"k{i}"} for i in range(12)])
+    return db
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    return _build_db()
+
+
+def _outcome(fn):
+    try:
+        return ("ok", fn())
+    except (ReproError, TypeError) as exc:
+        return ("err", type(exc))
+
+
+def _assert_four_way(db, plan) -> None:
+    """Interpreted oracle vs streaming vs batch vs parallel, rows AND order."""
+    reference = _outcome(lambda: execute_interpreted(plan, db))
+    optimized = optimize(plan, db)
+    streaming = _outcome(lambda: optimize(plan, db, vectorize=False).execute(db))
+    batch = _outcome(lambda: optimized.execute(db))
+    parallel = _outcome(lambda: optimized.execute(db, parallel=3))
+    assert streaming == reference
+    assert batch == reference
+    assert parallel == reference
+
+
+def _the_join(plan) -> Join:
+    joins = [node for node in plan.walk() if isinstance(node, Join)]
+    assert joins, f"no Join in {plan!r}"
+    return joins[0]
+
+
+# -- build-side selection ------------------------------------------------------
+
+
+def test_build_side_flips_to_smaller_left_input(db):
+    plan = Join(Scan("small"), Scan("big"), (("key", "key"),))
+    assert _the_join(optimize(plan, db)).build == "left"
+    _assert_four_way(db, plan)
+
+
+def test_build_side_flip_left_join(db):
+    plan = Join(Scan("small"), Scan("big"), (("key", "key"),), "left")
+    assert _the_join(optimize(plan, db)).build == "left"
+    _assert_four_way(db, plan)
+
+
+def test_no_flip_when_left_is_larger(db):
+    plan = Join(Scan("big"), Scan("small"), (("key", "key"),))
+    assert _the_join(optimize(plan, db)).build == "right"
+    _assert_four_way(db, plan)
+
+
+def test_no_flip_without_error_freedom_proof(db):
+    # The left subtree's predicate does arithmetic, which the proof
+    # refuses — the flip must not fire even though left is far smaller.
+    left = Select(Scan("small"), parse("key + 0 >= 0"))
+    plan = Join(left, Scan("big"), (("key", "key"),))
+    assert _the_join(optimize(plan, db)).build == "right"
+    _assert_four_way(db, plan)
+
+
+def test_flip_with_safe_filtered_left_input(db):
+    left = Select(Scan("small"), parse("key != 3"))
+    plan = Join(left, Scan("big"), (("key", "key"),))
+    assert _the_join(optimize(plan, db)).build == "left"
+    _assert_four_way(db, plan)
+
+
+# -- join-chain reordering -----------------------------------------------------
+
+
+def _chain_db() -> Database:
+    db = Database("cost-chain")
+    db.create_table(
+        TableSchema.build(
+            "base",
+            [
+                ("a", DataType.INTEGER),
+                ("b", DataType.INTEGER),
+                ("c", DataType.INTEGER),
+                ("x", DataType.INTEGER),
+            ],
+        )
+    )
+    db.insert(
+        "base",
+        [{"a": i % 50, "b": i % 300, "c": i % 900, "x": i} for i in range(3000)],
+    )
+    for name, column, count in (("d_a", "a", 40), ("d_b", "b", 30), ("d_c", "c", 900)):
+        db.create_table(
+            TableSchema.build(
+                name,
+                [(column, DataType.INTEGER), (f"p_{column}", DataType.TEXT)],
+                primary_key=(column,),
+            )
+        )
+        db.insert(name, [{column: i, f"p_{column}": f"{name}{i}"} for i in range(count)])
+    return db
+
+
+def _worst_first_chain():
+    return Join(
+        Join(
+            Join(Scan("base"), Scan("d_c"), (("c", "c"),)),
+            Scan("d_a"),
+            (("a", "a"),),
+        ),
+        Scan("d_b"),
+        (("b", "b"),),
+    )
+
+
+def test_chain_reorders_most_selective_first():
+    db = _chain_db()
+    optimized = optimize(_worst_first_chain(), db)
+    order = [
+        node.right.table
+        for node in optimized.walk()
+        if isinstance(node, Join) and isinstance(node.right, Scan)
+    ]
+    # walk() is pre-order, so the outermost (last-executed) join comes
+    # first; innermost-first execution order is the reverse.
+    assert list(reversed(order)) == ["d_b", "d_a", "d_c"]
+
+
+def test_chain_reorder_bit_identical_all_executors():
+    db = _chain_db()
+    plan = _worst_first_chain()
+    reference = _outcome(lambda: execute_interpreted(plan, db))
+    assert reference[0] == "ok"
+    _assert_four_way(db, plan)
+    # Column order is restored by the wrapping projection.
+    rows = optimize(plan, db).execute(db)
+    assert list(rows[0]) == list(reference[1][0])
+
+
+def test_chain_without_primary_keys_keeps_authored_order():
+    db = _chain_db()
+    db.create_table(
+        TableSchema.build("d_nopk", [("c", DataType.INTEGER), ("q", DataType.TEXT)])
+    )
+    db.insert("d_nopk", [{"c": i, "q": f"q{i}"} for i in range(10)])
+    plan = Join(
+        Join(
+            Join(Scan("base"), Scan("d_nopk"), (("c", "c"),)),
+            Scan("d_a"),
+            (("a", "a"),),
+        ),
+        Scan("d_b"),
+        (("b", "b"),),
+    )
+    order = [
+        node.right.table
+        for node in optimize(plan, db).walk()
+        if isinstance(node, Join) and isinstance(node.right, Scan)
+    ]
+    assert list(reversed(order)) == ["d_nopk", "d_a", "d_b"]
+    _assert_four_way(db, plan)
+
+
+# -- conjunct reordering -------------------------------------------------------
+
+
+def test_cheap_selective_conjunct_hoisted_before_like(db):
+    # ``mixed`` is unique text: its dictionary is refused, so the LIKE is
+    # a genuine per-row regex and the cheap selective equality wins.
+    plan = Query.table("big").where("mixed LIKE '%7%' AND value = 7").plan
+    optimized = optimize(plan, db)
+    selects = [n for n in optimized.walk() if isinstance(n, Select)]
+    assert selects, "Select vanished"
+    source = selects[0].predicate.to_source()
+    assert source.index("value = 7") < source.index("LIKE")
+    _assert_four_way(db, plan)
+
+
+def test_dictionary_like_stays_before_weaker_equality(db):
+    # ``note`` has 11 distinct values, so its LIKE runs in code space:
+    # costed below a generic equality and measured 1/11 selective against
+    # the dictionary.  Its rank beats ``key = 1``'s, so the authored
+    # order already wins and must not be flipped.
+    plan = Query.table("big").where("note LIKE 'note-3%' AND key = 1").plan
+    optimized = optimize(plan, db)
+    selects = [n for n in optimized.walk() if isinstance(n, Select)]
+    source = selects[0].predicate.to_source()
+    assert source.index("LIKE") < source.index("key = 1")
+    _assert_four_way(db, plan)
+
+
+def test_error_conjunct_is_never_hoisted(db):
+    # ``mixed > 5`` compares strings against a number: the evaluator
+    # raises on every row it actually reaches.  ``seq < 0`` is false on
+    # every row (never NULL), so the interpreted oracle short-circuits
+    # the error away entirely — and so must every cost-planned executor,
+    # which requires that the reorder treats the unprovable conjunct as
+    # a barrier.
+    alone = _outcome(lambda: optimize(Query.table("big").where("mixed > 5").plan, db).execute(db))
+    assert alone[0] == "err"  # the conjunct genuinely raises when reached
+    plan = Query.table("big").where("seq < 0 AND mixed > 5").plan
+    reference = _outcome(lambda: execute_interpreted(plan, db))
+    assert reference == ("ok", [])
+    _assert_four_way(db, plan)
+
+
+def test_safe_conjuncts_do_not_cross_a_barrier(db):
+    # LIKE (safe) may not move past ``mixed > 5`` (barrier) even though
+    # its rank is better than the barrier's.
+    plan = Query.table("big").where("mixed > 5 AND vendor = 'acme'").plan
+    optimized = optimize(plan, db)
+    selects = [n for n in optimized.walk() if isinstance(n, Select)]
+    source = selects[0].predicate.to_source()
+    assert source.index("mixed") < source.index("vendor")
+    # Both orders raise here (mixed > 5 is first and always evaluated).
+    _assert_four_way(db, plan)
+
+
+# -- randomized four-way equivalence -------------------------------------------
+
+SAFE_CONJUNCTS = [
+    "value = 7",
+    "vendor = 'acme'",
+    "vendor != 'globex'",
+    "value IS NULL",
+    "value IS NOT NULL",
+    "note LIKE 'note-1%'",
+    "value > 25",
+    "seq < 100",
+    "vendor IN ('acme', 'initech')",
+    "key = 1",
+]
+
+BARRIER_CONJUNCTS = [
+    "mixed > 5",          # raises when reached
+    "value + seq > 40",   # arithmetic: no proof, though it never raises
+    "seq % 2 = 0",
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    conjuncts=st.lists(
+        st.sampled_from(SAFE_CONJUNCTS + BARRIER_CONJUNCTS),
+        min_size=2,
+        max_size=4,
+        unique=True,
+    )
+)
+def test_randomized_predicates_four_way(db, conjuncts):
+    plan = Query.table("big").where(" AND ".join(conjuncts)).plan
+    _assert_four_way(db, plan)
+
+
+@settings(max_examples=20, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=45), min_size=1, max_size=8))
+def test_randomized_skewed_joins_four_way(db, keys):
+    probe = Database("cost-probe")
+    probe.create_table(
+        TableSchema.build(
+            "big",
+            [(c.name, c.dtype) for c in db.table("big").schema.columns],
+        )
+    )
+    probe.insert("big", db.table("big").snapshot_rows())
+    probe.create_table(
+        TableSchema.build("dim", [("key", DataType.INTEGER), ("tag", DataType.TEXT)])
+    )
+    probe.insert("dim", [{"key": k, "tag": f"t{k}"} for k in keys])
+    plan = Join(Scan("dim"), Scan("big"), (("key", "key"),))
+    _assert_four_way(probe, plan)
+
+
+# -- estimates surfaced in explain_analyze -------------------------------------
+
+
+def test_estimated_rows_and_q_error_in_explain_analyze(db):
+    report = explain_analyze(
+        Query.table("big").where("value = 7 AND note LIKE 'note-3%'"), db
+    )
+    annotated = [
+        span.attrs
+        for _node, span in report.node_spans()
+        if "rows_out" in span.attrs
+    ]
+    assert annotated, "no measured spans"
+    for attrs in annotated:
+        assert "estimated_rows" in attrs
+        assert attrs["q_error"] >= 1.0
+
+
+def test_join_build_side_rewrite_counted_in_trace(db):
+    db.plan_cache_clear()
+    report = explain_analyze(Join(Scan("small"), Scan("big"), (("key", "key"),)), db)
+    assert report.rewrites_applied().get("join_build_side") == 1
+
+
+# -- plan-cache keying of the statistics/costing regime ------------------------
+
+
+def test_plan_cache_never_crosses_statistics_regimes(db):
+    plan = Query.table("big").where("value = 7 AND note LIKE 'note-2%'").plan
+    first = optimize(plan, db)
+    assert optimize(plan, db) is first  # same regime: cache hit
+
+    previous = set_statistics_enabled(False)
+    try:
+        toggled = optimize(plan, db)
+        assert toggled is not first  # different key, no cross-regime serve
+        assert toggled.execute(db) == first.execute(db)
+    finally:
+        set_statistics_enabled(previous)
+    assert optimize(plan, db) is first  # original entry still keyed
+
+
+def test_plan_cache_never_crosses_costing_regimes(db):
+    plan = Query.table("big").where("note LIKE 'note-5%' AND value = 9").plan
+    costed = optimize(plan, db)
+    previous = set_costing_enabled(False)
+    try:
+        uncosted = optimize(plan, db)
+        assert uncosted is not costed
+        assert uncosted.execute(db) == costed.execute(db)
+    finally:
+        set_costing_enabled(previous)
+    assert costing_enabled()
+
+
+def test_planning_stats_tolerate_small_deltas_and_refresh_on_demand():
+    # Fresh database: the module fixture's cache state must not leak in.
+    local = _build_db()
+    table = local.table("big")
+    before = column_ndv(table, "key")
+    assert before is not None
+
+    # A sub-tolerance delta (1 row into ROWS) bumps the data version but
+    # must NOT trigger a statistics re-profile: the stale estimate is
+    # served verbatim, object-identical.
+    version = table.version
+    local.insert("big", [{"seq": ROWS, "key": 39, "vendor": "acme",
+                          "value": 1, "note": "note-0", "mixed": "mX"}])
+    assert table.version != version
+    assert column_ndv(table, "key") is before
+
+    # A manual refresh (ANALYZE) re-profiles against current data.
+    refresh_planning_stats(table)
+    refreshed = column_ndv(table, "key")
+    assert refreshed is not before
+    assert refreshed is not None
+
+    # Growing the table past the staleness tolerance re-profiles too.
+    grown = int(len(table) * 0.11) + 1
+    local.insert(
+        "big",
+        [{"seq": ROWS + 1 + i, "key": i % 40, "vendor": None,
+          "value": None, "note": "note-1", "mixed": f"g{i}"} for i in range(grown)],
+    )
+    assert column_ndv(table, "key") is not refreshed
+
+
+def test_stale_estimates_never_leak_into_executed_rows():
+    # Mutations after planning-stats builds must still produce exact rows:
+    # estimates choose among proven-equivalent plans, execution reads
+    # current-version data.
+    local = _build_db()
+    plan = Query.table("big").where("vendor = 'acme' AND value = 7").plan
+    _assert_four_way(local, plan)  # warm planning stats
+    local.insert("big", [{"seq": ROWS + 7, "key": 2, "vendor": "acme",
+                          "value": 7, "note": "note-3", "mixed": "mZ"}])
+    kind, rows = _outcome(lambda: execute_interpreted(plan, local))
+    assert kind == "ok"
+    assert any(r["seq"] == ROWS + 7 for r in rows)
+    _assert_four_way(local, plan)
