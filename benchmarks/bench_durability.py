@@ -1,0 +1,273 @@
+"""Durability benchmark: WAL overhead, snapshot cost, recovery time.
+
+Four questions, one ingest-shaped workload (bulk inserts with periodic
+updates and group commits — the write path the ETL pipeline drives):
+
+* ``du_etl_wal_off`` vs ``du_etl_wal_on`` — the same workload against a
+  bare :class:`~repro.relational.Database` and a
+  :class:`~repro.storage.DurableStore` (fsync per commit).  The ratio is
+  the price of durability on the hot mutation path; the bench asserts it
+  stays under :data:`MAX_WAL_OVERHEAD` (and the committed baseline gates
+  drift per case on top).
+* ``du_snapshot_write`` — one columnar checkpoint of the ingested table.
+* ``du_recover_snapshot`` vs ``du_recover_replay`` — cold-start recovery
+  of identical state from a snapshot versus from pure WAL replay, the
+  two ends of the checkpoint spectrum.
+
+Also reports recovery time vs table size (``du_recover_replay_<n>``)
+for the EXPERIMENTS.md scaling table.
+
+Runs two ways:
+
+* ``pytest benchmarks/bench_durability.py`` — a fast correctness smoke
+  (recovered state bit-identical, overhead sane) on a small workload;
+* ``python benchmarks/bench_durability.py`` — standalone timing mode
+  writing ``benchmarks/reports/durability.latest.json``; pass ``--json``
+  to promote to the committed ``BENCH_durability.json`` baseline.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:  # package import under pytest, bare import as a standalone script
+    from benchmarks._payload import resolve_json_path, write_payload
+except ImportError:  # pragma: no cover - script mode
+    from _payload import resolve_json_path, write_payload
+
+from repro.relational.database import Database
+from repro.relational.schema import Column, TableSchema
+from repro.relational.types import DataType
+from repro.storage.engine import DurableStore, state_fingerprint
+
+ROWS = 20_000
+COMMIT_EVERY = 500
+ROUNDS = 5
+SCALE_STEPS = (5_000, 10_000, 20_000)
+
+#: The acceptance bar: WAL-on ingest may cost at most this multiple of
+#: WAL-off.  Checked on the best-of-rounds times, where scheduler noise
+#: is smallest.
+MAX_WAL_OVERHEAD = 1.3
+
+KINDS = ("admit", "discharge", "transfer", "observe", "operate")
+
+
+def _schema() -> TableSchema:
+    return TableSchema(
+        "events",
+        (
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("kind", DataType.TEXT),
+            Column("severity", DataType.INTEGER),
+            Column("score", DataType.FLOAT),
+        ),
+        primary_key=("id",),
+    )
+
+
+def ingest(db: Database, rows: int, commit=None) -> None:
+    """The ETL-shaped write workload: batched inserts + periodic updates."""
+    table = db.create_table(_schema())
+    for i in range(rows):
+        table.insert(
+            {
+                "id": i,
+                "kind": KINDS[i % len(KINDS)],
+                "severity": i % 5 + 1,
+                "score": (i % 97) * 0.5,
+            }
+        )
+        if (i + 1) % COMMIT_EVERY == 0:
+            table.update(lambda r, lo=i - 9: r["id"] >= lo, {"severity": 5})
+            if commit is not None:
+                commit()
+    if commit is not None:
+        commit()
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+def _ingest_on(rows: int) -> float:
+    scratch = Path(tempfile.mkdtemp(prefix="bench-wal-"))
+    try:
+        store = DurableStore(scratch, fsync="commit")
+        elapsed = _timed(lambda: ingest(store.db, rows, commit=store.commit))
+        store.close()
+        return elapsed
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def bench_wal_overhead(rows: int = ROWS, rounds: int = ROUNDS) -> list[dict]:
+    # Warm-up round (imports, allocator, page cache), then paired rounds:
+    # the overhead verdict is the *best per-round ratio*, which cancels
+    # the slow machine drift that plagues sequential best-of comparisons.
+    ingest(Database("bench"), rows)
+    _ingest_on(rows)
+    best_off = float("inf")
+    best_on = float("inf")
+    overhead = float("inf")
+    for _ in range(rounds):
+        off = _timed(lambda: ingest(Database("bench"), rows))
+        on = _ingest_on(rows)
+        best_off = min(best_off, off)
+        best_on = min(best_on, on)
+        overhead = min(overhead, on / off)
+    assert overhead <= MAX_WAL_OVERHEAD, (
+        f"WAL-on ingest is x{overhead:.2f} of WAL-off "
+        f"(bar: x{MAX_WAL_OVERHEAD:.2f})"
+    )
+    return [
+        {"case": "du_etl_wal_off", "rows": rows, "ms": round(best_off * 1000, 3)},
+        {
+            "case": "du_etl_wal_on",
+            "rows": rows,
+            "ms": round(best_on * 1000, 3),
+            "overhead_vs_wal_off": round(overhead, 3),
+        },
+    ]
+
+
+def bench_snapshot_and_recovery(rows: int = ROWS, rounds: int = ROUNDS) -> list[dict]:
+    results: list[dict] = []
+    replay_dir = Path(tempfile.mkdtemp(prefix="bench-replay-"))
+    snap_dir = Path(tempfile.mkdtemp(prefix="bench-snap-"))
+    try:
+        store = DurableStore(replay_dir, fsync="never")
+        ingest(store.db, rows, commit=store.commit)
+        expected = state_fingerprint(store.db)
+        store.close()
+
+        # Same state, checkpointed: recovery loads columns, replays nothing.
+        shutil.copytree(replay_dir, snap_dir, dirs_exist_ok=True)
+        store = DurableStore(snap_dir)
+        best_snapshot_write = float("inf")
+        for _ in range(rounds):
+            best_snapshot_write = min(best_snapshot_write, _timed(store.snapshot))
+        store.close()
+        results.append(
+            {
+                "case": "du_snapshot_write",
+                "rows": rows,
+                "ms": round(best_snapshot_write * 1000, 3),
+            }
+        )
+
+        for case, directory in (
+            ("du_recover_snapshot", snap_dir),
+            ("du_recover_replay", replay_dir),
+        ):
+            best = float("inf")
+            for _ in range(rounds):
+                store = DurableStore(directory)
+                best = min(best, store.report.duration_s)
+                assert state_fingerprint(store.db) == expected
+                report = store.report
+                store.close(commit=False)
+            results.append(
+                {
+                    "case": case,
+                    "rows": rows,
+                    "ms": round(best * 1000, 3),
+                    "wal_records_replayed": report.replayed,
+                }
+            )
+    finally:
+        shutil.rmtree(replay_dir, ignore_errors=True)
+        shutil.rmtree(snap_dir, ignore_errors=True)
+    return results
+
+
+def bench_recovery_scaling(rounds: int = 3) -> list[dict]:
+    """Recovery time vs table size, pure-replay mode (the worst case)."""
+    results: list[dict] = []
+    for rows in SCALE_STEPS:
+        scratch = Path(tempfile.mkdtemp(prefix="bench-scale-"))
+        try:
+            store = DurableStore(scratch, fsync="never")
+            ingest(store.db, rows, commit=store.commit)
+            store.close()
+            best = float("inf")
+            for _ in range(rounds):
+                reopened = DurableStore(scratch)
+                best = min(best, reopened.report.duration_s)
+                reopened.close(commit=False)
+            results.append(
+                {
+                    "case": f"du_recover_replay_{rows}",
+                    "rows": rows,
+                    "ms": round(best * 1000, 3),
+                }
+            )
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+    return results
+
+
+# -- standalone runner ---------------------------------------------------------
+
+
+def run(json_path: str | None = None) -> list[dict]:
+    results = (
+        bench_wal_overhead()
+        + bench_snapshot_and_recovery()
+        + bench_recovery_scaling()
+    )
+    for row in results:
+        extra = row.get("overhead_vs_wal_off")
+        suffix = f"   x{extra:.2f} vs wal_off" if extra is not None else ""
+        print(f"{row['case']:<28} {row['ms']:10.3f} ms{suffix}", flush=True)
+    if json_path:
+        payload = {
+            "benchmark": "durability",
+            "rows": ROWS,
+            "commit_every": COMMIT_EVERY,
+            "rounds": ROUNDS,
+            "max_wal_overhead": MAX_WAL_OVERHEAD,
+            "results": results,
+        }
+        write_payload(json_path, payload)
+        print(f"wrote {json_path}")
+    return results
+
+
+def main(argv: list[str]) -> int:
+    json_path, promoted = resolve_json_path(argv, "durability")
+    run(json_path)
+    if not promoted:
+        print("scratch run; pass --json to promote to the committed baseline")
+    return 0
+
+
+# -- pytest smoke case ---------------------------------------------------------
+
+
+def test_durable_ingest_recovers_bit_identical(tmp_path):
+    """Small-scale correctness smoke (timings live in standalone mode)."""
+    store = DurableStore(tmp_path)
+    ingest(store.db, 600, commit=store.commit)
+    expected = state_fingerprint(store.db)
+    store.snapshot()
+    store.db.table("events").insert(
+        {"id": 600, "kind": "late", "severity": 1, "score": 0.0}
+    )
+    store.commit()
+    after = state_fingerprint(store.db)
+    store.close()
+    reopened = DurableStore(tmp_path)
+    assert state_fingerprint(reopened.db) == after != expected
+    assert reopened.report.replayed == 2  # the insert + its commit
+    reopened.close()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -44,6 +44,13 @@ REQUIRED_CASES: dict[str, tuple[str, ...]] = {
         "cb_join_reorder",
         "cb_conjunct_reorder",
     ),
+    "durability": (
+        "du_etl_wal_off",
+        "du_etl_wal_on",
+        "du_snapshot_write",
+        "du_recover_snapshot",
+        "du_recover_replay",
+    ),
 }
 
 Payload = dict[str, Any]
@@ -135,6 +142,10 @@ def _run_benchmark(name: str) -> dict[str, float]:
         import bench_etl_pipeline
 
         results = bench_etl_pipeline.run()
+    elif name == "durability":
+        import bench_durability
+
+        results = bench_durability.run()
     else:
         raise SystemExit(f"unknown benchmark {name!r}")
     return headline_metrics({"results": results})

@@ -124,6 +124,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     trace.set_defaults(handler=_cmd_trace)
 
+    storage = commands.add_parser(
+        "storage",
+        help="durable-store operations: snapshot, recover, verify",
+    )
+    storage_actions = storage.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+        ("snapshot", "open (= recover) a store and write a columnar checkpoint"),
+        ("recover", "recover a store directory and report what replay did"),
+        ("verify", "audit every durable artifact and fingerprint live state"),
+    ):
+        sub = storage_actions.add_parser(action, help=help_text)
+        sub.add_argument("--dir", required=True, help="store directory")
+        sub.add_argument(
+            "--json",
+            dest="json_path",
+            default=None,
+            metavar="PATH",
+            help="also write the report as JSON to PATH",
+        )
+        sub.set_defaults(handler=_cmd_storage, action=action)
+
     gtree = commands.add_parser(
         "gtree", help="render a contributor's g-tree"
     )
@@ -370,6 +391,49 @@ def _print_build_sides(plan, db) -> None:
             f"  {trace_label(join):40} build={join.build} "
             f"est_left~{left:g} est_right~{right:g}"
         )
+
+
+def _cmd_storage(args) -> int:
+    import json
+
+    from repro.errors import StorageError
+    from repro.storage import DurableStore
+
+    try:
+        store = DurableStore(args.dir)
+    except StorageError as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    try:
+        report = store.report.to_doc()
+        if args.action == "snapshot":
+            path = store.snapshot()
+            document = {
+                "recovery": report,
+                "snapshot": str(path),
+                "bytes": os.path.getsize(path),
+            }
+            print(f"snapshot written: {path} ({document['bytes']} bytes)")
+        elif args.action == "recover":
+            document = {"recovery": report}
+            for key, value in report.items():
+                print(f"{key:24} {value}")
+        else:  # verify
+            document = store.verify()
+            wal_ok = document["wal"]["ok"]
+            snaps_ok = all(s["ok"] for s in document["snapshots"])
+            print(json.dumps(document, indent=2, default=str))
+            if not (wal_ok and snaps_ok):
+                return 1
+        if args.json_path:
+            parent = os.path.dirname(args.json_path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(args.json_path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, default=str)
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_gtree(args) -> int:

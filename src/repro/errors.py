@@ -192,6 +192,33 @@ class CompileError(ETLError):
 
 
 # --------------------------------------------------------------------------
+# Durable storage
+
+
+class StorageError(ReproError):
+    """Base class for durability subsystem errors (WAL, snapshots, recovery)."""
+
+
+class WalCorruptionError(StorageError):
+    """Raised when the write-ahead log holds a corrupt *non-tail* frame.
+
+    A torn tail (the file ends mid-frame, the expected outcome of a crash
+    during an append) is tolerated and truncated; corruption anywhere a
+    complete frame should be — a bad magic, a failed CRC over a complete
+    frame — means a committed region was damaged and recovery must fail
+    loudly rather than silently drop a durable write.
+    """
+
+
+class SnapshotCorruptionError(StorageError):
+    """Raised when a snapshot file fails its CRC or framing checks."""
+
+
+class RecoveryError(StorageError):
+    """Raised when no consistent state can be reconstructed from disk."""
+
+
+# --------------------------------------------------------------------------
 # Warehouse
 
 

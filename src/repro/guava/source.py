@@ -17,7 +17,7 @@ feed.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.errors import GuavaError
 from repro.expr.ast import Identifier, InList, Literal
@@ -41,6 +41,59 @@ Row = dict[str, object]
 #: Change-feed entries kept before the oldest half is pruned; pruned spans
 #: can no longer be enumerated and force a full rebuild.
 CHANGE_LOG_LIMIT = 100_000
+
+
+class ChangeFeedState:
+    """The change feed's durable core: entries, floor, accounted version.
+
+    Split out of :class:`GuavaSource` so the storage layer can persist it
+    (``to_doc``/``from_doc`` round-trip through snapshots) and replay
+    logged ``note`` calls during recovery with *identical* semantics —
+    including the pruning policy, which moves the enumeration floor and
+    therefore changes which refreshes fall back to full rebuilds.
+    """
+
+    __slots__ = ("log", "floor", "accounted")
+
+    def __init__(self, accounted: int = 0):
+        #: (data version after the write, form name, record id) entries.
+        #: Forms have independent record-id spaces, so entries carry both.
+        self.log: list[tuple[int, str | None, int]] = []
+        #: Versions at or below the floor cannot be enumerated (pruned log
+        #: or an unattributed change).
+        self.floor = 0
+        self.accounted = accounted
+
+    def note(self, version: int, record_id: int | None, form: str | None) -> None:
+        """Account one mutation at ``version`` (None record id = unknown)."""
+        self.accounted = version
+        if record_id is None:
+            # Unattributable change: everything before it is unenumerable.
+            self.floor = version
+            self.log.clear()
+            return
+        self.log.append((version, form, record_id))
+        if len(self.log) > CHANGE_LOG_LIMIT:
+            half = len(self.log) // 2
+            self.floor = self.log[half - 1][0]
+            del self.log[:half]
+
+    def to_doc(self) -> dict:
+        return {
+            "floor": self.floor,
+            "accounted": self.accounted,
+            "log": [[version, form, rid] for version, form, rid in self.log],
+        }
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ChangeFeedState":
+        state = cls(int(doc.get("accounted", 0)))
+        state.floor = int(doc.get("floor", 0))
+        state.log = [
+            (int(version), form, int(rid))
+            for version, form, rid in doc.get("log", [])
+        ]
+        return state
 
 
 class GuavaSource:
@@ -72,13 +125,14 @@ class GuavaSource:
         self.db = db or Database(name)
         chain.deploy(self.db)
         self.gtrees: dict[str, GTree] = derive_all(tool, clock=clock)
-        #: Change feed: (data version after the write, form name, record id).
-        #: Forms have independent record-id spaces, so entries carry both.
-        self._change_log: list[tuple[int, str | None, int]] = []
-        #: Versions at or below the floor cannot be enumerated (pruned log
-        #: or an unattributed change).
-        self._change_floor = 0
-        self._accounted_version = database_version(self.db)
+        #: The durable change-feed state; a DurableStore may swap in a
+        #: recovered instance via :meth:`adopt_feed`.
+        self.feed = ChangeFeedState(database_version(self.db))
+        #: Durability hook: called as ``(version, record_id, form)`` after
+        #: every feed note so the storage layer can mirror it into the WAL.
+        self.on_feed_change: (
+            "Callable[[int, int | None, str | None], None] | None"
+        ) = None
 
     # -- data entry -------------------------------------------------------------
 
@@ -127,29 +181,33 @@ class GuavaSource:
         entirely.  Callers must treat ``None`` as "rebuild fully".
         """
         current = database_version(self.db)
-        if current != self._accounted_version:
+        feed = self.feed
+        if current != feed.accounted:
             return None  # mutations bypassed the feed
-        if since > current or since < self._change_floor:
+        if since > current or since < feed.floor:
             return None  # foreign or pruned lineage
         return {
             rid
-            for version, logged_form, rid in self._change_log
+            for version, logged_form, rid in feed.log
             if version > since
             and (form is None or logged_form is None or logged_form == form)
         }
 
+    def adopt_feed(self, state: ChangeFeedState) -> None:
+        """Share a (recovered) feed state object with the storage layer.
+
+        After adoption the source and the DurableStore hold the *same*
+        object, so checkpoints see every subsequent note without a copy.
+        """
+        self.feed = state
+
     def _note_change(self, record_id: object, form: str | None = None) -> None:
-        self._accounted_version = database_version(self.db)
-        if not isinstance(record_id, int):
-            # Unattributable change: everything before it is unenumerable.
-            self._change_floor = self._accounted_version
-            self._change_log.clear()
-            return
-        self._change_log.append((self._accounted_version, form, record_id))
-        if len(self._change_log) > CHANGE_LOG_LIMIT:
-            half = len(self._change_log) // 2
-            self._change_floor = self._change_log[half - 1][0]
-            del self._change_log[:half]
+        version = database_version(self.db)
+        rid = record_id if isinstance(record_id, int) else None
+        self.feed.note(version, rid, form)
+        hook = self.on_feed_change
+        if hook is not None:
+            hook(version, rid, form)
 
     # -- querying ----------------------------------------------------------------
 

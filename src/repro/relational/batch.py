@@ -225,6 +225,25 @@ class Batch:
             len(rows),
         )
 
+    @classmethod
+    def from_columns(
+        cls,
+        columns: tuple[str, ...],
+        data: dict[str, list[object]],
+        start: int,
+        stop: int,
+    ) -> "Batch":
+        """One :data:`BATCH_SIZE`-style horizontal slice of columnar data.
+
+        The storage layer frames snapshots as a sequence of these slices —
+        the vectorized in-memory format doubling as the on-disk format —
+        so a snapshot write is a per-column list slice (C speed) and a cold
+        start rehydrates straight into scan-ready columns.
+        """
+        sliced = {name: data[name][start:stop] for name in columns}
+        length = stop - start if columns == () else len(sliced[columns[0]])
+        return cls(columns, sliced, length)
+
 
 def concat(columns: tuple[str, ...], batches: Iterable[Batch]) -> Batch:
     """Concatenate batches into one (for Sort/TopK, which need it all)."""

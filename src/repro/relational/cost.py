@@ -46,6 +46,8 @@ import weakref
 from datetime import date
 from typing import TYPE_CHECKING, Callable
 
+import repro.relational.table as _table_module
+
 from repro.expr.ast import BinaryOp, Expression, Identifier, InList, IsNull, Literal
 from repro.expr.evaluator import _like
 from repro.relational.algebra import (
@@ -145,6 +147,14 @@ def refresh_planning_stats(table: "Table") -> None:
     the row count has not drifted past the staleness tolerance.
     """
     _PLANNING_CACHE.pop(table, None)
+
+
+# The staleness tolerance is exactly wrong across a *restore*: a recovered
+# extent can land within the row-count drift window while holding entirely
+# different data (and an exactly-restored — possibly rewound — version), so
+# snapshot load / WAL replay must clear these estimates unconditionally.
+# Registering here keeps table.py free of an import cycle with this module.
+_table_module.register_restore_listener(refresh_planning_stats)
 
 
 # -- NDV estimation -----------------------------------------------------------

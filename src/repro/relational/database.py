@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping
+from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.errors import SchemaError
 from repro.relational.schema import TableSchema
@@ -23,6 +23,28 @@ class Database:
         self._tables: dict[str, Table] = {}
         self._structure_version = 0
         self._plan_cache: dict[str, tuple[int, object]] = {}
+        # Structure listener: the durability layer's DDL hook, called after
+        # create_table/drop_table with (op, payload).  Payloads carry the
+        # Table on create so the listener can chain a mutation listener.
+        self._structure_listener: (
+            Callable[[str, dict[str, object]], None] | None
+        ) = None
+
+    def set_structure_listener(
+        self, listener: Callable[[str, dict[str, object]], None] | None
+    ) -> None:
+        """Install (or clear) the single DDL listener (durability hook)."""
+        self._structure_listener = listener
+
+    def _notify(self, op: str, payload: dict[str, object]) -> None:
+        listener = self._structure_listener
+        if listener is not None:
+            listener(op, payload)
+
+    @property
+    def structure_version(self) -> int:
+        """The structural (DDL) counter component of :attr:`epoch`."""
+        return self._structure_version
 
     @property
     def epoch(self) -> int:
@@ -63,6 +85,7 @@ class Database:
         table = Table(schema)
         self._tables[schema.name] = table
         self._structure_version += 1
+        self._notify("create_table", {"schema": schema, "table": table})
         return table
 
     def ensure_table(self, schema: TableSchema) -> Table:
@@ -86,6 +109,18 @@ class Database:
         self._structure_version += (
             1 + dropped.version + dropped.index_epoch + dropped.partition_epoch
         )
+        self._notify("drop_table", {"name": name, "table": dropped})
+
+    def restore_structure_version(self, version: int) -> None:
+        """Set the structural counter to an exact recovered value (restore only).
+
+        Recovery needs :attr:`epoch` bit-identical to the crashed process's
+        so a plan cached before the crash could never be mistaken for one
+        planned against the recovered data; the plan cache is cleared too
+        since its entries were planned by a process that no longer exists.
+        """
+        self._structure_version = version
+        self._plan_cache.clear()
 
     def table(self, name: str) -> Table:
         """Look up a table by name."""

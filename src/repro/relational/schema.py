@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
+from datetime import date
 
 from repro.errors import SchemaError
 from repro.relational.types import DataType
@@ -147,6 +148,53 @@ class RangePartitioning:
 PartitionScheme = HashPartitioning | RangePartitioning
 
 
+def partitioning_to_doc(scheme: PartitionScheme | None) -> dict | None:
+    """A JSON-able document for a partition scheme (None stays None).
+
+    Shared by the legacy JSON snapshot, the columnar snapshot files, and
+    the WAL's ``repartition`` records, so all three persistence paths
+    agree on one wire format.  Date boundaries serialize in ISO form.
+    """
+    if scheme is None:
+        return None
+    if isinstance(scheme, HashPartitioning):
+        return {
+            "kind": "hash",
+            "column": scheme.column,
+            "partitions": scheme.partitions,
+        }
+    return {
+        "kind": "range",
+        "column": scheme.column,
+        "boundaries": [
+            boundary.isoformat() if isinstance(boundary, date) else boundary
+            for boundary in scheme.boundaries
+        ],
+    }
+
+
+def partitioning_from_doc(
+    doc: dict | None, columns: tuple["Column", ...]
+) -> PartitionScheme | None:
+    """Rebuild a partition scheme from :func:`partitioning_to_doc` output.
+
+    ``columns`` supply the partition column's dtype so range boundaries
+    stored in ISO form revive as dates.
+    """
+    if doc is None:
+        return None
+    kind = doc.get("kind")
+    if kind == "hash":
+        return HashPartitioning(doc["column"], int(doc["partitions"]))
+    if kind == "range":
+        dtype = next((c.dtype for c in columns if c.name == doc["column"]), None)
+        boundaries = tuple(
+            dtype.coerce(b) if dtype is not None else b for b in doc["boundaries"]
+        )
+        return RangePartitioning(doc["column"], boundaries)
+    raise SchemaError(f"unsupported partitioning kind {kind!r}")
+
+
 @dataclass(frozen=True)
 class Column:
     """One typed column."""
@@ -243,3 +291,38 @@ class TableSchema:
             f" PARTITION BY {self.partitioning.describe()}" if self.partitioning else ""
         )
         return f"{self.name}({cols}{pk}){part}"
+
+
+def schema_to_doc(schema: TableSchema) -> dict:
+    """A JSON-able document for a whole table schema (one wire format for
+    the JSON snapshot, the columnar snapshot files, and WAL DDL records)."""
+    doc: dict = {
+        "name": schema.name,
+        "columns": [
+            {
+                "name": column.name,
+                "type": column.dtype.value,
+                "nullable": column.nullable,
+            }
+            for column in schema.columns
+        ],
+        "primary_key": list(schema.primary_key),
+    }
+    partitioning = partitioning_to_doc(schema.partitioning)
+    if partitioning is not None:
+        doc["partitioning"] = partitioning
+    return doc
+
+
+def schema_from_doc(doc: dict) -> TableSchema:
+    """Rebuild a table schema from :func:`schema_to_doc` output."""
+    columns = tuple(
+        Column(c["name"], DataType(c["type"]), c.get("nullable", True))
+        for c in doc["columns"]
+    )
+    return TableSchema(
+        doc["name"],
+        columns,
+        tuple(doc.get("primary_key", ())),
+        partitioning_from_doc(doc.get("partitioning"), columns),
+    )

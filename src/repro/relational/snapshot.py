@@ -15,14 +15,7 @@ from pathlib import Path
 
 from repro.errors import RelationalError
 from repro.relational.database import Database
-from repro.relational.schema import (
-    Column,
-    HashPartitioning,
-    PartitionScheme,
-    RangePartitioning,
-    TableSchema,
-)
-from repro.relational.types import DataType
+from repro.relational.schema import schema_from_doc, schema_to_doc
 
 FORMAT_VERSION = 1
 
@@ -44,26 +37,12 @@ def database_to_dict(db: Database) -> dict:
     for name in db.table_names():
         table = db.table(name)
         schema = table.schema
-        doc = {
-            "name": schema.name,
-            "columns": [
-                {
-                    "name": column.name,
-                    "type": column.dtype.value,
-                    "nullable": column.nullable,
-                }
-                for column in schema.columns
-            ],
-            "primary_key": list(schema.primary_key),
-            "version": table.version,
-            "rows": [
-                [_encode(row[column]) for column in schema.column_names]
-                for row in table.rows()
-            ],
-        }
-        partitioning = _encode_partitioning(schema.partitioning)
-        if partitioning is not None:
-            doc["partitioning"] = partitioning
+        doc = schema_to_doc(schema)
+        doc["version"] = table.version
+        doc["rows"] = [
+            [_encode(row[column]) for column in schema.column_names]
+            for row in table.rows()
+        ]
         tables.append(doc)
     return {"format": FORMAT_VERSION, "database": db.name, "tables": tables}
 
@@ -76,16 +55,7 @@ def database_from_dict(document: dict) -> Database:
         )
     db = Database(document.get("database", "restored"))
     for table_doc in document.get("tables", []):
-        columns = tuple(
-            Column(c["name"], DataType(c["type"]), c.get("nullable", True))
-            for c in table_doc["columns"]
-        )
-        schema = TableSchema(
-            table_doc["name"],
-            columns,
-            tuple(table_doc.get("primary_key", ())),
-            _decode_partitioning(table_doc.get("partitioning"), columns),
-        )
+        schema = schema_from_doc(table_doc)
         table = db.create_table(schema)
         names = schema.column_names
         for values in table_doc.get("rows", []):
@@ -114,36 +84,3 @@ def _encode(value: object) -> object:
     if isinstance(value, date):
         return value.isoformat()
     return value
-
-
-def _encode_partitioning(scheme: PartitionScheme | None) -> dict | None:
-    if scheme is None:
-        return None
-    if isinstance(scheme, HashPartitioning):
-        return {"kind": "hash", "column": scheme.column, "partitions": scheme.partitions}
-    return {
-        "kind": "range",
-        "column": scheme.column,
-        "boundaries": [_encode(boundary) for boundary in scheme.boundaries],
-    }
-
-
-def _decode_partitioning(
-    doc: dict | None, columns: tuple[Column, ...]
-) -> PartitionScheme | None:
-    if doc is None:
-        return None
-    kind = doc.get("kind")
-    if kind == "hash":
-        return HashPartitioning(doc["column"], int(doc["partitions"]))
-    if kind == "range":
-        # Boundaries share the partition column's type; coercing through its
-        # dtype revives dates stored in ISO form.
-        dtype = next(
-            (c.dtype for c in columns if c.name == doc["column"]), None
-        )
-        boundaries = tuple(
-            dtype.coerce(b) if dtype is not None else b for b in doc["boundaries"]
-        )
-        return RangePartitioning(doc["column"], boundaries)
-    raise RelationalError(f"unsupported partitioning kind {kind!r}")

@@ -10,6 +10,19 @@ from repro.relational.schema import PartitionScheme, TableSchema
 
 Row = dict[str, object]
 
+#: Callbacks fired whenever a table's extent or counters are *restored*
+#: (snapshot load, WAL replay) rather than mutated through the normal
+#: paths.  Restore can rewind or arbitrarily set the data version, so any
+#: cache keyed on (table identity, version) outside the table itself —
+#: the cost module's stale-tolerant planning estimates — must drop its
+#: entries; modules register a ``callback(table)`` here to be told.
+_RESTORE_LISTENERS: list[Callable[["Table"], None]] = []
+
+
+def register_restore_listener(callback: Callable[["Table"], None]) -> None:
+    """Register a callback invoked with a table after any restore."""
+    _RESTORE_LISTENERS.append(callback)
+
 
 class Table:
     """One relation: a schema plus its extent.
@@ -38,12 +51,35 @@ class Table:
         # key → (version, value): arbitrary derived artifacts (zone maps,
         # dictionaries) cached per data version; see :meth:`derived`.
         self._derived: dict[object, tuple[int, object]] = {}
+        # Mutation listener: the durability layer's redo-log hook.  Called
+        # once per successful mutating call with (op, payload) *after* the
+        # mutation is applied; None (the default) costs one check per call.
+        self._listener: Callable[[str, dict[str, object]], None] | None = None
         if schema.primary_key:
             self._pk_index = HashIndex(schema.primary_key)
         if schema.partitioning is not None:
             self._partition_positions = [
                 [] for _ in range(schema.partitioning.partition_count)
             ]
+
+    # -- change notification --------------------------------------------------
+
+    def set_mutation_listener(
+        self, listener: Callable[[str, dict[str, object]], None] | None
+    ) -> None:
+        """Install (or clear) the single mutation listener.
+
+        The durability layer uses this to mirror every successful mutation
+        into its write-ahead log; payloads are position/value based so a
+        replay reproduces the extent, the insertion order, and the data
+        version exactly without re-running predicates.
+        """
+        self._listener = listener
+
+    def _notify(self, op: str, payload: dict[str, object]) -> None:
+        listener = self._listener
+        if listener is not None:
+            listener(op, payload)
 
     # -- reading -------------------------------------------------------------
 
@@ -181,6 +217,7 @@ class Table:
             self._partition_positions = None
         else:
             self._rebuild_partitions()
+        self._notify("repartition", {"partitioning": partitioning})
 
     def partition_positions(self, partition: int) -> list[int]:
         """Ascending row positions stored in ``partition`` (read-only)."""
@@ -247,6 +284,16 @@ class Table:
             lists[partition_of(row[column])].append(position)
         self._partition_positions = lists
 
+    def secondary_index_columns(self) -> list[tuple[str, ...]]:
+        """Column tuples of every secondary index, in creation order.
+
+        Snapshots persist indexes as this metadata only — the hash buckets
+        themselves rebuild on load, which is both smaller on disk and the
+        only correct option for anything keyed on ``hash()`` (per-process
+        string-hash randomization makes persisted buckets meaningless).
+        """
+        return list(self._indexes)
+
     def matching_index(self, columns: Iterable[str]) -> HashIndex | None:
         """The widest index whose columns all appear in ``columns``."""
         available = set(columns)
@@ -305,6 +352,7 @@ class Table:
             self._partition_positions[scheme.partition_of(row[scheme.column])].append(
                 position
             )
+        self._notify("insert", {"row": row})
         return dict(row)
 
     def insert_many(self, rows: Iterable[Mapping[str, object]]) -> int:
@@ -325,27 +373,84 @@ class Table:
             if not self.schema.has_column(column):
                 raise SchemaError(f"table {self.name} has no column {column!r}")
         updated = 0
-        for row in self._rows:
+        positions: list[int] = []
+        for position, row in enumerate(self._rows):
             if predicate(row):
                 for column, value in changes.items():
                     row[column] = self.schema.column(column).dtype.coerce(value)
+                positions.append(position)
                 updated += 1
         if updated:
             self._version += 1
             self._rebuild_indexes()
             self._rebuild_partitions()
+            self._notify(
+                "update", {"positions": positions, "changes": dict(changes)}
+            )
         return updated
 
-    def delete(self, predicate: Callable[[Row], bool]) -> int:
-        """Remove rows matching ``predicate``; returns count removed."""
-        before = len(self._rows)
-        self._rows = [row for row in self._rows if not predicate(row)]
-        removed = before - len(self._rows)
-        if removed:
+    def apply_update_at(
+        self, positions: Iterable[int], changes: Mapping[str, object]
+    ) -> int:
+        """Apply ``changes`` to the rows at ``positions`` (the redo path).
+
+        Position-based replay of an :meth:`update`: identical coercion,
+        identical single version bump, identical index/partition rebuild —
+        so replaying a logged update reproduces the original bit for bit
+        without re-evaluating its (unserializable) predicate.
+        """
+        for column in changes:
+            if not self.schema.has_column(column):
+                raise SchemaError(f"table {self.name} has no column {column!r}")
+        applied = 0
+        rows = self._rows
+        position_list = list(positions)
+        for position in position_list:
+            row = rows[position]
+            for column, value in changes.items():
+                row[column] = self.schema.column(column).dtype.coerce(value)
+            applied += 1
+        if applied:
             self._version += 1
             self._rebuild_indexes()
             self._rebuild_partitions()
+            self._notify(
+                "update", {"positions": position_list, "changes": dict(changes)}
+            )
+        return applied
+
+    def delete(self, predicate: Callable[[Row], bool]) -> int:
+        """Remove rows matching ``predicate``; returns count removed."""
+        keep: list[Row] = []
+        removed_positions: list[int] = []
+        for position, row in enumerate(self._rows):
+            if predicate(row):
+                removed_positions.append(position)
+            else:
+                keep.append(row)
+        removed = len(removed_positions)
+        if removed:
+            self._rows = keep
+            self._version += 1
+            self._rebuild_indexes()
+            self._rebuild_partitions()
+            self._notify("delete", {"positions": removed_positions})
         return removed
+
+    def delete_at(self, positions: Iterable[int]) -> int:
+        """Remove the rows at ``positions`` (the redo path of a delete)."""
+        doomed = set(positions)
+        if not doomed:
+            return 0
+        position_list = sorted(doomed)
+        self._rows = [
+            row for position, row in enumerate(self._rows) if position not in doomed
+        ]
+        self._version += 1
+        self._rebuild_indexes()
+        self._rebuild_partitions()
+        self._notify("delete", {"positions": position_list})
+        return len(position_list)
 
     def create_index(self, columns: tuple[str, ...] | list[str]) -> HashIndex:
         """Add (or return an existing) equality index on ``columns``."""
@@ -359,6 +464,7 @@ class Table:
         index.rebuild(self._rows)
         self._indexes[key] = index
         self._index_epoch += 1
+        self._notify("create_index", {"columns": list(key)})
         return index
 
     def drop_index(self, columns: tuple[str, ...] | list[str]) -> bool:
@@ -371,12 +477,71 @@ class Table:
             return False
         del self._indexes[key]
         self._index_epoch += 1
+        self._notify("drop_index", {"columns": list(key)})
         return True
+
+    # -- restore (snapshot load / WAL replay only) ----------------------------
 
     def restore_version(self, version: int) -> None:
         """Set the data version (snapshot restore only); never rewinds."""
         if version > self._version:
             self._version = version
+
+    def restore_extent(
+        self,
+        rows: list[Row],
+        columns: dict[str, list[object]] | None = None,
+    ) -> None:
+        """Replace the whole extent with pre-validated ``rows`` (restore only).
+
+        Rows are adopted as storage (no copies, no re-validation — they came
+        from this table's own snapshot), indexes and partition lists are
+        rebuilt, and every version-keyed cache is dropped.  ``columns``, when
+        given, must be the same data column-major; it pre-seeds the columnar
+        snapshot cache so a recovered table is scan-ready without a first
+        materialization pass.  Counters are NOT touched — pair with
+        :meth:`restore_counters`.
+        """
+        self._rows = rows
+        self._rebuild_indexes()
+        self._rebuild_partitions()
+        self._drop_version_keyed_caches()
+        if columns is not None:
+            self._column_snapshot = (self._version, columns)
+        for callback in _RESTORE_LISTENERS:
+            callback(self)
+
+    def restore_counters(
+        self,
+        version: int,
+        index_epoch: int | None = None,
+        partition_epoch: int | None = None,
+    ) -> None:
+        """Set the monotone counters to exact recovered values (restore only).
+
+        Unlike :meth:`restore_version` this CAN rewind — recovery needs the
+        recovered table's counters bit-identical to the crashed process's,
+        not merely fresh.  Because an arbitrary version assignment breaks the
+        "version equality implies content equality" contract every
+        version-keyed cache relies on, all of them are dropped here:
+        ``derived`` artifacts (zone maps, dictionaries), row/column
+        snapshots, partition column caches, and — via the registered restore
+        listeners — the cost module's stale-tolerant planning estimates.
+        """
+        self._version = version
+        if index_epoch is not None:
+            self._index_epoch = index_epoch
+        if partition_epoch is not None:
+            self._partition_epoch = partition_epoch
+        self._drop_version_keyed_caches()
+        for callback in _RESTORE_LISTENERS:
+            callback(self)
+
+    def _drop_version_keyed_caches(self) -> None:
+        self._row_snapshot = None
+        self._column_snapshot = None
+        self._partition_columns_cache.clear()
+        self._derived.clear()
 
     # -- internals -------------------------------------------------------------
 

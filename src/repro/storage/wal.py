@@ -1,0 +1,320 @@
+"""The write-ahead log: CRC-framed, torn-tail-tolerant, append-only redo.
+
+Every mutation the engine applies is mirrored here *after* it succeeds in
+memory (a redo-only log: there is nothing to undo, recovery simply stops
+at the last commit record).  One frame per record::
+
+    magic "RW" (2) | payload length (4, big-endian) | crc32(payload) (4) | payload
+
+Payloads are compact JSON documents carrying a monotone ``lsn`` plus the
+operation (see :mod:`repro.storage.engine` for the op vocabulary).
+
+**Torn-tail tolerance vs. corruption.**  A crash mid-append leaves a
+strict *prefix* of the intended frame bytes at the physical end of the
+file (appends are sequential; nothing valid can follow a torn write).
+Replay therefore distinguishes:
+
+* *torn tail* — the file ends inside a frame (header or payload cut
+  short), the magic prefix matches as far as bytes exist, or the
+  remaining bytes are all zero (filesystem zero-fill after a crash).
+  Tolerated: replay stops at the last complete frame.
+* *corruption* — a complete frame whose CRC or JSON fails, a magic
+  mismatch, or a bad region with any valid frame *after* it (a torn
+  write cannot be followed by durable bytes).  Raises
+  :class:`~repro.errors.WalCorruptionError`: a committed region was
+  damaged and recovery must fail loudly rather than silently drop a
+  durable write.
+
+**Fsync policy** (:data:`FSYNC_POLICIES`): ``"commit"`` (default)
+fsyncs once per commit record — the classic group-commit durability
+point; ``"always"`` fsyncs every append (paranoid, slow); ``"never"``
+leaves flushing to the OS (fastest, durable only on clean close).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.errors import StorageError, WalCorruptionError
+
+try:  # the hot serializer when present; stdlib json otherwise
+    import orjson
+except ImportError:  # pragma: no cover - depends on the environment
+    orjson = None  # type: ignore[assignment]
+
+MAGIC = b"RW"
+HEADER_LEN = 10  # magic (2) + length (4) + crc32 (4)
+
+#: One C call building the whole frame header (magic, length, crc).
+_PACK_HEADER = struct.Struct(">2sII").pack
+
+#: Frames above this are rejected on read: a flipped high bit in the
+#: length field must not masquerade as an absurdly long torn tail.
+MAX_FRAME_PAYLOAD = 1 << 26  # 64 MiB
+
+FSYNC_POLICIES = ("commit", "always", "never")
+
+#: Test-only crash-injection hook signature: called with (record, frame
+#: bytes, open file) *instead of* the normal write; used by the crash
+#: harness to emit a torn prefix and SIGKILL itself mid-append.
+AppendHook = Callable[[dict[str, Any], bytes, Any], bool]
+
+
+def _json_default(value: object) -> object:
+    """Serialize dates as ISO strings (schema coercion decodes on replay).
+
+    Passed as ``json.dumps(default=...)`` so the hot append path can
+    serialize validated rows by reference — no JSON-safe copy per row.
+    """
+    isoformat = getattr(value, "isoformat", None)
+    if isoformat is not None:
+        return isoformat()
+    raise TypeError(f"unserializable WAL value {value!r}")
+
+
+def _dumps_stdlib(doc: dict[str, Any]) -> bytes:
+    return json.dumps(doc, separators=(",", ":"), default=_json_default).encode(
+        "utf-8"
+    )
+
+
+if orjson is not None:
+
+    def _dumps(doc: dict[str, Any]) -> bytes:
+        """Compact JSON bytes (orjson ISO-encodes dates natively)."""
+        try:
+            return orjson.dumps(doc)
+        except TypeError:  # pragma: no cover - defensive fallback
+            return _dumps_stdlib(doc)
+
+    _loads = orjson.loads
+else:  # pragma: no cover - depends on the environment
+    _dumps = _dumps_stdlib
+    _loads = json.loads
+
+
+def encode_row(row: dict[str, object]) -> dict[str, object]:
+    """A JSON-safe copy of a validated row (schema coercion decodes it)."""
+    return {
+        name: value.isoformat() if hasattr(value, "isoformat") else value
+        for name, value in row.items()
+    }
+
+
+class WriteAheadLog:
+    """One append-only redo log file with explicit fsync control."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: str = "commit",
+        append_hook: AppendHook | None = None,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise StorageError(
+                f"unknown fsync policy {fsync!r}; expected one of {FSYNC_POLICIES}"
+            )
+        self.path = Path(path)
+        self.fsync = fsync
+        self._append_hook = append_hook
+        #: LSN the next appended record receives; the engine seeds it from
+        #: recovery (last seen LSN + 1).
+        self.next_lsn = 1
+        self._file = open(self.path, "ab")
+        self.appended_records = 0
+        self.appended_bytes = 0
+        self.syncs = 0
+
+    # -- writing ---------------------------------------------------------------
+
+    def append(self, record: dict[str, Any]) -> int:
+        """Frame and append one record; returns its LSN.
+
+        The record dict is stamped with the LSN in place — callers hand
+        over ownership (every engine call site builds a fresh dict).
+        """
+        lsn = self.next_lsn
+        record["lsn"] = lsn
+        stamped = record
+        payload = _dumps(stamped)
+        frame = _PACK_HEADER(MAGIC, len(payload), zlib.crc32(payload)) + payload
+        hook = self._append_hook
+        if hook is not None and hook(stamped, frame, self._file):
+            # The hook consumed the append (crash injection); unreachable
+            # in practice because injected crashes SIGKILL the process.
+            return lsn  # pragma: no cover
+        self._file.write(frame)
+        self.next_lsn = lsn + 1
+        self.appended_records += 1
+        self.appended_bytes += len(frame)
+        if self.fsync == "always":
+            self.sync()
+        return lsn
+
+    def flush(self) -> None:
+        """Flush userspace buffers (durability still up to the OS)."""
+        self._file.flush()
+
+    def sync(self) -> None:
+        """Flush buffers and fsync the file (an explicit durability point)."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.syncs += 1
+
+    def commit_sync(self) -> None:
+        """The durability action taken right after a commit record."""
+        if self.fsync == "never":
+            self._file.flush()
+        elif self.fsync == "commit":
+            self.sync()
+        # "always" already synced inside append()
+
+    def truncate_to(self, records: list[dict[str, Any]], next_lsn: int) -> None:
+        """Atomically rewrite the log to hold only ``records`` (checkpoint).
+
+        The replacement is built in a temp file, fsynced, then renamed over
+        the live log — a crash at any point leaves either the old or the
+        new log complete, never a spliced one.
+        """
+        self._file.close()
+        temp = self.path.with_suffix(".tmp")
+        with open(temp, "wb") as handle:
+            for record in records:
+                payload = _dumps(record)
+                handle.write(
+                    _PACK_HEADER(MAGIC, len(payload), zlib.crc32(payload)) + payload
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+        _fsync_directory(self.path.parent)
+        self._file = open(self.path, "ab")
+        self.next_lsn = next_lsn
+
+    def close(self) -> None:
+        self._file.flush()
+        self._file.close()
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a rename's directory entry (no-op where unsupported)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _has_valid_frame_after(data: bytes, offset: int) -> bool:
+    """True when any complete valid frame parses after ``offset``.
+
+    The torn-tail discriminator: a torn append is by construction the last
+    thing in the file, so durable bytes after a bad region prove the
+    damage is corruption, not a crash artifact.
+    """
+    probe = data.find(MAGIC, offset + 1)
+    total = len(data)
+    while probe != -1:
+        if probe + HEADER_LEN <= total:
+            length = int.from_bytes(data[probe + 2 : probe + 6], "big")
+            end = probe + HEADER_LEN + length
+            if length <= MAX_FRAME_PAYLOAD and end <= total:
+                crc = int.from_bytes(data[probe + 6 : probe + 10], "big")
+                if zlib.crc32(data[probe + HEADER_LEN : end]) == crc:
+                    return True
+        probe = data.find(MAGIC, probe + 1)
+    return False
+
+
+def read_wal(path: str | Path) -> tuple[list[dict[str, Any]], dict[str, int]]:
+    """Replay a WAL file: (records in LSN order, tail report).
+
+    The tail report carries ``torn_bytes`` (crash-artifact bytes dropped
+    at the physical tail, 0 for a clean log) and ``frames``.  Raises
+    :class:`WalCorruptionError` under the rules in the module docstring,
+    including non-contiguous LSNs (a spliced or partially rewritten log).
+    """
+    try:
+        data = Path(path).read_bytes()
+    except FileNotFoundError:
+        return [], {"frames": 0, "torn_bytes": 0}
+    records: list[dict[str, Any]] = []
+    offset = 0
+    total = len(data)
+    torn = 0
+    previous_lsn: int | None = None
+    while offset < total:
+        remaining = total - offset
+        if remaining < HEADER_LEN:
+            if data[offset:].startswith(MAGIC[:remaining]) or _all_zero(
+                data, offset
+            ):
+                torn = remaining  # a header cut short by the crash
+                break
+            raise WalCorruptionError(
+                f"{path}: unrecognized {remaining}-byte tail at offset {offset}"
+            )
+        if data[offset : offset + 2] != MAGIC:
+            if _all_zero(data, offset):
+                torn = remaining  # filesystem zero-fill after a crash
+                break
+            raise WalCorruptionError(f"{path}: bad frame magic at offset {offset}")
+        length = int.from_bytes(data[offset + 2 : offset + 6], "big")
+        end = offset + HEADER_LEN + length
+        if length > MAX_FRAME_PAYLOAD:
+            raise WalCorruptionError(
+                f"{path}: implausible frame length {length} at offset {offset}"
+            )
+        if end > total:
+            if _has_valid_frame_after(data, offset):
+                raise WalCorruptionError(
+                    f"{path}: truncated frame at offset {offset} "
+                    "with durable frames after it"
+                )
+            torn = remaining  # payload cut short by the crash
+            break
+        payload = data[offset + HEADER_LEN : end]
+        if zlib.crc32(payload) != int.from_bytes(data[offset + 6 : offset + 10], "big"):
+            raise WalCorruptionError(
+                f"{path}: CRC mismatch in frame at offset {offset}"
+            )
+        try:
+            record = _loads(payload)
+        except ValueError as exc:
+            raise WalCorruptionError(
+                f"{path}: undecodable frame at offset {offset}: {exc}"
+            ) from exc
+        lsn = record.get("lsn")
+        if not isinstance(lsn, int):
+            raise WalCorruptionError(
+                f"{path}: frame at offset {offset} carries no LSN"
+            )
+        if previous_lsn is not None and lsn != previous_lsn + 1:
+            raise WalCorruptionError(
+                f"{path}: LSN gap ({previous_lsn} -> {lsn}) at offset {offset}"
+            )
+        previous_lsn = lsn
+        records.append(record)
+        offset = end
+    return records, {"frames": len(records), "torn_bytes": torn}
+
+
+def _all_zero(data: bytes, offset: int) -> bool:
+    return not any(data[offset:])
+
+
+def iter_commits(records: list[dict[str, Any]]) -> Iterator[int]:
+    """Indexes of commit records within ``records``."""
+    for index, record in enumerate(records):
+        if record.get("op") == "commit":
+            yield index

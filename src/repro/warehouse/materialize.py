@@ -178,6 +178,25 @@ class MaterializationStrategy(abc.ABC):
     def storage_cells(self) -> int:
         return self.warehouse.storage_cells(self.materialized_tables())
 
+    def adopt_existing(self) -> bool:
+        """Adopt a previously-built table (e.g. after a durable reopen).
+
+        True when the warehouse already holds this strategy's table with
+        lineage whose definition fingerprint matches the current job —
+        then ``fetch`` works immediately and ``build(incremental=True)``
+        refreshes only what changed since the run that built it.  False
+        (table missing, no lineage, or changed definitions) leaves the
+        strategy unbuilt; call ``build()`` as usual.
+        """
+        name = self.job.table_name()
+        lineage = self.warehouse.lineage(name)
+        if lineage is None or not self.warehouse.has_table(name):
+            return False
+        if lineage.get("fingerprint") != self._definition_fingerprint():
+            return False
+        self._built = True
+        return True
+
     def _require_built(self) -> None:
         if not self._built:
             raise MaterializationError("strategy not built yet; call build()")
@@ -472,6 +491,12 @@ class DerivedStrategy(MaterializationStrategy):
     def build(self, incremental: bool = False) -> None:
         self._inner.build(incremental)
         self._built = True
+
+    def adopt_existing(self) -> bool:
+        if self._inner.adopt_existing():
+            self._built = True
+            return True
+        return False
 
     def fetch(self, classifier_names: list[str]) -> list[Row]:
         self._require_built()

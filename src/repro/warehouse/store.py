@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.errors import WarehouseError
 from repro.relational.database import Database
 from repro.relational.schema import TableSchema
@@ -18,12 +20,25 @@ class Warehouse:
     annotation per load so analysts can see who put what there, when.
     """
 
-    def __init__(self, name: str = "warehouse", clock: Clock | None = None):
-        self.db = Database(name)
+    def __init__(
+        self,
+        name: str = "warehouse",
+        clock: Clock | None = None,
+        db: Database | None = None,
+    ):
+        #: ``db`` lets a warehouse wrap an existing database — the
+        #: recovered one a :class:`repro.storage.DurableStore` hands back —
+        #: instead of always starting empty.
+        self.db = db if db is not None else Database(name)
         self.loads = AnnotationLog(clock)
         #: Per-table refresh lineage: the source data versions (and the
         #: definition fingerprint) a materialized table was built from.
         self._lineage: dict[str, dict] = {}
+        #: Durability hook: called as ``(table, lineage_doc_or_None)`` on
+        #: every lineage change so the storage layer can mirror it into
+        #: the WAL; lineage then survives a restart and incremental
+        #: refresh keeps working across a reopen.
+        self.on_lineage: Callable[[str, dict | None], None] | None = None
 
     def ensure_table(self, schema: TableSchema) -> Table:
         return self.db.ensure_table(schema)
@@ -37,10 +52,20 @@ class Warehouse:
     def drop_table(self, name: str) -> None:
         """Drop a table and forget its lineage."""
         self.db.drop_table(name)
-        self._lineage.pop(name, None)
+        if self._lineage.pop(name, None) is not None:
+            hook = self.on_lineage
+            if hook is not None:
+                hook(name, None)
 
     def set_lineage(self, table: str, lineage: dict) -> None:
         """Record what a materialized table was built from."""
+        self._lineage[table] = dict(lineage)
+        hook = self.on_lineage
+        if hook is not None:
+            hook(table, dict(lineage))
+
+    def restore_lineage(self, table: str, lineage: dict) -> None:
+        """Reinstate recovered lineage without notifying the hook."""
         self._lineage[table] = dict(lineage)
 
     def lineage(self, table: str) -> dict | None:

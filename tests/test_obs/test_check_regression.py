@@ -123,5 +123,12 @@ class TestRequiredCases:
         payload = json.loads(path.read_text())
         assert missing_required("relational_core", payload) == []
 
+    def test_committed_durability_baseline_carries_every_required_case(self):
+        assert "du_etl_wal_on" in REQUIRED_CASES["durability"]
+        assert "du_recover_replay" in REQUIRED_CASES["durability"]
+        path = pathlib.Path(__file__).resolve().parents[2] / "BENCH_durability.json"
+        payload = json.loads(path.read_text())
+        assert missing_required("durability", payload) == []
+
     def test_unknown_benchmarks_have_no_floor(self):
         assert missing_required("synthetic", BASELINE) == []

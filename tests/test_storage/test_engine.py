@@ -1,0 +1,374 @@
+"""DurableStore: reopen fidelity, checkpoints, adapters, fallback paths."""
+
+from __future__ import annotations
+
+from datetime import date
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.guava import GuavaSource
+from repro.patterns import NaivePattern, PatternChain
+from repro.relational.database import Database
+from repro.relational.interpret import execute_interpreted
+from repro.relational.query import Query, optimize, prepare_stream_plan
+from repro.relational.schema import (
+    Column,
+    HashPartitioning,
+    TableSchema,
+)
+from repro.relational.types import DataType
+from repro.storage.engine import DurableStore, state_fingerprint
+from repro.storage.snapshots import list_snapshots, snapshot_name
+from repro.warehouse import Warehouse
+
+
+def _events_schema() -> TableSchema:
+    return TableSchema(
+        "events",
+        (
+            Column("id", DataType.INTEGER, nullable=False),
+            Column("kind", DataType.TEXT),
+            Column("score", DataType.FLOAT),
+            Column("day", DataType.DATE),
+        ),
+        primary_key=("id",),
+    )
+
+
+def _populate(store: DurableStore, rows: int = 60) -> None:
+    table = store.db.create_table(_events_schema())
+    for i in range(rows):
+        table.insert(
+            {
+                "id": i,
+                "kind": f"k{i % 4}",
+                "score": i * 0.25,
+                "day": date(2004, 1, 1 + i % 28),
+            }
+        )
+    table.create_index(("kind",))
+    table.update(lambda r: r["id"] % 9 == 0, {"score": -1.0})
+    table.delete(lambda r: r["id"] % 13 == 12)
+    table.repartition(HashPartitioning("kind", 3))
+    store.commit()
+
+
+class TestReopenFidelity:
+    def test_reopen_restores_bit_identical_state(self, tmp_path):
+        store = DurableStore(tmp_path)
+        _populate(store)
+        expected = state_fingerprint(store.db)
+        store.close()
+        reopened = DurableStore(tmp_path)
+        assert state_fingerprint(reopened.db) == expected
+        assert reopened.report.cold_start is False
+        reopened.close()
+
+    def test_reopen_restores_versions_and_epochs(self, tmp_path):
+        store = DurableStore(tmp_path)
+        _populate(store)
+        table = store.db.table("events")
+        expected = (
+            table.version,
+            table.index_epoch,
+            table.partition_epoch,
+            store.db.epoch,
+            store.db.structure_version,
+        )
+        store.close()
+        reopened = DurableStore(tmp_path)
+        got = reopened.db.table("events")
+        assert (
+            got.version,
+            got.index_epoch,
+            got.partition_epoch,
+            reopened.db.epoch,
+            reopened.db.structure_version,
+        ) == expected
+        reopened.close()
+
+    def test_all_four_executors_agree_on_recovered_db(self, tmp_path):
+        store = DurableStore(tmp_path)
+        _populate(store)
+        plan = (
+            Query.table("events")
+            .where("score >= 2.0 AND kind <> 'k3'")
+            .select("id", "kind", "score")
+            .order_by("-score", "id")
+            .plan
+        )
+        expected = execute_interpreted(plan, store.db)
+        store.close()
+        db = DurableStore(tmp_path).db
+        assert execute_interpreted(plan, db) == expected
+        assert prepare_stream_plan(plan, db).execute(db) == expected
+        assert optimize(plan, db).execute(db) == expected
+        assert plan.execute(db, parallel=2) == expected
+
+    def test_close_without_commit_discards_uncommitted_tail(self, tmp_path):
+        store = DurableStore(tmp_path)
+        _populate(store)
+        committed = state_fingerprint(store.db)
+        store.db.table("events").insert(
+            {"id": 999, "kind": "late", "score": 0.0, "day": None}
+        )
+        store.close(commit=False)
+        reopened = DurableStore(tmp_path)
+        assert state_fingerprint(reopened.db) == committed
+        assert reopened.report.discarded_uncommitted > 0
+        reopened.close()
+
+    def test_mutations_after_reopen_keep_logging(self, tmp_path):
+        store = DurableStore(tmp_path)
+        _populate(store)
+        store.close()
+        second = DurableStore(tmp_path)
+        second.db.table("events").insert(
+            {"id": 1000, "kind": "new", "score": 1.0, "day": date(2004, 6, 1)}
+        )
+        second.commit()
+        expected = state_fingerprint(second.db)
+        second.close()
+        third = DurableStore(tmp_path)
+        assert state_fingerprint(third.db) == expected
+        third.close()
+
+
+class TestCheckpoints:
+    def test_snapshot_bounds_replay(self, tmp_path):
+        """Recovery never replays more WAL than written since the snapshot."""
+        store = DurableStore(tmp_path)
+        _populate(store)
+        store.snapshot()
+        table = store.db.table("events")
+        table.insert({"id": 2000, "kind": "post", "score": 9.0, "day": None})
+        table.insert({"id": 2001, "kind": "post", "score": 9.5, "day": None})
+        store.commit()
+        expected = state_fingerprint(store.db)
+        store.close()
+        reopened = DurableStore(tmp_path)
+        assert state_fingerprint(reopened.db) == expected
+        assert reopened.report.snapshot is not None
+        # Exactly the two inserts and the commit record — nothing older.
+        assert reopened.report.replayed == 3
+        assert reopened.report.skipped == 0
+        reopened.close()
+
+    def test_snapshot_only_recovery_reads_no_wal(self, tmp_path):
+        store = DurableStore(tmp_path)
+        _populate(store)
+        store.snapshot()
+        expected = state_fingerprint(store.db)
+        store.close(commit=False)  # nothing uncommitted: close is clean
+        reopened = DurableStore(tmp_path)
+        assert state_fingerprint(reopened.db) == expected
+        assert reopened.report.replayed == 0
+        reopened.close()
+
+    def test_prune_keeps_two_snapshots(self, tmp_path):
+        store = DurableStore(tmp_path)
+        _populate(store, rows=10)
+        for i in range(4):
+            store.db.table("events").insert(
+                {"id": 100 + i, "kind": "x", "score": 0.0, "day": None}
+            )
+            store.snapshot()
+        assert len(list_snapshots(tmp_path)) == 2
+        store.close()
+
+    def test_fallback_to_older_snapshot_on_corruption(self, tmp_path):
+        store = DurableStore(tmp_path)
+        _populate(store, rows=20)
+        store.snapshot()
+        store.db.table("events").insert(
+            {"id": 500, "kind": "y", "score": 1.0, "day": None}
+        )
+        store.snapshot()
+        expected = state_fingerprint(store.db)
+        store.close(commit=False)
+        newest = list_snapshots(tmp_path)[-1]
+        newest.write_bytes(newest.read_bytes()[:50])
+        reopened = DurableStore(tmp_path)
+        assert state_fingerprint(reopened.db) == expected
+        assert len(reopened.report.snapshot_fallbacks) == 1
+        assert reopened.report.snapshot == str(list_snapshots(tmp_path)[0])
+        reopened.close()
+
+    def test_all_snapshots_corrupt_with_full_wal_recovers(self, tmp_path):
+        store = DurableStore(tmp_path)
+        _populate(store, rows=15)
+        expected = state_fingerprint(store.db)
+        store.close()
+        # A corrupt snapshot appears, but the WAL still reaches back to
+        # lsn 1 (no checkpoint ever pruned it): full replay must succeed.
+        (tmp_path / snapshot_name(3)).write_bytes(b"garbage")
+        reopened = DurableStore(tmp_path)
+        assert state_fingerprint(reopened.db) == expected
+        assert len(reopened.report.snapshot_fallbacks) == 1
+        reopened.close()
+
+    def test_all_snapshots_corrupt_with_pruned_wal_fails_loudly(self, tmp_path):
+        store = DurableStore(tmp_path)
+        _populate(store, rows=15)
+        store.snapshot()  # prunes the WAL below the snapshot LSN
+        store.close(commit=False)
+        for path in list_snapshots(tmp_path):
+            path.write_bytes(b"garbage")
+        with pytest.raises(RecoveryError):
+            DurableStore(tmp_path)
+
+
+class TestMeta:
+    def test_meta_roundtrip_across_reopen(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.set_meta("lineage/t", {"fingerprint": "abc", "versions": {"s": 3}})
+        store.set_meta("doomed", {"x": 1})
+        store.set_meta("doomed", None)
+        store.commit()
+        store.close()
+        reopened = DurableStore(tmp_path)
+        assert reopened.get_meta("lineage/t") == {
+            "fingerprint": "abc",
+            "versions": {"s": 3},
+        }
+        assert reopened.get_meta("doomed") is None
+        reopened.close()
+
+    def test_meta_survives_snapshot_then_reopen(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.set_meta("k", {"v": 7})
+        store.snapshot()
+        store.close(commit=False)
+        reopened = DurableStore(tmp_path)
+        assert reopened.get_meta("k") == {"v": 7}
+        reopened.close()
+
+
+class TestSourceAdapter:
+    def _source(self, fig2_tool, db):
+        chain = PatternChain(fig2_tool.naive_schemas(), [NaivePattern()])
+        return GuavaSource("clinic", fig2_tool, chain, db=db)
+
+    def test_change_feed_survives_reopen(self, tmp_path, fig2_tool):
+        store = DurableStore(tmp_path)
+        source = self._source(fig2_tool, store.db)
+        store.attach_source(source)
+        v0 = source.data_version()
+        session = source.session()
+        session.enter("procedure", {"smoking": "Current", "frequency": 1.5})
+        session.enter("procedure", {"smoking": "Never"})
+        store.commit()
+        store.close()
+
+        reopened = DurableStore(tmp_path)
+        recovered = self._source(fig2_tool, reopened.db)
+        reopened.attach_source(recovered)
+        assert recovered.changed_record_ids(v0) == {1, 2}
+        assert recovered.changed_record_ids(recovered.data_version()) == set()
+        reopened.close()
+
+    def test_feed_survives_via_snapshot_state(self, tmp_path, fig2_tool):
+        store = DurableStore(tmp_path)
+        source = self._source(fig2_tool, store.db)
+        store.attach_source(source)
+        v0 = source.data_version()
+        source.session().enter("procedure", {"smoking": "Never"})
+        store.snapshot()
+        store.close(commit=False)
+        reopened = DurableStore(tmp_path)
+        assert reopened.report.replayed == 0  # feed came from the snapshot
+        recovered = self._source(fig2_tool, reopened.db)
+        reopened.attach_source(recovered)
+        assert recovered.changed_record_ids(v0) == {1}
+        reopened.close()
+
+    def test_source_on_foreign_db_is_rejected(self, tmp_path, fig2_tool):
+        store = DurableStore(tmp_path)
+        stranger = self._source(fig2_tool, Database("elsewhere"))
+        with pytest.raises(RecoveryError):
+            store.attach_source(stranger)
+        store.close()
+
+
+class TestWarehouseAdapter:
+    def test_lineage_survives_reopen(self, tmp_path):
+        store = DurableStore(tmp_path)
+        warehouse = Warehouse(db=store.db)
+        store.attach_warehouse(warehouse)
+        warehouse.ensure_table(
+            TableSchema("mat_t", (Column("record_id", DataType.INTEGER),))
+        )
+        warehouse.set_lineage("mat_t", {"fingerprint": "f1", "versions": {"s": 2}})
+        store.commit()
+        store.close()
+
+        reopened = DurableStore(tmp_path)
+        recovered = Warehouse(db=reopened.db)
+        reopened.attach_warehouse(recovered)
+        assert recovered.lineage("mat_t") == {
+            "fingerprint": "f1",
+            "versions": {"s": 2},
+        }
+        assert recovered.has_table("mat_t")
+        reopened.close()
+
+    def test_dropping_table_clears_durable_lineage(self, tmp_path):
+        store = DurableStore(tmp_path)
+        warehouse = Warehouse(db=store.db)
+        store.attach_warehouse(warehouse)
+        warehouse.ensure_table(
+            TableSchema("mat_t", (Column("record_id", DataType.INTEGER),))
+        )
+        warehouse.set_lineage("mat_t", {"fingerprint": "f1"})
+        warehouse.drop_table("mat_t")
+        store.commit()
+        store.close()
+        reopened = DurableStore(tmp_path)
+        recovered = Warehouse(db=reopened.db)
+        reopened.attach_warehouse(recovered)
+        assert recovered.lineage("mat_t") is None
+        assert not recovered.has_table("mat_t")
+        reopened.close()
+
+    def test_warehouse_on_foreign_db_is_rejected(self, tmp_path):
+        store = DurableStore(tmp_path)
+        with pytest.raises(RecoveryError):
+            store.attach_warehouse(Warehouse())
+        store.close()
+
+
+class TestVerify:
+    def test_verify_reports_healthy_store(self, tmp_path):
+        store = DurableStore(tmp_path)
+        _populate(store, rows=10)
+        store.snapshot()
+        store.db.table("events").insert(
+            {"id": 77, "kind": "v", "score": 0.5, "day": None}
+        )
+        store.commit()
+        audit = store.verify()
+        assert audit["wal"]["ok"] is True
+        assert all(s["ok"] for s in audit["snapshots"])
+        assert audit["live"]["fingerprint"] == state_fingerprint(store.db)
+        assert audit["live"]["committed_lsn"] == store.committed_lsn
+        store.close()
+
+    def test_verify_flags_damaged_snapshot_without_raising(self, tmp_path):
+        store = DurableStore(tmp_path)
+        _populate(store, rows=10)
+        store.snapshot()
+        store.db.table("events").insert(
+            {"id": 88, "kind": "w", "score": 0.5, "day": None}
+        )
+        store.snapshot()
+        # The older snapshot rots on disk while the store is open: verify
+        # must report it, not raise, and still bless the newest one.
+        older = list_snapshots(tmp_path)[0]
+        older.write_bytes(older.read_bytes()[:40])
+        audit = store.verify()
+        flags = {s["path"]: s["ok"] for s in audit["snapshots"]}
+        assert flags[str(older)] is False
+        assert sum(ok for ok in flags.values()) == 1
+        assert audit["wal"]["ok"] is True
+        store.close()
