@@ -43,6 +43,13 @@ REQUIRED_CASES: dict[str, tuple[str, ...]] = {
         "cb_build_side_flip",
         "cb_join_reorder",
         "cb_conjunct_reorder",
+        "mp_scan_aggregate_serial",
+        "mp_scan_aggregate_proc1",
+        "mp_scan_aggregate_proc2",
+        "mp_scan_aggregate_proc4",
+        "mp_join_probe_proc4",
+        "mp_segment_cold",
+        "mp_segment_warm",
     ),
     "durability": (
         "du_etl_wal_off",

@@ -102,7 +102,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=4,
-        help="worker threads for --executor parallel (default 4)",
+        help="workers for --executor parallel (default 4)",
+    )
+    trace.add_argument(
+        "--pool",
+        choices=["auto", "thread", "process"],
+        default="auto",
+        help="worker pool for --executor parallel: auto (core/size policy), "
+        "thread, or process (forced, shared-segment morsels)",
     )
     trace.add_argument(
         "--json",
@@ -302,9 +309,15 @@ def _cmd_trace(args) -> int:
         plan = translate_query(
             GTreeQuery(source.gtree(ec.form)).where(ec.condition), source.chain
         )
-        report = explain_analyze(
-            plan, source.db, executor=args.executor, workers=args.workers
-        )
+        from repro.relational import set_worker_pool_mode
+
+        set_worker_pool_mode(args.pool)
+        try:
+            report = explain_analyze(
+                plan, source.db, executor=args.executor, workers=args.workers
+            )
+        finally:
+            set_worker_pool_mode(None)
         tracer: Tracer = report.tracer
         stats_db = source.db
         traced_plan = report.plan

@@ -55,7 +55,14 @@ from repro.relational.interpret import execute_interpreted
 from repro.relational.query import Query, optimize, plan_fingerprint, prepare_stream_plan
 from repro.relational.snapshot import database_version, load_database, save_database
 from repro.relational.sql import to_sql
-from repro.relational.parallel import ThreadWorkerPool, execute_parallel
+from repro.relational.parallel import (
+    ThreadWorkerPool,
+    available_cores,
+    execute_parallel,
+    set_worker_pool_factory,
+    set_worker_pool_mode,
+    worker_pool_mode,
+)
 from repro.relational.stats import (
     ChunkStats,
     Dictionary,
@@ -109,6 +116,7 @@ __all__ = [
     "Unpivot",
     "Values",
     "Vectorized",
+    "available_cores",
     "canonical_key",
     "column_ndv",
     "column_null_fraction",
@@ -130,7 +138,10 @@ __all__ = [
     "prepare_stream_plan",
     "save_database",
     "set_statistics_enabled",
+    "set_worker_pool_factory",
+    "set_worker_pool_mode",
     "statistics_enabled",
+    "worker_pool_mode",
     "table_statistics_report",
     "to_sql",
 ]

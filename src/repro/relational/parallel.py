@@ -36,14 +36,34 @@ reported as-is in EXPERIMENTS.md, and per-worker utilization is annotated
 into the trace so numbers are explainable.  The pool is pluggable
 (:func:`set_worker_pool_factory`) so a process pool or a free-threaded
 runtime can slot in without touching the executor.
+
+Breaking the GIL barrier: when the resolved pool mode is ``process``
+(:func:`set_worker_pool_mode`, ``REPRO_WORKER_POOL``, or ``auto`` on a
+multi-core machine with a large enough input), eligible stages ship
+morsel *descriptors* instead of closures — the stage plan is cloned with
+its source leaf replaced by a
+:class:`~repro.storage.segments.SegmentScan` naming a shared mmap-backed
+segment file plus one morsel's chunk indices, pickled, and executed by
+:class:`~repro.relational.procpool.ProcessWorkerPool` workers running
+the same serial batch kernels.  Join build sides broadcast through a
+segment file the same way.  The determinism contract is unchanged:
+segment chunk order is extent order, results are absorbed in task order,
+and partition-wise merges (Aggregate partials, JoinBuildLeft pair lists)
+happen in the parent exactly as on threads.  Stages a process cannot run
+(multi-partition scans, stale schemes, unpicklable plans) and inputs too
+small to amortize a segment build (``cost.py`` row estimates, auto mode
+only) fall back to the thread pool, with every decision recorded in the
+trace gauges.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.relational.algebra import (
     Aggregate,
@@ -70,10 +90,24 @@ from repro.relational.vectorize import (
     aggregate_output_columns,
 )
 
+if TYPE_CHECKING:
+    from repro.relational.table import Table
+    from repro.storage.segments import Segment
+
 #: Source batches per morsel: 8 × BATCH_SIZE = 8192 rows.  Large enough to
 #: amortize per-task scheduling, small enough that work stealing can
 #: rebalance a skewed pipeline.
 MORSEL_BATCHES = 8
+
+#: Auto-mode floor for routing a stage to worker processes: below this
+#: many source rows the per-task pickling and queue hops cost more than
+#: the GIL costs threads.
+PROCESS_MIN_ROWS = 50_000
+
+#: Auto-mode floor when the extent's segment is cold (not yet built at
+#: this data version): the one-off materialization write must be
+#: amortizable against the estimated scan work, so the bar is higher.
+PROCESS_COLD_MIN_ROWS = 200_000
 
 
 # -- worker pool ---------------------------------------------------------------
@@ -169,6 +203,51 @@ def set_worker_pool_factory(
     _POOL_FACTORY = ThreadWorkerPool if factory is None else factory
 
 
+# -- pool mode policy ----------------------------------------------------------
+
+
+_POOL_MODE: str | None = None
+
+
+def set_worker_pool_mode(mode: str | None = None) -> None:
+    """Pin the worker pool kind: ``"thread"``, ``"process"``, or
+    ``None``/``"auto"`` to restore the default resolution (environment
+    variable ``REPRO_WORKER_POOL``, then the auto policy).
+
+    ``"process"`` *forces* descriptor-capable stages onto worker
+    processes regardless of core count or input size — the equivalence
+    and crash suites rely on this to exercise the real multi-process
+    machinery on single-vCPU CI.
+    """
+    global _POOL_MODE
+    if mode not in (None, "auto", "thread", "process"):
+        raise ValueError(f"unknown worker pool mode {mode!r}")
+    _POOL_MODE = None if mode in (None, "auto") else mode
+
+
+def worker_pool_mode() -> str:
+    """The resolved pool mode: explicit override → env → ``"auto"``."""
+    if _POOL_MODE is not None:
+        return _POOL_MODE
+    env = os.environ.get("REPRO_WORKER_POOL", "").strip().lower()
+    if env in ("thread", "process"):
+        return env
+    return "auto"
+
+
+def available_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware).
+
+    The auto policy and the bench provenance both consult this, so a
+    single-vCPU CI box reports 1 and gates on correctness-with-fallback
+    instead of fictitious speedups.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 # -- morsel source substitution ------------------------------------------------
 
 
@@ -251,23 +330,72 @@ class _Engine:
         self.workers = workers
         self.morsels = 0
         self.stages = 0
+        self.thread_stages = 0
+        self.process_stages = 0
         self.wall_s = 0.0
-        self._busy: dict[int, float] = {}
-        self._claimed: dict[int, int] = {}
+        self.cores = available_cores()
+        self._busy: dict[tuple[str, int], float] = {}
+        self._claimed: dict[tuple[str, int], int] = {}
+        self._worker_spans: dict[int, list[object]] = {}
+        self.fallbacks: list[dict[str, object]] = []
+        # Resolve the process-pool gate once per execution.  "forced"
+        # skips the size/core policy (tests and CI exercise the real
+        # machinery on one core); "auto" applies the cost thresholds per
+        # stage; "off" records why.  A custom factory whose pools are not
+        # process-kind always wins — it was installed deliberately.
+        mode = worker_pool_mode()
+        factory_kind = getattr(_POOL_FACTORY, "kind", None)
+        self.process_workers = workers
+        if _POOL_FACTORY is not ThreadWorkerPool and factory_kind != "process":
+            self._process_gate = "off"
+            self._off_reason = "custom_pool_factory"
+        elif mode == "thread":
+            self._process_gate = "off"
+            self._off_reason = "mode_thread"
+        elif mode == "process":
+            self._process_gate = "forced"
+            self._off_reason = ""
+        else:
+            self.process_workers = min(workers, self.cores)
+            if self.process_workers >= 2:
+                self._process_gate = "auto"
+                self._off_reason = ""
+            else:
+                self._process_gate = "off"
+                self._off_reason = (
+                    "single_core" if self.cores < 2 else "single_worker"
+                )
 
     def run_tasks(self, tasks: list[Callable[[], object]]) -> list[object]:
         started = perf_counter()
         results, stats = _POOL_FACTORY(self.workers).run(tasks)
         self.wall_s += perf_counter() - started
         self.stages += 1
+        self.thread_stages += 1
         self.morsels += len(tasks)
         for stat in stats:
-            self._busy[stat.worker] = (
-                self._busy.get(stat.worker, 0.0) + stat.busy_s
-            )
-            self._claimed[stat.worker] = (
-                self._claimed.get(stat.worker, 0) + stat.morsels
-            )
+            key = ("thread", stat.worker)
+            self._busy[key] = self._busy.get(key, 0.0) + stat.busy_s
+            self._claimed[key] = self._claimed.get(key, 0) + stat.morsels
+        return results
+
+    def run_specs(self, specs: list[dict[str, object]]) -> list[object]:
+        """Execute morsel descriptors on the warm process pool."""
+        from repro.relational.procpool import ProcessWorkerPool
+
+        started = perf_counter()
+        results, accounts = ProcessWorkerPool(self.process_workers).run_specs(
+            specs
+        )
+        self.wall_s += perf_counter() - started
+        self.stages += 1
+        self.process_stages += 1
+        self.morsels += len(specs)
+        for worker_id, claimed, busy, spans in accounts:
+            key = ("process", worker_id)
+            self._busy[key] = self._busy.get(key, 0.0) + busy
+            self._claimed[key] = self._claimed.get(key, 0) + claimed
+            self._worker_spans.setdefault(worker_id, []).extend(spans)
         return results
 
     def worker_report(self) -> list[dict[str, object]]:
@@ -276,12 +404,196 @@ class _Engine:
         return [
             {
                 "worker": worker,
-                "morsels": self._claimed.get(worker, 0),
+                "pool": pool,
+                "morsels": self._claimed.get((pool, worker), 0),
                 "busy_s": round(busy, 6),
                 "utilization": round(busy / wall, 3) if wall else 0.0,
             }
-            for worker, busy in sorted(self._busy.items())
+            for (pool, worker), busy in sorted(self._busy.items())
         ]
+
+    def pool_label(self) -> str:
+        """Which pool(s) this execution actually used, for the trace."""
+        if self.process_stages and self.thread_stages:
+            return "mixed"
+        if self.process_stages:
+            return "process"
+        if self.thread_stages:
+            return "thread"
+        return "thread" if self._process_gate == "off" else "process"
+
+    def graft_worker_spans(self, target: Plan) -> None:
+        """Re-graft pickle-safe worker spans under the target's span.
+
+        Worker processes cannot append to the parent's span tree, so each
+        task returns a Span measured inside the worker; here they become
+        ``process-worker-N`` subtrees, making per-process utilization a
+        first-class part of ``trace query`` output.
+        """
+        recorder = self.ctx.recorder
+        if recorder is None or not self._worker_spans:
+            return
+        parent = recorder.span_of(target)
+        if parent is None:
+            return
+        for worker_id in sorted(self._worker_spans):
+            spans = self._worker_spans[worker_id]
+            branch = parent.child(f"process-worker-{worker_id}")
+            branch.attrs["pool"] = "process"
+            branch.attrs["morsels"] = len(spans)
+            branch.children.extend(spans)  # type: ignore[arg-type]
+            branch.duration_s = sum(
+                span.duration_s  # type: ignore[attr-defined]
+                for span in spans
+            )
+
+    # -- process-stage planning ------------------------------------------------
+
+    def _fallback(self, stage: str, reason: str) -> None:
+        self.fallbacks.append({"stage": stage, "reason": reason})
+
+    def _resolve_extent(self, source: Plan) -> "tuple[Table, int | None] | str":
+        """The (table, partition) extent a process morsel can describe.
+
+        A string return is the fallback reason.  Multi-partition
+        PartitionScans stay on threads: their serial output order is the
+        merged ascending position order across partitions, which a
+        partition-major segment read would not reproduce.
+        """
+        db = self.ctx.db
+        if type(source) is Scan:
+            return (db.table(source.table), None)
+        assert type(source) is PartitionScan
+        table = db.table(source.table)
+        scheme = table.partitioning
+        total = scheme.partition_count if scheme is not None else 0
+        if scheme is None or any(pid >= total for pid in source.partitions):
+            return "stale_partition_scheme"
+        wanted = sorted(set(source.partitions))
+        if len(wanted) != 1:
+            return "multi_partition_order"
+        return (table, wanted[0])
+
+    def _process_morsels(
+        self, stage: str, source: Plan, pipeline: Plan | None
+    ) -> "tuple[Segment, list[tuple[int, ...]]] | None":
+        """(segment, chunk-index morsels) when this stage goes to processes.
+
+        ``None`` means run on threads; the reason is recorded.  Zone-map
+        skipping happens here in the parent — the same
+        :class:`SelectAnalysis` decision the thread path makes per batch,
+        applied to chunk indices before any descriptor is formed — so
+        workers never even receive a chunk statistics rule out.
+        """
+        if self._process_gate == "off":
+            return None
+        resolved = self._resolve_extent(source)
+        if isinstance(resolved, str):
+            self._fallback(stage, resolved)
+            return None
+        table, partition = resolved
+        if self._process_gate == "auto":
+            from repro.relational.cost import estimate_plan_rows
+            from repro.storage.segments import cached_table_segment
+
+            rows = estimate_plan_rows(source, self.ctx.db)
+            if rows < PROCESS_MIN_ROWS:
+                self._fallback(stage, f"small_input:{rows}")
+                return None
+            if (
+                cached_table_segment(table, partition) is None
+                and rows < PROCESS_COLD_MIN_ROWS
+            ):
+                self._fallback(stage, f"cold_segment:{rows}")
+                return None
+        from repro.storage.segments import table_segment
+
+        segment = table_segment(table, partition)
+        if segment.chunk_count == 0:
+            self._fallback(stage, "empty_extent")
+            return None
+        indices = self._zone_filtered_chunks(segment, table, partition, pipeline, source)
+        morsels = [
+            tuple(indices[start : start + MORSEL_BATCHES])
+            for start in range(0, len(indices), MORSEL_BATCHES)
+        ]
+        return segment, morsels
+
+    def _zone_filtered_chunks(
+        self,
+        segment: "Segment",
+        table: "Table",
+        partition: int | None,
+        pipeline: Plan | None,
+        source: Plan,
+    ) -> list[int]:
+        indices = list(range(segment.chunk_count))
+        select = (
+            _source_select(pipeline, source) if pipeline is not None else None
+        )
+        if select is None or not statistics_enabled():
+            return indices
+        # Segment chunks and zone-map chunks both slice the extent's
+        # column order, so chunk index i names the same rows in both —
+        # but only when the two modules' chunk sizes agree (tests patch
+        # them independently).  On mismatch, skip nothing: workers
+        # evaluate the full predicate anyway.
+        from repro.relational import stats as stats_mod
+        from repro.storage import segments as segments_mod
+
+        if segments_mod.BATCH_SIZE != stats_mod.BATCH_SIZE:
+            return indices
+        analysis = SelectAnalysis(select.predicate)
+        if not analysis.analyzable:
+            return indices
+        retained: list[int] = []
+        skipped = 0
+        for index in indices:
+            if analysis.decide(table, partition, index) is SKIP_CHUNK:
+                skipped += 1
+            else:
+                retained.append(index)
+        self.ctx.annotate(
+            select,
+            chunks_total=len(indices),
+            chunks_skipped=skipped,
+            # Workers evaluate the full predicate on retained chunks
+            # (their batches carry no zone tags), so no conjunct is ever
+            # short-circuited on this path.
+            conjuncts_short_circuited=0,
+        )
+        return retained
+
+    def _segment_scan(
+        self, segment: "Segment", source: Plan, chunks: tuple[int, ...]
+    ) -> Plan:
+        from repro.storage.segments import SegmentScan
+
+        return SegmentScan(
+            str(segment.path), self.ctx.columns(source), chunks
+        )
+
+    def _pickle_specs(
+        self, stage: str, mode: str, plans: list[Plan], build_key: str | None = None
+    ) -> list[dict[str, object]] | None:
+        """Pickle per-morsel plans into specs; None if any plan refuses.
+
+        Plans are plain dataclasses over the expression AST and should
+        always pickle; this guard exists so an exotic hand-built plan
+        degrades to threads instead of failing the query.
+        """
+        specs: list[dict[str, object]] = []
+        for plan in plans:
+            try:
+                blob = pickle.dumps(plan)
+            except Exception:
+                self._fallback(stage, "unpicklable_plan")
+                return None
+            spec: dict[str, object] = {"mode": mode, "plan": blob}
+            if build_key is not None:
+                spec["build_key"] = build_key
+            specs.append(spec)
+        return specs
 
     # -- drivers ---------------------------------------------------------------
 
@@ -365,7 +677,32 @@ class _Engine:
             for morsel in morsels
         ]
 
+    @staticmethod
+    def _unpack_batches(results: list[object]) -> list[Batch]:
+        return [
+            Batch(columns, data, length)
+            for packed in results
+            for columns, data, length in packed  # type: ignore[attr-defined]
+        ]
+
     def _run_pipeline(self, plan: Plan, source: Plan) -> list[Batch]:
+        prepared = self._process_morsels("pipeline", source, plan)
+        if prepared is not None:
+            segment, chunk_morsels = prepared
+            if not chunk_morsels:
+                return []
+            specs = self._pickle_specs(
+                "pipeline",
+                "pipeline",
+                [
+                    _replace_source(
+                        plan, source, self._segment_scan(segment, source, chunks)
+                    )
+                    for chunks in chunk_morsels
+                ],
+            )
+            if specs is not None:
+                return self._unpack_batches(self.run_specs(specs))
         morsels = self._source_morsels(source, plan)
         if not morsels:
             return []
@@ -379,6 +716,30 @@ class _Engine:
 
     def _run_aggregate(self, plan: Aggregate, source: Plan) -> list[Batch]:
         columns = aggregate_output_columns(plan, self.ctx)
+        prepared = self._process_morsels("aggregate", source, plan.child)
+        if prepared is not None:
+            segment, chunk_morsels = prepared
+            if not chunk_morsels:
+                return list(GroupedAggregation(plan).finalize(columns))
+            specs = self._pickle_specs(
+                "aggregate",
+                "aggregate",
+                [
+                    _replace_source(
+                        plan, source, self._segment_scan(segment, source, chunks)
+                    )
+                    for chunks in chunk_morsels
+                ],
+            )
+            if specs is not None:
+                # Each worker returns its morsel's GroupedAggregation
+                # partial; merging in task order into a fresh parent-side
+                # instance reproduces the serial first-seen group order.
+                merged = GroupedAggregation(plan)
+                for partial in self.run_specs(specs):
+                    assert isinstance(partial, GroupedAggregation)
+                    merged.merge(partial)
+                return list(merged.finalize(columns))
         morsels = self._source_morsels(source, plan.child)
         if not morsels:
             return list(GroupedAggregation(plan).finalize(columns))
@@ -402,9 +763,56 @@ class _Engine:
         return list(merged.finalize(columns))
 
     def _run_join(self, plan: Join, source: Plan) -> list[Batch]:
-        build = JoinBuild(plan, self.ctx)
-        for rbatch in self.batches(plan.right):
-            build.add(rbatch)
+        build = JoinBuild(plan, self.ctx)  # validates the join up front
+        prepared = self._process_morsels("join_probe", source, plan.left)
+        if prepared is not None:
+            right_batches = self.batches(plan.right)
+            segment, chunk_morsels = prepared
+            if chunk_morsels:
+                from repro.storage.segments import (
+                    SegmentScan,
+                    attach_segment,
+                    write_broadcast_segment,
+                )
+
+                # Broadcast the materialized build side once through a
+                # segment file; every worker attaches it read-only and
+                # builds its hash table locally (cached by build_key), so
+                # the build rows cross the process boundary zero times
+                # per worker instead of once per morsel.
+                right_cols = self.ctx.columns(plan.right)
+                broadcast = write_broadcast_segment(right_cols, right_batches)
+                right_scan = SegmentScan(
+                    str(broadcast),
+                    right_cols,
+                    tuple(range(attach_segment(broadcast).chunk_count)),
+                )
+                specs = self._pickle_specs(
+                    "join_probe",
+                    "join_probe",
+                    [
+                        _with_children(
+                            plan,
+                            (
+                                _replace_source(
+                                    plan.left,
+                                    source,
+                                    self._segment_scan(segment, source, chunks),
+                                ),
+                                right_scan,
+                            ),
+                        )
+                        for chunks in chunk_morsels
+                    ],
+                    build_key=str(broadcast),
+                )
+                if specs is not None:
+                    return self._unpack_batches(self.run_specs(specs))
+            for rbatch in right_batches:
+                build.add(rbatch)
+        else:
+            for rbatch in self.batches(plan.right):
+                build.add(rbatch)
         morsels = self._source_morsels(source, plan.left)
         if not morsels:
             return []
@@ -435,13 +843,60 @@ class _Engine:
         left-major emission is bit-identical to the serial executors.
         """
         build = JoinBuildLeft(plan, self.ctx)
-        for lbatch in self.batches(plan.left):
+        left_batches = self.batches(plan.left)
+        for lbatch in left_batches:
             build.add_left(lbatch)
         source = _pipeline_source(plan.right)
         if source is None:
             for rbatch in self.batches(plan.right):
                 build.add_right(rbatch)
             return list(build.emit())
+        prepared = self._process_morsels("join_collect", source, plan.right)
+        if prepared is not None:
+            segment, chunk_morsels = prepared
+            if not chunk_morsels:
+                return list(build.emit())
+            from repro.storage.segments import (
+                SegmentScan,
+                attach_segment,
+                write_broadcast_segment,
+            )
+
+            # Broadcast the LEFT side; workers rebuild the position table
+            # from the same row sequence (global positions are boundary-
+            # independent) and return (left position, payload) pairs the
+            # parent absorbs in task order — which is right-stream order —
+            # before the serial left-major emission.
+            left_cols = self.ctx.columns(plan.left)
+            broadcast = write_broadcast_segment(left_cols, left_batches)
+            left_scan = SegmentScan(
+                str(broadcast),
+                left_cols,
+                tuple(range(attach_segment(broadcast).chunk_count)),
+            )
+            specs = self._pickle_specs(
+                "join_collect",
+                "join_collect",
+                [
+                    _with_children(
+                        plan,
+                        (
+                            left_scan,
+                            _replace_source(
+                                plan.right,
+                                source,
+                                self._segment_scan(segment, source, chunks),
+                            ),
+                        ),
+                    )
+                    for chunks in chunk_morsels
+                ],
+                build_key=str(broadcast),
+            )
+            if specs is not None:
+                for pairs in self.run_specs(specs):
+                    build.absorb(pairs)  # type: ignore[arg-type]
+                return list(build.emit())
         morsels = self._source_morsels(source, plan.right)
         if not morsels:
             return list(build.emit())
@@ -493,12 +948,25 @@ def execute_parallel(
     out: list[Row] = []
     for batch in engine.batches(plan):
         out.extend(batch.to_rows())
-    ctx.annotate(
-        target,
+    gauges: dict[str, object] = dict(
         executor="parallel-batch",
         workers=workers,
         morsels=engine.morsels,
         parallel_stages=engine.stages,
         worker_utilization=engine.worker_report(),
+        pool=engine.pool_label(),
+        cores=engine.cores,
     )
+    if engine._process_gate == "off" and engine._off_reason not in (
+        "",
+        "mode_thread",
+        "custom_pool_factory",
+    ):
+        gauges["process_pool_disabled"] = engine._off_reason
+    if engine.process_stages:
+        gauges["process_workers"] = engine.process_workers
+    if engine.fallbacks:
+        gauges["parallel_fallbacks"] = engine.fallbacks
+    ctx.annotate(target, **gauges)
+    engine.graft_worker_spans(target)
     return out

@@ -1166,6 +1166,21 @@ class GroupedAggregation:
                     if value is not None:
                         state[j].append(value)
 
+    def __getstate__(self) -> dict[str, object]:
+        # Partial aggregation states cross the process boundary (worker →
+        # parent merge); drop the coded-path cache — it holds references
+        # to worker-side Dictionary objects and is rebuilt on demand.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_code_groups"
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._code_groups = None
+
     def merge(self, other: "GroupedAggregation") -> None:
         """Fold ``other``'s partial state into this one (in morsel order)."""
         groups = self.groups

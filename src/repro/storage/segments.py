@@ -1,0 +1,462 @@
+"""Shared, mmap-backed columnar segment files for process-parallel scans.
+
+A segment materializes one columnar extent — a whole table or a single
+partition — into an on-disk file that worker *processes* can attach
+read-only via ``mmap`` and page chunk by chunk, instead of receiving
+pickled batches over a pipe.  The serialization is exactly the snapshot
+format (CRC-framed JSON documents, per-``BATCH_SIZE`` column slices,
+DATE via isoformat), so a segment chunk decodes straight into the same
+:class:`~repro.relational.batch.Batch` shape the serial scan kernels
+produce.  Layout::
+
+    frame 0      manifest {format, table, partition, data_version,
+                           partition_epoch, columns, dtypes, rows, chunks}
+    frame 1..n   one chunk frame per BATCH_SIZE column slice
+    frame n+1    footer {end, chunks, offsets: [byte offset per chunk]}
+    trailer      8-byte big-endian byte offset of the footer frame
+
+The trailer makes chunk access O(1): a reader seeks to the footer,
+learns every chunk frame's offset, and decodes only the chunks a morsel
+descriptor names — a cold partition pages through the executor without
+ever materializing the whole file.  Any framing/CRC/footer damage raises
+:class:`~repro.errors.SegmentCorruptionError`.
+
+Freshness is delegated to :meth:`Table.derived`: :func:`table_segment`
+caches the built segment keyed by ``("segment", partition)`` *per data
+version*, and ``repartition()`` clears the derived cache wholesale — so
+any insert/update/delete/repartition makes the next lookup rebuild under
+a brand-new path.  Worker-side attach caches key on the path, and paths
+are never reused, so a stale segment file is structurally unreachable.
+
+Intermediate results (a hash join's build side broadcast to workers)
+have no schema dtypes, so their frames use a per-value tagged encoding
+(dates as ``{"__date__": iso}``); everything else is schema-typed and
+round-trips through the snapshot column codecs unchanged.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import mmap
+import os
+import shutil
+import tempfile
+import uuid
+import zlib
+from datetime import date
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, NoReturn
+
+from dataclasses import dataclass
+
+from repro.errors import SegmentCorruptionError
+from repro.relational.algebra import ExecContext, Plan, Row
+from repro.relational.batch import BATCH_SIZE, Batch
+from repro.relational.types import DataType
+from repro.relational.vectorize import _KERNELS
+from repro.storage.snapshots import (
+    HEADER_LEN,
+    SNAP_MAGIC,
+    _decode_column,
+    _encode_column,
+    _frame,
+)
+
+if TYPE_CHECKING:
+    from repro.relational.table import Table
+
+SEGMENT_FORMAT_VERSION = 1
+_TRAILER_LEN = 8
+
+
+# -- scratch directory ----------------------------------------------------------
+
+
+_SCRATCH: Path | None = None
+
+
+def segment_scratch_dir() -> Path:
+    """The per-process scratch directory segment files are written into.
+
+    ``REPRO_SEGMENT_DIR`` overrides the location (CI points it at the
+    workspace so artifacts survive); otherwise a ``repro-segments-``
+    tempdir is created lazily and removed at interpreter exit.  Worker
+    processes never write here — they only attach paths they were sent.
+    """
+    global _SCRATCH
+    if _SCRATCH is not None:
+        return _SCRATCH
+    override = os.environ.get("REPRO_SEGMENT_DIR")
+    if override:
+        path = Path(override)
+        path.mkdir(parents=True, exist_ok=True)
+        _SCRATCH = path
+        return path
+    path = Path(tempfile.mkdtemp(prefix="repro-segments-"))
+    atexit.register(shutil.rmtree, path, ignore_errors=True)
+    _SCRATCH = path
+    return path
+
+
+# -- value codec for untyped (intermediate) columns -----------------------------
+
+
+def _encode_value(value: object) -> object:
+    # Scalars only (the engine's type system): dict is never a legal cell
+    # value, so a one-key dict is an unambiguous tag for the single type
+    # JSON cannot carry natively.
+    if isinstance(value, date):
+        return {"__date__": value.isoformat()}
+    return value
+
+
+def _decode_value(value: object) -> object:
+    if isinstance(value, dict):
+        return date.fromisoformat(value["__date__"])
+    return value
+
+
+def _encode_untyped(values: list[object]) -> list[object]:
+    if any(isinstance(v, date) for v in values):
+        return [_encode_value(v) for v in values]
+    return values
+
+
+def _decode_untyped(values: list[object]) -> list[object]:
+    if any(isinstance(v, dict) for v in values):
+        return [_decode_value(v) for v in values]
+    return values
+
+
+# -- writing --------------------------------------------------------------------
+
+
+def write_segment(
+    path: Path,
+    columns: dict[str, list[object]],
+    column_names: tuple[str, ...],
+    dtypes: dict[str, DataType] | None,
+    *,
+    table: str = "",
+    partition: int | None = None,
+    data_version: int = 0,
+    partition_epoch: int = 0,
+) -> Path:
+    """Write one columnar extent as a segment file, atomically.
+
+    ``dtypes`` maps column name → declared type for schema-backed data
+    (snapshot codecs apply); ``None`` switches every column to the tagged
+    per-value encoding used for intermediate broadcasts.  The file is
+    written to a temp name, fsynced, and renamed into place, so readers
+    never observe a half-written segment.
+    """
+    rows = len(columns[column_names[0]]) if column_names else 0
+    chunk_frames: list[bytes] = []
+    for start in range(0, rows, BATCH_SIZE):
+        end = min(start + BATCH_SIZE, rows)
+        doc: dict[str, Any] = {"columns": {}}
+        for name in column_names:
+            values = columns[name][start:end]
+            if dtypes is None:
+                doc["columns"][name] = _encode_untyped(values)
+            else:
+                doc["columns"][name] = _encode_column(values, dtypes[name])
+        chunk_frames.append(_frame(doc))
+    manifest = _frame(
+        {
+            "format": SEGMENT_FORMAT_VERSION,
+            "table": table,
+            "partition": partition,
+            "data_version": data_version,
+            "partition_epoch": partition_epoch,
+            "columns": list(column_names),
+            "dtypes": (
+                None
+                if dtypes is None
+                else {name: dtypes[name].value for name in column_names}
+            ),
+            "rows": rows,
+            "chunks": len(chunk_frames),
+        }
+    )
+    offsets: list[int] = []
+    cursor = len(manifest)
+    for frame in chunk_frames:
+        offsets.append(cursor)
+        cursor += len(frame)
+    footer = _frame({"end": True, "chunks": len(chunk_frames), "offsets": offsets})
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        handle.write(manifest)
+        for frame in chunk_frames:
+            handle.write(frame)
+        handle.write(footer)
+        handle.write(cursor.to_bytes(_TRAILER_LEN, "big"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    return path
+
+
+# -- reading --------------------------------------------------------------------
+
+
+class Segment:
+    """One attached segment file: manifest metadata plus O(1) chunk reads.
+
+    The file is mapped read-only; :meth:`chunk` decodes a single chunk
+    frame on demand, so only the pages a morsel actually touches are
+    faulted in (the larger-than-RAM paging property).  Instances are
+    process-local; the *path* is what crosses the process boundary.
+    """
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._file = open(self.path, "rb")
+        try:
+            self._mmap: mmap.mmap | None = mmap.mmap(
+                self._file.fileno(), 0, access=mmap.ACCESS_READ
+            )
+        except ValueError:
+            self._mmap = None  # zero-row segment: mmap refuses empty files
+        view = self._data()
+        if len(view) < _TRAILER_LEN:
+            self._fail("missing footer trailer")
+        footer_offset = int.from_bytes(view[-_TRAILER_LEN:], "big")
+        manifest = self._frame_at(0)
+        footer = self._frame_at(footer_offset)
+        if manifest.get("format") != SEGMENT_FORMAT_VERSION:
+            self._fail(f"unsupported segment format {manifest.get('format')!r}")
+        if not footer.get("end"):
+            self._fail("footer frame is not a terminator")
+        if footer.get("chunks") != manifest.get("chunks"):
+            self._fail(
+                f"footer says {footer.get('chunks')} chunks, "
+                f"manifest says {manifest.get('chunks')}"
+            )
+        self.table: str = manifest.get("table", "")
+        self.partition: int | None = manifest.get("partition")
+        self.data_version: int = int(manifest.get("data_version", 0))
+        self.partition_epoch: int = int(manifest.get("partition_epoch", 0))
+        self.columns: tuple[str, ...] = tuple(manifest.get("columns", ()))
+        raw_dtypes = manifest.get("dtypes")
+        self.dtypes: dict[str, DataType] | None = (
+            None
+            if raw_dtypes is None
+            else {name: DataType(value) for name, value in raw_dtypes.items()}
+        )
+        self.rows: int = int(manifest.get("rows", 0))
+        self.chunk_count: int = int(manifest.get("chunks", 0))
+        self._offsets: list[int] = [int(v) for v in footer.get("offsets", ())]
+        if len(self._offsets) != self.chunk_count:
+            self._fail(
+                f"footer carries {len(self._offsets)} offsets for "
+                f"{self.chunk_count} chunks"
+            )
+
+    def _data(self) -> bytes | mmap.mmap:
+        if self._mmap is not None:
+            return self._mmap
+        return b""
+
+    def _fail(self, message: str) -> NoReturn:
+        raise SegmentCorruptionError(f"{self.path}: {message}")
+
+    def _frame_at(self, offset: int) -> dict[str, Any]:
+        data = self._data()
+        total = len(data) - _TRAILER_LEN
+        if offset < 0 or total - offset < HEADER_LEN:
+            self._fail(f"bad frame offset {offset}")
+        if bytes(data[offset : offset + 2]) != SNAP_MAGIC:
+            self._fail(f"bad frame magic at offset {offset}")
+        length = int.from_bytes(data[offset + 2 : offset + 6], "big")
+        end = offset + HEADER_LEN + length
+        if end > total:
+            self._fail(f"truncated frame at offset {offset}")
+        payload = bytes(data[offset + HEADER_LEN : end])
+        if zlib.crc32(payload) != int.from_bytes(
+            data[offset + 6 : offset + 10], "big"
+        ):
+            self._fail(f"CRC mismatch in frame at offset {offset}")
+        try:
+            doc = json.loads(payload)
+        except ValueError as exc:
+            self._fail(f"undecodable frame at offset {offset}: {exc}")
+        return doc  # type: ignore[no-any-return]
+
+    def chunk(self, index: int) -> dict[str, list[object]]:
+        """Decode chunk ``index`` into column → value lists."""
+        if not 0 <= index < self.chunk_count:
+            self._fail(f"chunk {index} out of range 0..{self.chunk_count - 1}")
+        doc = self._frame_at(self._offsets[index])
+        raw = doc.get("columns", {})
+        out: dict[str, list[object]] = {}
+        for name in self.columns:
+            values = raw.get(name, [])
+            if self.dtypes is None:
+                out[name] = _decode_untyped(values)
+            else:
+                out[name] = _decode_column(values, self.dtypes[name])
+        return out
+
+    def batch(self, index: int) -> Batch:
+        """Chunk ``index`` as a scan-shaped Batch."""
+        columns = self.chunk(index)
+        length = len(columns[self.columns[0]]) if self.columns else 0
+        return Batch(self.columns, columns, length)
+
+    def batches(self, chunks: Iterable[int] | None = None) -> Iterator[Batch]:
+        """Batches for ``chunks`` (default: all), decoded lazily in order."""
+        indices = range(self.chunk_count) if chunks is None else chunks
+        for index in indices:
+            yield self.batch(index)
+
+    def close(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if not self._file.closed:
+            self._file.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# -- the segment scan plan leaf -------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class SegmentScan(Plan):
+    """A plan leaf reading chunk frames from an attached segment file.
+
+    The process-parallel scheduler replaces a morsel plan's
+    Scan/PartitionScan leaf with one of these before pickling the plan to
+    a worker: the node carries only the segment *path* and the chunk
+    indices of one morsel, so what crosses the process boundary is a
+    descriptor, never row data.  The kernel attaches the file via the
+    per-process mmap cache and decodes exactly the named chunks, in
+    ascending order — which is extent order, preserving the serial row
+    order bit-for-bit.
+    """
+
+    path: str
+    source_columns: tuple[str, ...]
+    chunks: tuple[int, ...]
+
+    def _stream(self, ctx: ExecContext) -> Iterator[Row]:
+        for batch in attach_segment(self.path).batches(self.chunks):
+            yield from batch.to_rows()
+
+    def _columns(self, ctx: ExecContext) -> tuple[str, ...]:
+        return self.source_columns
+
+
+def _segment_scan_batches(plan: SegmentScan, ctx: ExecContext) -> Iterator[Batch]:
+    return attach_segment(plan.path).batches(plan.chunks)
+
+
+_KERNELS[SegmentScan] = _segment_scan_batches
+
+
+# -- parent-side build & cache --------------------------------------------------
+
+
+def _new_segment_path(table: str, partition: int | None) -> Path:
+    tag = "all" if partition is None else f"p{partition}"
+    return segment_scratch_dir() / f"{table}-{tag}-{uuid.uuid4().hex}.seg"
+
+
+def table_segment(table: "Table", partition: int | None = None) -> Segment:
+    """The shared segment for one table extent (or one partition of it).
+
+    Cached through :meth:`Table.derived` keyed on ``("segment",
+    partition)`` — per data version, cleared wholesale on repartition —
+    so the (table, data_version, partition_epoch) identity the manifest
+    records is exactly the identity of the cache entry, and any mutation
+    makes the next call build a fresh file under a fresh path.
+    """
+
+    def build() -> Segment:
+        columns = (
+            table.column_snapshot()
+            if partition is None
+            else table.partition_columns(partition)
+        )
+        schema = table.schema
+        path = write_segment(
+            _new_segment_path(table.name, partition),
+            columns,
+            schema.column_names,
+            {name: schema.column(name).dtype for name in schema.column_names},
+            table=table.name,
+            partition=partition,
+            data_version=table.version,
+            partition_epoch=table.partition_epoch,
+        )
+        return Segment(path)
+
+    segment = table.derived(("segment", partition), build)
+    assert isinstance(segment, Segment)
+    return segment
+
+
+def cached_table_segment(table: "Table", partition: int | None = None) -> Segment | None:
+    """The already-built segment for this extent at the current version, if
+    any — the warm/cold probe the process-pool fallback policy uses."""
+    cached = table._derived.get(("segment", partition))
+    if cached is None or cached[0] != table.version:
+        return None
+    segment = cached[1]
+    return segment if isinstance(segment, Segment) else None
+
+
+def write_broadcast_segment(
+    column_names: tuple[str, ...], batches: Iterable[Batch]
+) -> Path:
+    """Materialize intermediate batches (a join build side) as a segment.
+
+    Written once by the scheduler, attached read-only by every worker —
+    the broadcast leg of a shared-build hash join.  Untyped (tagged)
+    encoding, since computed columns carry no schema dtype.
+    """
+    columns: dict[str, list[object]] = {name: [] for name in column_names}
+    for batch in batches:
+        for name in column_names:
+            columns[name].extend(batch.column(name))
+    return write_segment(
+        _new_segment_path("broadcast", None),
+        columns,
+        column_names,
+        None,
+    )
+
+
+# -- worker-side attach cache ---------------------------------------------------
+
+
+_ATTACH_LIMIT = 32
+_ATTACHED: dict[str, Segment] = {}
+
+
+def attach_segment(path: str | Path) -> Segment:
+    """Attach (mmap) a segment by path, caching per process.
+
+    Paths are unique per build (uuid component), so a cached attachment
+    can never serve stale data; the small LRU bound just keeps a warm
+    worker from accumulating mappings across many table versions.
+    """
+    key = str(path)
+    cached = _ATTACHED.pop(key, None)
+    if cached is not None:
+        _ATTACHED[key] = cached  # re-insert: dict order is the LRU order
+        return cached
+    segment = Segment(Path(path))
+    _ATTACHED[key] = segment
+    while len(_ATTACHED) > _ATTACH_LIMIT:
+        oldest = next(iter(_ATTACHED))
+        _ATTACHED.pop(oldest).close()
+    return segment

@@ -1,0 +1,242 @@
+"""Shared columnar segments: roundtrip, O(1) chunk access, corruption,
+and — the load-bearing property — derived-cache invalidation: any table
+mutation or repartition must rotate the segment to a brand-new path, so a
+worker's path-keyed attach cache can never serve stale rows.
+"""
+
+import os
+from datetime import date
+
+import pytest
+
+from repro.errors import SegmentCorruptionError
+from repro.relational.batch import BATCH_SIZE, Batch
+from repro.relational.database import Database
+from repro.relational.schema import Column, HashPartitioning, TableSchema
+from repro.relational.types import DataType
+from repro.storage import segments as segments_mod
+from repro.storage.segments import (
+    Segment,
+    attach_segment,
+    cached_table_segment,
+    table_segment,
+    write_broadcast_segment,
+    write_segment,
+)
+
+
+def _typed_db(rows=10, scheme=None) -> Database:
+    db = Database("segtest")
+    table = db.create_table(
+        TableSchema(
+            "mixed",
+            (
+                Column("id", DataType.INTEGER, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("score", DataType.FLOAT),
+                Column("ok", DataType.BOOLEAN),
+                Column("day", DataType.DATE),
+            ),
+            primary_key=("id",),
+            partitioning=scheme,
+        )
+    )
+    for i in range(rows):
+        table.insert(
+            {
+                "id": i,
+                "name": None if i % 7 == 0 else f"n{i % 3}",
+                "score": i * 0.5,
+                "ok": i % 2 == 0,
+                "day": None if i % 5 == 0 else date(2004, 1, 1 + i % 28),
+            }
+        )
+    return db
+
+
+def _segment_rows(segment: Segment) -> list[dict]:
+    return [row for batch in segment.batches() for row in batch.to_rows()]
+
+
+class TestRoundTrip:
+    def test_typed_roundtrip_including_dates_and_nulls(self):
+        db = _typed_db(rows=23)
+        table = db.table("mixed")
+        segment = table_segment(table)
+        assert _segment_rows(segment) == table.snapshot_rows()
+        assert segment.rows == 23
+        assert segment.data_version == table.version
+
+    def test_chunking_follows_batch_size(self, monkeypatch):
+        monkeypatch.setattr(segments_mod, "BATCH_SIZE", 4)
+        db = _typed_db(rows=10)
+        segment = table_segment(db.table("mixed"))
+        assert segment.chunk_count == 3
+        assert [batch.length for batch in segment.batches()] == [4, 4, 2]
+
+    def test_single_chunk_random_access_reads_only_that_chunk(self, monkeypatch):
+        monkeypatch.setattr(segments_mod, "BATCH_SIZE", 4)
+        db = _typed_db(rows=12)
+        table = db.table("mixed")
+        segment = table_segment(table)
+        middle = segment.batch(1)
+        assert middle.to_rows() == table.snapshot_rows()[4:8]
+
+    def test_selected_chunks_stream_in_ascending_extent_order(self, monkeypatch):
+        monkeypatch.setattr(segments_mod, "BATCH_SIZE", 3)
+        db = _typed_db(rows=11)
+        table = db.table("mixed")
+        segment = table_segment(table)
+        rows = [
+            row
+            for batch in segment.batches((0, 2, 3))
+            for row in batch.to_rows()
+        ]
+        reference = table.snapshot_rows()
+        assert rows == reference[0:3] + reference[6:9] + reference[9:11]
+
+    def test_empty_table_yields_zero_chunks(self):
+        db = _typed_db(rows=0)
+        segment = table_segment(db.table("mixed"))
+        assert segment.rows == 0
+        assert segment.chunk_count == 0
+        assert list(segment.batches()) == []
+
+    def test_broadcast_segment_roundtrips_untyped_values(self, tmp_path):
+        batches = [
+            Batch(
+                ("k", "when"),
+                {"k": [1, "two", None], "when": [date(2004, 2, 3), None, 4.5]},
+                3,
+            )
+        ]
+        path = write_broadcast_segment(("k", "when"), batches)
+        segment = Segment(path)
+        assert segment.dtypes is None
+        rows = _segment_rows(segment)
+        assert rows == [
+            {"k": 1, "when": date(2004, 2, 3)},
+            {"k": "two", "when": None},
+            {"k": None, "when": 4.5},
+        ]
+
+
+class TestCorruption:
+    def _segment_path(self, tmp_path):
+        return write_segment(
+            tmp_path / "t.seg",
+            {"id": list(range(6))},
+            ("id",),
+            {"id": DataType.INTEGER},
+            table="t",
+        )
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = self._segment_path(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SegmentCorruptionError):
+            Segment(path)
+
+    def test_flipped_byte_in_chunk_frame_rejected_on_read(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(segments_mod, "BATCH_SIZE", 2)
+        path = write_segment(
+            tmp_path / "t.seg",
+            {"id": list(range(6))},
+            ("id",),
+            {"id": DataType.INTEGER},
+        )
+        segment = Segment(path)
+        offset = segment._offsets[1] + 12  # inside chunk 1's payload
+        segment.close()
+        data = bytearray(path.read_bytes())
+        data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        damaged = Segment(path)
+        assert damaged.chunk(0)  # undamaged chunk still reads
+        with pytest.raises(SegmentCorruptionError):
+            damaged.chunk(1)
+
+    def test_bad_trailer_rejected(self, tmp_path):
+        path = self._segment_path(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-8:] = (len(data) * 2).to_bytes(8, "big")
+        path.write_bytes(bytes(data))
+        with pytest.raises(SegmentCorruptionError):
+            Segment(path)
+
+    def test_chunk_index_out_of_range(self, tmp_path):
+        segment = Segment(self._segment_path(tmp_path))
+        with pytest.raises(SegmentCorruptionError):
+            segment.chunk(99)
+
+
+class TestInvalidation:
+    def test_segment_is_cached_per_version(self):
+        db = _typed_db()
+        table = db.table("mixed")
+        first = table_segment(table)
+        assert table_segment(table) is first
+        assert cached_table_segment(table) is first
+
+    def test_insert_rotates_to_a_fresh_path(self):
+        db = _typed_db()
+        table = db.table("mixed")
+        first = table_segment(table)
+        table.insert({"id": 99, "name": "new", "score": 1.0, "ok": True, "day": None})
+        assert cached_table_segment(table) is None
+        second = table_segment(table)
+        assert second is not first
+        assert second.path != first.path
+        assert _segment_rows(second) == table.snapshot_rows()
+
+    def test_update_and_delete_rotate_paths(self):
+        db = _typed_db()
+        table = db.table("mixed")
+        paths = {table_segment(table).path}
+        table.update(lambda row: row["id"] == 3, {"score": 9.9})
+        paths.add(table_segment(table).path)
+        table.delete(lambda row: row["id"] == 4)
+        paths.add(table_segment(table).path)
+        assert len(paths) == 3
+        assert _segment_rows(table_segment(table)) == table.snapshot_rows()
+
+    def test_repartition_rotates_partition_segments(self):
+        db = _typed_db(rows=12, scheme=HashPartitioning("id", 3))
+        table = db.table("mixed")
+        first = table_segment(table, 1)
+        table.repartition(HashPartitioning("id", 4))
+        assert cached_table_segment(table, 1) is None
+        second = table_segment(table, 1)
+        assert second.path != first.path
+        reference = [
+            {name: row[name] for name in table.schema.column_names}
+            for row in table.rows_at(table.positions_for_partitions((1,)))
+        ]
+        assert _segment_rows(second) == reference
+
+    def test_attach_cache_is_path_keyed_so_stale_is_unreachable(self):
+        db = _typed_db()
+        table = db.table("mixed")
+        first = table_segment(table)
+        attached_first = attach_segment(first.path)
+        table.insert({"id": 77, "name": "x", "score": 0.0, "ok": False, "day": None})
+        second = table_segment(table)
+        attached_second = attach_segment(second.path)
+        # The stale attachment still resolves to the *old* path only; the
+        # new path is a different cache entry with the new rows.
+        assert attached_first is not attached_second
+        assert len(_segment_rows(attached_second)) == len(
+            _segment_rows(attached_first)
+        ) + 1
+
+
+class TestScratchDir:
+    def test_env_override_is_honored(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(segments_mod, "_SCRATCH", None)
+        monkeypatch.setenv("REPRO_SEGMENT_DIR", str(tmp_path / "segs"))
+        try:
+            assert segments_mod.segment_scratch_dir() == tmp_path / "segs"
+            assert (tmp_path / "segs").is_dir()
+        finally:
+            monkeypatch.setattr(segments_mod, "_SCRATCH", None)
